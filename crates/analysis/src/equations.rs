@@ -1,0 +1,169 @@
+//! The paper's analytical security models (Equations 1-7).
+
+/// Result of the DAPPER-S Mapping-Capturing analysis for one reset period
+/// (one row of Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DapperSCapture {
+    /// The reset period analysed, in nanoseconds.
+    pub t_reset_ns: f64,
+    /// Eq. 1: time left for probing after priming the target row.
+    pub t_left_ns: f64,
+    /// Eq. 2: activations issuable in the remaining time.
+    pub act_max: f64,
+    /// Eq. 3: probability one reset period captures a mapping pair.
+    pub p_success: f64,
+    /// Eq. 4: expected attack iterations.
+    pub at_iter: f64,
+    /// Eq. 5: expected time to capture one mapping pair, in nanoseconds.
+    pub at_time_ns: f64,
+}
+
+/// Evaluates Equations 1-5 for DAPPER-S (Section V-D).
+///
+/// * `t_reset_ns` — key refresh period.
+/// * `t_rc_ns` — row cycle time (48 ns).
+/// * `t_rrd_ns` — ACT-to-ACT spacing the attacker achieves (2.5 ns for
+///   DDR5-6400 tRRD_S).
+/// * `nm` — mitigation threshold (N_RH / 2).
+/// * `n_rg` — number of row groups in the randomized space (8K for the
+///   baseline's 2M rows / 256).
+///
+/// # Example
+///
+/// ```
+/// use analysis::equations::dapper_s_capture;
+///
+/// // Table II, first row: a 36 us reset period is captured in a couple of
+/// // iterations.
+/// let r = dapper_s_capture(36_000.0, 48.0, 2.5, 250, 8192);
+/// assert!(r.at_iter < 4.0);
+/// // 12 us leaves almost no probe time: hundreds of iterations.
+/// let r12 = dapper_s_capture(12_000.0, 48.0, 2.5, 250, 8192);
+/// assert!(r12.at_iter > 100.0);
+/// ```
+pub fn dapper_s_capture(
+    t_reset_ns: f64,
+    t_rc_ns: f64,
+    t_rrd_ns: f64,
+    nm: u32,
+    n_rg: u64,
+) -> DapperSCapture {
+    // Eq. 1: prime the target row to N_M - 1, then probe with what's left.
+    let t_left_ns = (t_reset_ns - t_rc_ns * (nm as f64 - 1.0)).max(0.0);
+    // Eq. 2.
+    let act_max = t_left_ns / t_rrd_ns;
+    // Eq. 3: each probe hits the target group with probability 1/N_RG.
+    let p = 1.0 / n_rg as f64;
+    let p_success = 1.0 - (1.0 - p).powf(act_max);
+    // Eq. 4 and Eq. 5.
+    let at_iter = if p_success > 0.0 { 1.0 / p_success } else { f64::INFINITY };
+    let at_time_ns = t_reset_ns * at_iter;
+    DapperSCapture { t_reset_ns, t_left_ns, act_max, p_success, at_iter, at_time_ns }
+}
+
+/// Result of the DAPPER-H Mapping-Capturing analysis (Section VI-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HSuccess {
+    /// Eq. 6: per-trial success probability.
+    pub p_trial: f64,
+    /// Trials an attacker fits into one tREFW.
+    pub trials: f64,
+    /// Eq. 7: probability of capturing a mapping within one tREFW.
+    pub p_window: f64,
+}
+
+/// Evaluates Equations 6-7 for DAPPER-H.
+///
+/// A trial primes the target row to N_M - 2 and probes with two random
+/// rows; it succeeds only if the probes cover *both* of the target's
+/// groups. The bit-vector limits the attacker to the single-bank activation
+/// budget (~616K per tREFW), and each trial costs a full N_M priming, so
+/// `trials = acts_per_bank_per_window / nm`.
+///
+/// # Example
+///
+/// ```
+/// use analysis::equations::dapper_h_success;
+///
+/// let r = dapper_h_success(8192, 250, 616_000.0);
+/// // Section VI-C: prevention with 99.99% probability per window.
+/// assert!(r.p_window < 1.9e-4);
+/// assert!(r.p_window > 0.2e-4);
+/// ```
+pub fn dapper_h_success(n_rg: u64, nm: u32, acts_per_bank_per_window: f64) -> HSuccess {
+    let n = n_rg as f64;
+    // Eq. 6: both groups must be hit by one of the two probe rows.
+    let hit_one_table = 1.0 - (1.0 - 1.0 / n) * (1.0 - 1.0 / n);
+    let p_trial = hit_one_table * hit_one_table;
+    let trials = acts_per_bank_per_window / nm as f64;
+    // Eq. 7.
+    let p_window = 1.0 - (1.0 - p_trial).powf(trials);
+    HSuccess { p_trial, trials, p_window }
+}
+
+/// Table II rows at the paper's three reset periods, with DDR5-6400 timing.
+pub fn table_two() -> Vec<DapperSCapture> {
+    [36_000.0, 24_000.0, 12_000.0]
+        .into_iter()
+        .map(|t| dapper_s_capture(t, 48.0, 2.5, 250, 8192))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorter_reset_periods_are_harder_to_capture() {
+        let rows = table_two();
+        assert!(rows[0].at_iter < rows[1].at_iter);
+        assert!(rows[1].at_iter < rows[2].at_iter);
+        // The cliff between 24 us and 12 us is orders of magnitude.
+        assert!(rows[2].at_iter / rows[1].at_iter > 50.0);
+    }
+
+    #[test]
+    fn twelve_us_still_captured_in_milliseconds() {
+        // The punchline of Table II: even an impractically short 12 us
+        // reset is broken in single-digit milliseconds.
+        let r = dapper_s_capture(12_000.0, 48.0, 2.5, 250, 8192);
+        assert!(r.at_time_ns < 10.0e6, "{} ns", r.at_time_ns);
+        assert!(r.at_time_ns > 1.0e6);
+    }
+
+    #[test]
+    fn priming_consumes_almost_the_whole_12us_period() {
+        let r = dapper_s_capture(12_000.0, 48.0, 2.5, 250, 8192);
+        assert!(r.t_left_ns < 100.0, "{}", r.t_left_ns);
+    }
+
+    #[test]
+    fn impossible_when_reset_shorter_than_priming() {
+        let r = dapper_s_capture(10_000.0, 48.0, 2.5, 250, 8192);
+        assert_eq!(r.t_left_ns, 0.0);
+        assert!(r.at_iter.is_infinite());
+    }
+
+    #[test]
+    fn h_per_trial_probability_matches_closed_form() {
+        let r = dapper_h_success(8192, 250, 616_000.0);
+        let n = 8192.0f64;
+        let expect = (2.0 / n - 1.0 / (n * n)).powi(2);
+        assert!((r.p_trial - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn h_gives_four_nines_prevention() {
+        let r = dapper_h_success(8192, 250, 616_000.0);
+        assert!((r.trials - 2464.0).abs() < 1.0);
+        // 99.99% prevention = at most ~0.015% success.
+        assert!(r.p_window < 2.0e-4, "{}", r.p_window);
+    }
+
+    #[test]
+    fn h_scales_with_group_count() {
+        let small = dapper_h_success(1024, 250, 616_000.0);
+        let large = dapper_h_success(16_384, 250, 616_000.0);
+        assert!(small.p_window > large.p_window * 50.0);
+    }
+}

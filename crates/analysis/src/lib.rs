@@ -1,0 +1,23 @@
+//! Security, storage, and energy analysis for the DAPPER reproduction.
+//!
+//! * [`equations`] — the paper's analytical security models: Equations 1-5
+//!   (DAPPER-S Mapping-Capturing attack, Table II) and Equations 6-7
+//!   (DAPPER-H attack success probability, Section VI-C).
+//! * [`oracle`] — a ground-truth RowHammer auditor: replays the memory
+//!   controller's event log and checks that no victim row ever accumulates
+//!   N_RH neighbour activations without an intervening refresh.
+//! * [`storage`] — Table III assembly from every tracker's
+//!   `storage_overhead()`.
+//! * [`montecarlo`] — Monte-Carlo validation of the analytical models
+//!   against the real DAPPER-H group mappings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equations;
+pub mod montecarlo;
+pub mod oracle;
+pub mod storage;
+
+pub use equations::{dapper_h_success, dapper_s_capture, DapperSCapture, HSuccess};
+pub use oracle::Oracle;

@@ -1,0 +1,126 @@
+//! Monte-Carlo validation of the analytical models against the real
+//! DAPPER-H group mappings.
+
+use dapper::{DapperConfig, DapperH};
+use sim_core::rng::Xoshiro256;
+
+/// Estimates the per-trial Mapping-Capturing success probability of
+/// DAPPER-H empirically: draw a target row and two probe rows per trial and
+/// test whether the probes cover both of the target's groups (the Eq. 6
+/// event), using the actual LLBC mappings.
+///
+/// Returns `(hits, trials)`. With the baseline's 8K groups the true rate is
+/// ~6e-8, so callers should use a reduced `group_size`/geometry or a large
+/// trial count.
+pub fn h_capture_trials(cfg: DapperConfig, trials: u64, seed: u64) -> (u64, u64) {
+    let tracker = DapperH::new(cfg);
+    let rows = cfg.geometry.rows_per_rank();
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut hits = 0;
+    for _ in 0..trials {
+        let target = rng.gen_range(rows);
+        let (tg1, tg2) = tracker.groups_of(0, target);
+        // Probing the target itself reveals nothing (it just re-primes the
+        // counters); the attacker draws probes from the other rows.
+        let mut draw = || loop {
+            let r = rng.gen_range(rows);
+            if r != target {
+                break r;
+            }
+        };
+        let p1 = draw();
+        let p2 = draw();
+        let (a1, a2) = tracker.groups_of(0, p1);
+        let (b1, b2) = tracker.groups_of(0, p2);
+        let table1_hit = a1 == tg1 || b1 == tg1;
+        let table2_hit = a2 == tg2 || b2 == tg2;
+        if table1_hit && table2_hit {
+            hits += 1;
+        }
+    }
+    (hits, trials)
+}
+
+/// Estimates the probability that a probe row shares a target's *single*
+/// group for DAPPER-S (the Eq. 3 event), using real LLBC mappings.
+pub fn s_capture_trials(cfg: DapperConfig, trials: u64, seed: u64) -> (u64, u64) {
+    let tracker = dapper::DapperS::new(cfg);
+    let rows = cfg.geometry.rows_per_rank();
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut hits = 0;
+    for _ in 0..trials {
+        let target = rng.gen_range(rows);
+        let probe = loop {
+            let r = rng.gen_range(rows);
+            if r != target {
+                break r;
+            }
+        };
+        if tracker.group_of(0, target) == tracker.group_of(0, probe) {
+            hits += 1;
+        }
+    }
+    (hits, trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations::{dapper_h_success, dapper_s_capture};
+    use sim_core::addr::Geometry;
+
+    /// A small geometry (64K rows per rank) keeps probabilities measurable.
+    fn small_cfg() -> DapperConfig {
+        let mut cfg = DapperConfig::baseline(500, 0, 99);
+        cfg.geometry = Geometry {
+            channels: 1,
+            ranks: 1,
+            bank_groups: 2,
+            banks_per_group: 2,
+            rows_per_bank: 16 * 1024,
+            row_bytes: 8192,
+        };
+        cfg
+    }
+
+    #[test]
+    fn s_hit_rate_matches_one_over_groups() {
+        let cfg = small_cfg(); // 64K rows / 256 = 256 groups
+        let (hits, trials) = s_capture_trials(cfg, 200_000, 1);
+        let rate = hits as f64 / trials as f64;
+        let expect = 1.0 / cfg.groups_per_rank() as f64;
+        assert!(
+            (rate - expect).abs() < expect * 0.2,
+            "rate {rate:.6} expect {expect:.6}"
+        );
+    }
+
+    #[test]
+    fn h_hit_rate_matches_equation_six() {
+        let cfg = small_cfg();
+        let n = cfg.groups_per_rank(); // 256
+        let (hits, trials) = h_capture_trials(cfg, 2_000_000, 2);
+        let rate = hits as f64 / trials as f64;
+        let nf = n as f64;
+        let expect = {
+            let one = 1.0 - (1.0 - 1.0 / nf) * (1.0 - 1.0 / nf);
+            one * one
+        };
+        assert!(
+            (rate - expect).abs() < expect * 0.25,
+            "rate {rate:.2e} expect {expect:.2e}"
+        );
+    }
+
+    #[test]
+    fn h_is_quadratically_harder_than_s() {
+        // The headline security claim in miniature: capturing both groups
+        // is ~the square of capturing one.
+        let cfg = small_cfg();
+        let n = cfg.groups_per_rank() as f64;
+        let s = dapper_s_capture(36_000.0, 48.0, 2.5, 250, cfg.groups_per_rank());
+        let h = dapper_h_success(cfg.groups_per_rank(), 250, 616_000.0);
+        assert!(h.p_trial < 8.0 / (n * n) && h.p_trial > 1.0 / (n * n));
+        assert!(s.p_success > h.p_trial);
+    }
+}

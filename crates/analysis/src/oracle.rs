@@ -1,0 +1,228 @@
+//! Ground-truth RowHammer auditor.
+//!
+//! The oracle ignores every tracker data structure and recomputes, from the
+//! raw command stream, the **disturbance** each victim row has accumulated:
+//! one unit per activation of a neighbour within the blast radius, cleared
+//! when the victim is refreshed (mitigation, reset sweep, or the periodic
+//! tREFW auto-refresh). A defense is sound iff no victim's disturbance ever
+//! reaches N_RH.
+
+use sim_core::addr::{DramAddr, Geometry};
+use sim_core::events::MemEvent;
+use sim_core::tracker::ResetScope;
+use std::collections::HashMap;
+
+/// Per-channel RowHammer disturbance auditor.
+#[derive(Debug)]
+pub struct Oracle {
+    nrh: u32,
+    blast_radius: u8,
+    geom: Geometry,
+    /// Disturbance per victim row, keyed by (rank, flat bank, row).
+    damage: HashMap<u64, u32>,
+    max_damage: u32,
+    violations: u64,
+    acts_seen: u64,
+}
+
+impl Oracle {
+    /// Creates an auditor for one channel.
+    pub fn new(nrh: u32, blast_radius: u8, geom: Geometry) -> Self {
+        Self {
+            nrh,
+            blast_radius,
+            geom,
+            damage: HashMap::new(),
+            max_damage: 0,
+            violations: 0,
+            acts_seen: 0,
+        }
+    }
+
+    fn key(&self, rank: u8, bank_flat: u32, row: u32) -> u64 {
+        ((rank as u64 * self.geom.banks_per_rank() as u64 + bank_flat as u64) << 32)
+            | row as u64
+    }
+
+    /// Feeds one controller event.
+    pub fn observe(&mut self, ev: &MemEvent) {
+        match ev {
+            MemEvent::Activate { addr, .. } => self.on_activate(addr),
+            MemEvent::VictimsRefreshed { aggressor, blast_radius, .. } => {
+                self.refresh_victims(aggressor, *blast_radius);
+            }
+            MemEvent::SweepRefreshed { scope, .. } => self.on_sweep(*scope),
+            MemEvent::RefreshWindowEnd { .. } => self.damage.clear(),
+        }
+    }
+
+    fn on_activate(&mut self, addr: &DramAddr) {
+        self.acts_seen += 1;
+        let bank = self.geom.bank_in_rank(addr);
+        let br = self.blast_radius as i64;
+        for d in 1..=br {
+            for v in [addr.row as i64 - d, addr.row as i64 + d] {
+                if v < 0 || v >= self.geom.rows_per_bank as i64 {
+                    continue;
+                }
+                let key = self.key(addr.rank, bank, v as u32);
+                let c = self.damage.entry(key).or_insert(0);
+                *c += 1;
+                if *c > self.max_damage {
+                    self.max_damage = *c;
+                }
+                if *c == self.nrh {
+                    self.violations += 1;
+                }
+            }
+        }
+    }
+
+    fn refresh_victims(&mut self, aggressor: &DramAddr, blast_radius: u8) {
+        let bank = self.geom.bank_in_rank(aggressor);
+        for d in 1..=blast_radius as i64 {
+            for v in [aggressor.row as i64 - d, aggressor.row as i64 + d] {
+                if v < 0 || v >= self.geom.rows_per_bank as i64 {
+                    continue;
+                }
+                let key = self.key(aggressor.rank, bank, v as u32);
+                self.damage.remove(&key);
+            }
+        }
+    }
+
+    fn on_sweep(&mut self, scope: ResetScope) {
+        match scope {
+            ResetScope::Channel { .. } => self.damage.clear(),
+            ResetScope::Rank { rank, .. } => {
+                self.damage.retain(|&k, _| {
+                    let bank_global = k >> 32;
+                    let r = bank_global / self.geom.banks_per_rank() as u64;
+                    r != rank as u64
+                });
+            }
+        }
+    }
+
+    /// Maximum disturbance any victim accumulated without a refresh.
+    pub fn max_damage(&self) -> u32 {
+        self.max_damage
+    }
+
+    /// Number of rows whose disturbance reached N_RH (0 for a sound
+    /// defense).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Activations audited.
+    pub fn activations(&self) -> u64 {
+        self.acts_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(bank_group: u8, bank: u8, row: u32) -> DramAddr {
+        DramAddr::new(0, 0, bank_group, bank, row, 0)
+    }
+
+    fn activate(o: &mut Oracle, a: DramAddr) {
+        o.observe(&MemEvent::Activate { addr: a, cycle: 0 });
+    }
+
+    #[test]
+    fn unmitigated_hammering_violates() {
+        let mut o = Oracle::new(100, 1, Geometry::paper_baseline());
+        for _ in 0..100 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        assert_eq!(o.violations(), 2, "both neighbours of row 500 flip");
+        assert_eq!(o.max_damage(), 100);
+    }
+
+    #[test]
+    fn mitigation_resets_victims() {
+        let mut o = Oracle::new(100, 1, Geometry::paper_baseline());
+        for _ in 0..99 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        o.observe(&MemEvent::VictimsRefreshed {
+            aggressor: addr(0, 0, 500),
+            blast_radius: 1,
+            cycle: 0,
+        });
+        for _ in 0..99 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        assert_eq!(o.violations(), 0);
+        assert_eq!(o.max_damage(), 99);
+    }
+
+    #[test]
+    fn double_sided_pressure_accumulates() {
+        let mut o = Oracle::new(100, 1, Geometry::paper_baseline());
+        // Rows 499 and 501 both disturb row 500.
+        for _ in 0..50 {
+            activate(&mut o, addr(0, 0, 499));
+            activate(&mut o, addr(0, 0, 501));
+        }
+        assert_eq!(o.max_damage(), 100);
+        assert_eq!(o.violations(), 1, "row 500 reaches N_RH");
+    }
+
+    #[test]
+    fn sweep_clears_scope_only() {
+        let g = Geometry::paper_baseline();
+        let mut o = Oracle::new(100, 1, g);
+        for _ in 0..60 {
+            activate(&mut o, addr(0, 0, 500)); // rank 0
+            o.observe(&MemEvent::Activate { addr: DramAddr::new(0, 1, 0, 0, 500, 0), cycle: 0 });
+        }
+        o.observe(&MemEvent::SweepRefreshed {
+            scope: ResetScope::Rank { channel: 0, rank: 0 },
+            cycle: 0,
+        });
+        for _ in 0..60 {
+            activate(&mut o, addr(0, 0, 500));
+            o.observe(&MemEvent::Activate { addr: DramAddr::new(0, 1, 0, 0, 500, 0), cycle: 0 });
+        }
+        // Rank 0 was cleared mid-way (60 + 60 < 2x100); rank 1 was not.
+        assert_eq!(o.violations(), 2, "only rank 1's two victims flip");
+    }
+
+    #[test]
+    fn window_end_clears_everything() {
+        let mut o = Oracle::new(100, 1, Geometry::paper_baseline());
+        for _ in 0..99 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        o.observe(&MemEvent::RefreshWindowEnd { cycle: 0 });
+        for _ in 0..99 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        assert_eq!(o.violations(), 0);
+    }
+
+    #[test]
+    fn blast_radius_two_reaches_further() {
+        let mut o = Oracle::new(1000, 2, Geometry::paper_baseline());
+        for _ in 0..10 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        // Rows 498, 499, 501, 502 each took 10 damage.
+        assert_eq!(o.max_damage(), 10);
+        assert_eq!(o.activations(), 10);
+    }
+
+    #[test]
+    fn edge_rows_do_not_wrap() {
+        let mut o = Oracle::new(10, 1, Geometry::paper_baseline());
+        for _ in 0..20 {
+            activate(&mut o, addr(0, 0, 0)); // row 0: only row 1 is a victim
+        }
+        assert_eq!(o.violations(), 1);
+    }
+}

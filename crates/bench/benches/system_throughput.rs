@@ -1,0 +1,43 @@
+//! Criterion benchmark of whole-system simulation throughput: bus cycles
+//! simulated per second of host time, benign and under attack.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("benign_100us_dapper_h", |b| {
+        b.iter(|| {
+            let mut sys = Experiment::new("gcc_like")
+                .tracker(TrackerChoice::DapperH)
+                .window_us(100.0)
+                .build_system(false);
+            black_box(sys.run().cycles)
+        });
+    });
+    group.bench_function("refresh_attack_100us_dapper_h", |b| {
+        b.iter(|| {
+            let mut sys = Experiment::new("gcc_like")
+                .tracker(TrackerChoice::DapperH)
+                .attack(AttackChoice::Specific(workloads::Attack::RefreshAttack))
+                .window_us(100.0)
+                .build_system(false);
+            black_box(sys.run().cycles)
+        });
+    });
+    group.bench_function("tailored_attack_100us_hydra", |b| {
+        b.iter(|| {
+            let mut sys = Experiment::new("gcc_like")
+                .tracker(TrackerChoice::Hydra)
+                .attack(AttackChoice::Tailored)
+                .window_us(100.0)
+                .build_system(false);
+            black_box(sys.run().cycles)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks: the per-activation hot path of every tracker
+//! (this is the logic that must finish within tRRD_S = 2.5 ns in hardware)
+//! plus the LLBC encrypt/decrypt primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dapper::{DapperConfig, DapperH, DapperS};
+use llbc::Llbc;
+use sim_core::addr::{DramAddr, Geometry};
+use sim_core::req::SourceId;
+use sim_core::rng::Xoshiro256;
+use sim_core::tracker::{Activation, RowHammerTracker};
+use trackers::{Abacus, BlockHammer, Comet, Hydra, Para, Prac, Pride, Start, TrackerParams};
+
+fn random_acts(n: usize, seed: u64) -> Vec<Activation> {
+    let geom = Geometry::paper_baseline();
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let idx = rng.gen_range(geom.rows_per_rank());
+            let rank = (rng.next_u64() & 1) as u8;
+            Activation {
+                addr: geom.addr_from_rank_row_index(0, rank, idx),
+                source: SourceId(0),
+                cycle: i as u64 * 8,
+            }
+        })
+        .collect()
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let acts = random_acts(4096, 99);
+    let mut group = c.benchmark_group("on_activation");
+    macro_rules! bench_tracker {
+        ($name:literal, $mk:expr) => {
+            group.bench_function($name, |b| {
+                let mut t = $mk;
+                let mut out = Vec::new();
+                let mut i = 0;
+                b.iter(|| {
+                    out.clear();
+                    t.on_activation(black_box(acts[i & 4095]), &mut out);
+                    i += 1;
+                    black_box(out.len())
+                });
+            });
+        };
+    }
+    let p = TrackerParams::baseline(500, 0, 7);
+    let d = DapperConfig::baseline(500, 0, 7);
+    bench_tracker!("dapper_s", DapperS::new(d));
+    bench_tracker!("dapper_h", DapperH::new(d));
+    bench_tracker!("hydra", Hydra::new(p));
+    bench_tracker!("start", Start::new(p));
+    bench_tracker!("comet", Comet::new(p));
+    bench_tracker!("abacus", Abacus::new(p));
+    bench_tracker!("blockhammer", BlockHammer::new(p));
+    bench_tracker!("para", Para::new(p));
+    bench_tracker!("pride", Pride::new(p));
+    bench_tracker!("prac", Prac::new(p));
+    group.finish();
+}
+
+fn bench_llbc(c: &mut Criterion) {
+    let cipher = Llbc::new(21, 42);
+    let mut group = c.benchmark_group("llbc");
+    group.bench_function("encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & 0x1F_FFFF;
+            black_box(cipher.encrypt(black_box(x)))
+        });
+    });
+    group.bench_function("decrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & 0x1F_FFFF;
+            black_box(cipher.decrypt(black_box(x)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trackers, bench_llbc);
+criterion_main!(benches);

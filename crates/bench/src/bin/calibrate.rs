@@ -1,0 +1,49 @@
+//! Quick calibration: prints normalized performance for the key
+//! tracker/attack combinations so model constants can be sanity-checked
+//! against the paper's headline numbers.
+
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use std::time::Instant;
+use workloads::Attack;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let window_us: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000.0);
+    let wl = args.get(2).map(|s| s.as_str()).unwrap_or("milc_like").to_string();
+    println!("workload={wl} window={window_us}us  (paper targets in parens)");
+
+    let base = |t: TrackerChoice| Experiment::new(&wl).tracker(t).window_us(window_us);
+
+    let cases: Vec<(&str, Experiment, &str)> = vec![
+        ("Hydra   benign        ", base(TrackerChoice::Hydra), "(~1.0)"),
+        ("Hydra   tailored      ", base(TrackerChoice::Hydra).attack(AttackChoice::Tailored), "(~0.39)"),
+        ("Hydra   cache-thrash  ", base(TrackerChoice::Hydra).attack(AttackChoice::CacheThrash), "(~0.6)"),
+        ("START   tailored      ", base(TrackerChoice::Start).attack(AttackChoice::Tailored), "(~0.35)"),
+        ("CoMeT   tailored      ", base(TrackerChoice::Comet).attack(AttackChoice::Tailored), "(~0.10)"),
+        ("ABACUS  tailored      ", base(TrackerChoice::Abacus).attack(AttackChoice::Tailored), "(~0.28)"),
+        ("DAPPER-S benign       ", base(TrackerChoice::DapperS), "(~1.0)"),
+        ("DAPPER-S streaming    ", base(TrackerChoice::DapperS).attack(AttackChoice::Specific(Attack::Streaming)).isolating(), "(~0.87)"),
+        ("DAPPER-S refresh      ", base(TrackerChoice::DapperS).attack(AttackChoice::Specific(Attack::RefreshAttack)).isolating(), "(~0.80)"),
+        ("DAPPER-H benign       ", base(TrackerChoice::DapperH), "(~0.999)"),
+        ("DAPPER-H streaming    ", base(TrackerChoice::DapperH).attack(AttackChoice::Specific(Attack::Streaming)).isolating(), "(~0.998)"),
+        ("DAPPER-H refresh      ", base(TrackerChoice::DapperH).attack(AttackChoice::Specific(Attack::RefreshAttack)).isolating(), "(~0.99)"),
+        ("BlockHammer benign    ", base(TrackerChoice::BlockHammer), "(~0.75)"),
+        ("PARA    benign        ", base(TrackerChoice::Para), "(~0.97)"),
+        ("PrIDE   benign        ", base(TrackerChoice::Pride), "(~0.93)"),
+        ("PRAC    benign        ", base(TrackerChoice::Prac), "(~0.93)"),
+    ];
+
+    for (name, e, target) in cases {
+        let t0 = Instant::now();
+        let r = e.run();
+        println!(
+            "{name} {:6.3} {target:8}  [{:4.1}s, acts={}, vrr={}, sweeps={}, ctr_rw={}]",
+            r.normalized_performance,
+            t0.elapsed().as_secs_f32(),
+            r.run.mem.activations,
+            r.run.mem.vrr_commands,
+            r.run.mem.reset_sweeps,
+            r.run.mem.counter_reads + r.run.mem.counter_writes,
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 3: per-workload normalized performance of the four scalable
+//! trackers under cache-thrashing and tailored Perf-Attacks (N_RH = 500).
+//! Two panels: memory-intensive workloads (>= 2 RBMPKI) and all workloads.
+
+use bench::{header, print_workload_table, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 3", "per-workload impact of Perf-Attacks", &opts);
+    let workload_set = opts.workloads();
+
+    let mut series: Vec<(String, Vec<_>)> = Vec::new();
+    let thrash: Vec<Experiment> = workload_set
+        .iter()
+        .map(|w| {
+            opts.apply(
+                Experiment::new(w.name)
+                    .tracker(TrackerChoice::None)
+                    .attack(AttackChoice::CacheThrash),
+            )
+        })
+        .collect();
+    series.push(("thrash".to_string(), run_all(thrash)));
+    for t in TrackerChoice::scalable_baselines() {
+        let jobs: Vec<Experiment> = workload_set
+            .iter()
+            .map(|w| {
+                opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored))
+            })
+            .collect();
+        series.push((t.name().to_string(), run_all(jobs)));
+    }
+    let labeled: Vec<(&str, _)> = series.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();
+
+    println!("--- panel A: workloads with >= 2 row-buffer misses per kilo-instruction ---");
+    print_workload_table(&labeled, &workload_set, true);
+    println!("\n--- panel B: all workloads ---");
+    print_workload_table(&labeled, &workload_set, false);
+}

@@ -1,0 +1,31 @@
+//! Figure 9: performance impact of the two mapping-agnostic attacks
+//! (streaming, refresh) on DAPPER-S, per suite (N_RH = 500).
+
+use bench::{header, print_suite_table, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use workloads::Attack;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 9", "mapping-agnostic attacks on DAPPER-S", &opts);
+    let workload_set = opts.workloads();
+
+    let mut series = Vec::new();
+    for (label, atk) in [("Streaming", Attack::Streaming), ("Refresh", Attack::RefreshAttack)] {
+        let jobs: Vec<Experiment> = workload_set
+            .iter()
+            .map(|w| {
+                opts.apply(
+                    Experiment::new(w.name)
+                        .tracker(TrackerChoice::DapperS)
+                        .attack(AttackChoice::Specific(atk))
+                        .isolating(),
+                )
+            })
+            .collect();
+        series.push((label, run_all(jobs)));
+    }
+    print_suite_table(&series, &workload_set);
+    println!("\n(figure reports overhead = 1 - normalized performance)");
+    println!("paper: streaming ~13% overhead, refresh ~20% overhead");
+}

@@ -1,0 +1,30 @@
+//! Figure 11: DAPPER-H on benign applications (N_RH = 500), per workload.
+
+use bench::{header, mean_norm, print_workload_table, run_all, BenchOpts};
+use sim::experiment::{Experiment, TrackerChoice};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 11", "DAPPER-H benign performance", &opts);
+    let workload_set = opts.workloads();
+
+    let jobs: Vec<Experiment> = workload_set
+        .iter()
+        .map(|w| opts.apply(Experiment::new(w.name).tracker(TrackerChoice::DapperH)))
+        .collect();
+    let results = run_all(jobs);
+    let series = [("DAPPER-H", results)];
+    println!("--- panel A: memory-intensive workloads ---");
+    print_workload_table(&series, &workload_set, true);
+    println!("\n--- panel B: all workloads ---");
+    print_workload_table(&series, &workload_set, false);
+    let refs: Vec<_> = series[0].1.iter().collect();
+    let worst = series[0]
+        .1
+        .iter()
+        .min_by(|a, b| a.normalized_performance.total_cmp(&b.normalized_performance))
+        .expect("nonempty");
+    println!("\nmean normalized = {:.4}", mean_norm(&refs));
+    println!("worst: {} at {:.4}", worst.workload, worst.normalized_performance);
+    println!("paper: 0.1% average slowdown; worst 4.4% (429.mcf)");
+}

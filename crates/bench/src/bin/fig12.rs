@@ -1,0 +1,39 @@
+//! Figure 12: DAPPER-H normalized performance vs N_RH (125..4000), benign
+//! and under the two mapping-agnostic attacks.
+
+use bench::{header, mean_norm, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use workloads::Attack;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 12", "DAPPER-H sensitivity to N_RH", &opts);
+    let workload_set = opts.workloads();
+
+    println!("{:<8} {:>10} {:>12} {:>12}", "N_RH", "benign", "streaming", "refresh");
+    for nrh in opts.nrh_sweep() {
+        let mut cols = Vec::new();
+        for attack in [
+            AttackChoice::None,
+            AttackChoice::Specific(Attack::Streaming),
+            AttackChoice::Specific(Attack::RefreshAttack),
+        ] {
+            let jobs: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(
+                        Experiment::new(w.name)
+                            .tracker(TrackerChoice::DapperH)
+                            .attack(attack)
+                            .isolating(),
+                    )
+                    .nrh(nrh)
+                })
+                .collect();
+            let r = run_all(jobs);
+            cols.push(mean_norm(&r.iter().collect::<Vec<_>>()));
+        }
+        println!("{:<8} {:>10.4} {:>12.4} {:>12.4}", nrh, cols[0], cols[1], cols[2]);
+    }
+    println!("\npaper: <1% at N_RH >= 500; up to 6% at N_RH = 125 under attack");
+}

@@ -1,0 +1,51 @@
+//! Figure 13: blast radius (BR1 vs BR2) and DRFMsb, benign and under the
+//! refresh attack, vs N_RH.
+
+use bench::{header, mean_norm, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim_core::config::MitigationKind;
+use workloads::Attack;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 13", "DAPPER-H: blast radius and DRFMsb", &opts);
+    let workload_set = opts.workloads();
+
+    let variants: [(&str, u8, MitigationKind); 3] = [
+        ("BR1", 1, MitigationKind::Vrr),
+        ("BR2", 2, MitigationKind::Vrr),
+        ("DRFMsb", 2, MitigationKind::DrfmSb),
+    ];
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "N_RH", "BR1", "BR2", "DRFMsb", "BR1-Refr", "BR2-Refr", "DRFMsb-Refr"
+    );
+    for nrh in opts.nrh_sweep() {
+        let mut cols = Vec::new();
+        for attack in [AttackChoice::None, AttackChoice::Specific(Attack::RefreshAttack)] {
+            for (_, br, kind) in variants {
+                let jobs: Vec<Experiment> = workload_set
+                    .iter()
+                    .map(|w| {
+                        opts.apply(
+                            Experiment::new(w.name)
+                                .tracker(TrackerChoice::DapperH)
+                                .attack(attack)
+                                .blast_radius(br)
+                                .mitigation(kind)
+                                .isolating(),
+                        )
+                        .nrh(nrh)
+                    })
+                    .collect();
+                let r = run_all(jobs);
+                cols.push(mean_norm(&r.iter().collect::<Vec<_>>()));
+            }
+        }
+        println!(
+            "{:<8} {:>10.4} {:>10.4} {:>10.4} {:>12.4} {:>12.4} {:>12.4}",
+            nrh, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5]
+        );
+    }
+    println!("\npaper @N_RH=500 under refresh attack: BR1 ~1%, BR2 ~2%, DRFMsb ~8%");
+}

@@ -1,0 +1,34 @@
+//! Figure 14: BlockHammer vs DAPPER-H (and DAPPER-H-DRFMsb) on benign
+//! applications as N_RH varies.
+
+use bench::{header, mean_norm, run_all, BenchOpts};
+use sim::experiment::{Experiment, TrackerChoice};
+use sim_core::config::MitigationKind;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 14", "BlockHammer comparison (benign)", &opts);
+    let workload_set = opts.workloads();
+
+    println!("{:<8} {:>14} {:>10} {:>16}", "N_RH", "BlockHammer", "DAPPER-H", "DAPPER-H-DRFMsb");
+    for nrh in opts.nrh_sweep() {
+        let mk = |t: TrackerChoice, kind: MitigationKind| -> f64 {
+            let jobs: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh)
+                })
+                .collect();
+            let r = run_all(jobs);
+            mean_norm(&r.iter().collect::<Vec<_>>())
+        };
+        println!(
+            "{:<8} {:>14.3} {:>10.4} {:>16.4}",
+            nrh,
+            mk(TrackerChoice::BlockHammer, MitigationKind::Vrr),
+            mk(TrackerChoice::DapperH, MitigationKind::Vrr),
+            mk(TrackerChoice::DapperH, MitigationKind::DrfmSb),
+        );
+    }
+    println!("\npaper: BlockHammer 25% @500, 46.4% @250, 66% @125; DAPPER-H <1% @500");
+}

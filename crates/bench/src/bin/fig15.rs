@@ -1,0 +1,41 @@
+//! Figure 15: PARA and PrIDE vs DAPPER-H on benign applications as N_RH
+//! varies, with per-bank (VRR) and same-bank (DRFMsb / RFMsb) mitigations.
+
+use bench::{header, mean_norm, run_all, BenchOpts};
+use sim::experiment::{Experiment, TrackerChoice};
+use sim_core::config::MitigationKind;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 15", "probabilistic mitigations, benign", &opts);
+    let workload_set = opts.workloads();
+
+    let variants: [(&str, TrackerChoice, MitigationKind); 6] = [
+        ("PARA", TrackerChoice::Para, MitigationKind::Vrr),
+        ("PARA-DRFMsb", TrackerChoice::Para, MitigationKind::DrfmSb),
+        ("PrIDE", TrackerChoice::Pride, MitigationKind::Vrr),
+        ("PrIDE-RFMsb", TrackerChoice::Pride, MitigationKind::RfmSb),
+        ("DAPPER-H", TrackerChoice::DapperH, MitigationKind::Vrr),
+        ("DAPPER-H-DRFMsb", TrackerChoice::DapperH, MitigationKind::DrfmSb),
+    ];
+    print!("{:<8}", "N_RH");
+    for (name, _, _) in &variants {
+        print!(" {name:>16}");
+    }
+    println!();
+    for nrh in opts.nrh_sweep() {
+        print!("{nrh:<8}");
+        for (_, t, kind) in variants {
+            let jobs: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh)
+                })
+                .collect();
+            let r = run_all(jobs);
+            print!(" {:>16.4}", mean_norm(&r.iter().collect::<Vec<_>>()));
+        }
+        println!();
+    }
+    println!("\npaper @500: PARA 3%, PrIDE 7%, PARA-DRFMsb 18.4%, PrIDE-RFMsb 11.5%, DAPPER-H <0.3%");
+}

@@ -1,0 +1,50 @@
+//! Figure 16: PARA and PrIDE vs DAPPER-H under Perf-Attacks as N_RH varies.
+//! The adversary runs the refresh attack (the strongest mapping-agnostic
+//! pattern for all three defenses).
+
+use bench::{header, mean_norm, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim_core::config::MitigationKind;
+use workloads::Attack;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 16", "probabilistic mitigations under Perf-Attacks", &opts);
+    let workload_set = opts.workloads();
+
+    let variants: [(&str, TrackerChoice, MitigationKind); 6] = [
+        ("PARA", TrackerChoice::Para, MitigationKind::Vrr),
+        ("PARA-DRFMsb", TrackerChoice::Para, MitigationKind::DrfmSb),
+        ("PrIDE", TrackerChoice::Pride, MitigationKind::Vrr),
+        ("PrIDE-RFMsb", TrackerChoice::Pride, MitigationKind::RfmSb),
+        ("DAPPER-H", TrackerChoice::DapperH, MitigationKind::Vrr),
+        ("DAPPER-H-DRFMsb", TrackerChoice::DapperH, MitigationKind::DrfmSb),
+    ];
+    print!("{:<8}", "N_RH");
+    for (name, _, _) in &variants {
+        print!(" {name:>16}");
+    }
+    println!();
+    for nrh in opts.nrh_sweep() {
+        print!("{nrh:<8}");
+        for (_, t, kind) in variants {
+            let jobs: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(
+                        Experiment::new(w.name)
+                            .tracker(t)
+                            .mitigation(kind)
+                            .attack(AttackChoice::Specific(Attack::RefreshAttack))
+                            .isolating(),
+                    )
+                    .nrh(nrh)
+                })
+                .collect();
+            let r = run_all(jobs);
+            print!(" {:>16.4}", mean_norm(&r.iter().collect::<Vec<_>>()));
+        }
+        println!();
+    }
+    println!("\npaper @125: DAPPER-H 6%, PARA 14.6%, PrIDE 22.8%");
+}

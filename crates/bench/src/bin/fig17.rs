@@ -1,0 +1,48 @@
+//! Figure 17: PRAC vs DAPPER-H, benign and under Perf-Attacks, vs N_RH.
+
+use bench::{header, mean_norm, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim_core::config::MitigationKind;
+use workloads::Attack;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Fig. 17", "PRAC comparison", &opts);
+    let workload_set = opts.workloads();
+
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>16} {:>14} {:>18}",
+        "N_RH", "PRAC", "PRAC-Perf", "DAPPER-H", "DAPPER-H-DRFMsb", "DAPPER-H-Refr", "DAPPER-H-DRFM-Refr"
+    );
+    for nrh in opts.nrh_sweep() {
+        let mk = |t: TrackerChoice, kind: MitigationKind, attack: AttackChoice| -> f64 {
+            let jobs: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(
+                        Experiment::new(w.name)
+                            .tracker(t)
+                            .mitigation(kind)
+                            .attack(attack)
+                            .isolating(),
+                    )
+                    .nrh(nrh)
+                })
+                .collect();
+            let r = run_all(jobs);
+            mean_norm(&r.iter().collect::<Vec<_>>())
+        };
+        let refresh = AttackChoice::Specific(Attack::RefreshAttack);
+        println!(
+            "{:<8} {:>8.4} {:>10.4} {:>10.4} {:>16.4} {:>14.4} {:>18.4}",
+            nrh,
+            mk(TrackerChoice::Prac, MitigationKind::Vrr, AttackChoice::None),
+            mk(TrackerChoice::Prac, MitigationKind::Vrr, refresh),
+            mk(TrackerChoice::DapperH, MitigationKind::Vrr, AttackChoice::None),
+            mk(TrackerChoice::DapperH, MitigationKind::DrfmSb, AttackChoice::None),
+            mk(TrackerChoice::DapperH, MitigationKind::Vrr, refresh),
+            mk(TrackerChoice::DapperH, MitigationKind::DrfmSb, refresh),
+        );
+    }
+    println!("\npaper: PRAC ~7% benign at every N_RH (up to 20%); DAPPER-H <4% benign");
+}

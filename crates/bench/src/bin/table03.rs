@@ -1,0 +1,19 @@
+//! Table III: storage overhead per 32 GB DDR5 channel.
+
+use analysis::storage::storage_table;
+
+fn main() {
+    println!("==== Table III: storage overhead per 32 GB DDR5 memory ====\n");
+    println!("{:<14} {:>10} {:>10} {:>18}", "tracker", "SRAM (KB)", "CAM (KB)", "die area (mm^2)");
+    for row in storage_table(500) {
+        let marker = if row.in_paper_table { "" } else { " (not in paper table)" };
+        println!(
+            "{:<14} {:>10.1} {:>10.1} {:>18.3}{marker}",
+            row.name,
+            row.overhead.sram_kb(),
+            row.overhead.cam_kb(),
+            row.overhead.die_area_mm2(),
+        );
+    }
+    println!("\npaper: Hydra 56.5 | CoMeT 112+23 | START 4 | ABACUS 19.3+7.5 | DAPPER-H 96");
+}

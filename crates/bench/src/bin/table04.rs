@@ -1,0 +1,60 @@
+//! Table IV: DRAM energy overhead of DAPPER-H vs N_RH, benign and under the
+//! streaming / refresh attacks.
+//!
+//! Overhead is measured against the insecure baseline running the *same*
+//! workload mix (attack runs compare against the same mix with the tracker
+//! disabled, isolating the tracker's mitigation energy, as DRAMPower does
+//! in the paper).
+
+use bench::{header, run_all, BenchOpts};
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use workloads::Attack;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    header("Table IV", "energy overhead of DAPPER-H", &opts);
+    let workload_set = opts.workloads();
+
+    println!("{:<8} {:>10} {:>12} {:>12}", "N_RH", "benign", "streaming", "refresh");
+    for nrh in opts.nrh_sweep() {
+        let mut cols = Vec::new();
+        for attack in [
+            AttackChoice::None,
+            AttackChoice::Specific(Attack::Streaming),
+            AttackChoice::Specific(Attack::RefreshAttack),
+        ] {
+            // With tracker.
+            let with: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(
+                        Experiment::new(w.name).tracker(TrackerChoice::DapperH).attack(attack),
+                    )
+                    .nrh(nrh)
+                })
+                .collect();
+            // Without tracker, same mix (including the attacker).
+            let without: Vec<Experiment> = workload_set
+                .iter()
+                .map(|w| {
+                    opts.apply(
+                        Experiment::new(w.name).tracker(TrackerChoice::None).attack(
+                            match attack {
+                                AttackChoice::None => AttackChoice::None,
+                                a => a,
+                            },
+                        ),
+                    )
+                    .nrh(nrh)
+                })
+                .collect();
+            let rw = run_all(with);
+            let ro = run_all(without);
+            let e_with: f64 = rw.iter().map(|r| r.run.energy_mj).sum();
+            let e_without: f64 = ro.iter().map(|r| r.run.energy_mj).sum();
+            cols.push(100.0 * (e_with - e_without) / e_without);
+        }
+        println!("{:<8} {:>9.1}% {:>11.1}% {:>11.1}%", nrh, cols[0], cols[1], cols[2]);
+    }
+    println!("\npaper @500: benign 0.1%, streaming 0.2%, refresh 1.1%; @125: 4.5/7.0/7.5%");
+}

@@ -1,0 +1,174 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--window-us <f64>` — simulation window per run (default 4000 µs),
+//! * `--full` — all 57 workloads instead of the 9-workload quick subset,
+//! * `--seed <u64>` — RNG seed,
+//! * `--nrh <u32>` — RowHammer threshold where applicable (default 500).
+//!
+//! Output is plain text: one table per figure with the same rows/series the
+//! paper reports, ready to diff against EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim::experiment::{Experiment, ExperimentResult};
+use sim::runner::run_parallel;
+use workloads::catalog::{catalog, quick_subset, WorkloadSpec};
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Simulation window per run, microseconds.
+    pub window_us: f64,
+    /// Run all 57 workloads.
+    pub full: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Default RowHammer threshold.
+    pub nrh: u32,
+    /// Number of N_RH sweep points (6 = the paper's full sweep; 3 keeps
+    /// the endpoints and the default threshold for quick runs).
+    pub sweep_points: usize,
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<String> {
+            args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        };
+        Self {
+            window_us: get("--window-us").and_then(|v| v.parse().ok()).unwrap_or(4000.0),
+            full: args.iter().any(|a| a == "--full"),
+            seed: get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xDA99E5),
+            nrh: get("--nrh").and_then(|v| v.parse().ok()).unwrap_or(500),
+            sweep_points: get("--sweep-points").and_then(|v| v.parse().ok()).unwrap_or(6),
+        }
+    }
+
+    /// The N_RH values swept by the sensitivity figures.
+    pub fn nrh_sweep(&self) -> Vec<u32> {
+        if self.sweep_points >= 6 {
+            vec![125, 250, 500, 1000, 2000, 4000]
+        } else {
+            vec![125, 500, 2000]
+        }
+    }
+
+    /// The workload set implied by `--full`.
+    pub fn workloads(&self) -> Vec<&'static WorkloadSpec> {
+        if self.full {
+            catalog().iter().collect()
+        } else {
+            quick_subset()
+        }
+    }
+
+    /// Applies the shared options to an experiment.
+    pub fn apply(&self, e: Experiment) -> Experiment {
+        e.window_us(self.window_us).seed(self.seed).nrh(self.nrh)
+    }
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self { window_us: 4000.0, full: false, seed: 0xDA99E5, nrh: 500, sweep_points: 6 }
+    }
+}
+
+/// Prints the standard harness header.
+pub fn header(id: &str, title: &str, opts: &BenchOpts) {
+    println!("==== {id}: {title} ====");
+    println!(
+        "window: {} us | workloads: {} | N_RH: {} | seed: {:#x}",
+        opts.window_us,
+        if opts.full { "all 57" } else { "quick subset (9)" },
+        opts.nrh,
+        opts.seed
+    );
+    println!();
+}
+
+/// Runs a batch in parallel and returns the results.
+pub fn run_all(jobs: Vec<Experiment>) -> Vec<ExperimentResult> {
+    run_parallel(jobs)
+}
+
+/// Mean normalized performance of a result slice.
+pub fn mean_norm(results: &[&ExperimentResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.normalized_performance).sum::<f64>() / results.len() as f64
+}
+
+/// Groups results by suite and prints one row per suite plus "All",
+/// with one column per (label) series.
+pub fn print_suite_table(
+    series: &[(&str, Vec<ExperimentResult>)],
+    workload_set: &[&'static WorkloadSpec],
+) {
+    print!("{:<14}", "suite");
+    for (label, _) in series {
+        print!(" {label:>16}");
+    }
+    println!();
+    let suites: Vec<workloads::Suite> = {
+        let mut seen = Vec::new();
+        for w in workload_set {
+            if !seen.contains(&w.suite) {
+                seen.push(w.suite);
+            }
+        }
+        seen
+    };
+    for suite in &suites {
+        let names: Vec<&str> = workload_set
+            .iter()
+            .filter(|w| w.suite == *suite)
+            .map(|w| w.name)
+            .collect();
+        print!("{:<14}", suite.to_string());
+        for (_, results) in series {
+            let vals: Vec<&ExperimentResult> =
+                results.iter().filter(|r| names.contains(&r.workload.as_str())).collect();
+            print!(" {:>16.3}", mean_norm(&vals));
+        }
+        println!();
+    }
+    print!("{:<14}", "All");
+    for (_, results) in series {
+        let all: Vec<&ExperimentResult> = results.iter().collect();
+        print!(" {:>16.3}", mean_norm(&all));
+    }
+    println!();
+}
+
+/// Prints one row per workload, one column per series.
+pub fn print_workload_table(
+    series: &[(&str, Vec<ExperimentResult>)],
+    workload_set: &[&'static WorkloadSpec],
+    intensive_only: bool,
+) {
+    print!("{:<22}", "workload");
+    for (label, _) in series {
+        print!(" {label:>14}");
+    }
+    println!();
+    for w in workload_set {
+        if intensive_only && !w.memory_intensive() {
+            continue;
+        }
+        print!("{:<22}", w.name);
+        for (_, results) in series {
+            match results.iter().find(|r| r.workload == w.name) {
+                Some(r) => print!(" {:>14.3}", r.normalized_performance),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,108 @@
+//! The Row Group Counter table.
+
+/// A table of saturating group counters (one per row group of a rank).
+///
+/// Counters saturate at the hardware width implied by the configuration
+/// (255 for 1-byte entries at N_M <= 255) rather than wrapping, matching
+/// the paper's 1-byte RGC entries.
+#[derive(Debug, Clone)]
+pub struct RgcTable {
+    counts: Vec<u32>,
+    saturate: u32,
+}
+
+impl RgcTable {
+    /// Creates a zeroed table of `groups` counters saturating at `saturate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero.
+    pub fn new(groups: u64, saturate: u32) -> Self {
+        assert!(groups > 0, "table must have at least one group");
+        Self { counts: vec![0; groups as usize], saturate }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if the table has no groups (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Current count of `group`.
+    #[inline]
+    pub fn get(&self, group: u64) -> u32 {
+        self.counts[group as usize]
+    }
+
+    /// Saturating increment; returns the new value.
+    #[inline]
+    pub fn increment(&mut self, group: u64) -> u32 {
+        let c = &mut self.counts[group as usize];
+        if *c < self.saturate {
+            *c += 1;
+        }
+        *c
+    }
+
+    /// Sets `group` to `value` (clamped to the saturation limit).
+    #[inline]
+    pub fn set(&mut self, group: u64, value: u32) {
+        self.counts[group as usize] = value.min(self.saturate);
+    }
+
+    /// Zeroes every counter.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+
+    /// The saturation limit.
+    pub fn saturation(&self) -> u32 {
+        self.saturate
+    }
+
+    /// Maximum count currently in the table (introspection).
+    pub fn max(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_saturate() {
+        let mut t = RgcTable::new(4, 3);
+        assert_eq!(t.increment(1), 1);
+        assert_eq!(t.increment(1), 2);
+        assert_eq!(t.increment(1), 3);
+        assert_eq!(t.increment(1), 3, "saturated");
+        assert_eq!(t.get(0), 0);
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut t = RgcTable::new(2, 255);
+        t.set(0, 1000);
+        assert_eq!(t.get(0), 255);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut t = RgcTable::new(2, 255);
+        t.increment(0);
+        t.increment(1);
+        t.clear();
+        assert_eq!(t.max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_rejected() {
+        let _ = RgcTable::new(0, 255);
+    }
+}

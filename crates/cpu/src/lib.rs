@@ -1,0 +1,456 @@
+//! Trace-driven out-of-order core model.
+//!
+//! This reproduces the abstraction Ramulator's OoO frontend uses (and which
+//! the paper's evaluation relies on, Section IV): each core retires up to
+//! `width` instructions per core cycle from a `rob_entries`-deep instruction
+//! window. Non-memory instructions complete in one cycle; memory
+//! instructions are sent to a [`MemoryPort`] and occupy their window slot
+//! until the port reports completion, so a full window stalls the core on
+//! the oldest outstanding miss. Stores retire without waiting (write
+//! buffering).
+//!
+//! Cores run at 4 GHz while the rest of the system runs on the 3.2 GHz
+//! memory-bus clock; [`ClockRatio`] converts between the domains (5 core
+//! cycles per 4 bus cycles).
+//!
+//! # Example
+//!
+//! ```
+//! use cpu::{Core, MemoryPort, PortResponse, TraceEntry, TraceSource};
+//! use sim_core::{AccessKind, PhysAddr, SourceId};
+//!
+//! struct FlatMemory;
+//! impl MemoryPort for FlatMemory {
+//!     fn access(&mut self, _s: SourceId, _a: PhysAddr, _k: AccessKind) -> PortResponse {
+//!         PortResponse::Done { latency: 10 }
+//!     }
+//! }
+//!
+//! struct Stream;
+//! impl TraceSource for Stream {
+//!     fn next_entry(&mut self) -> TraceEntry {
+//!         TraceEntry { bubbles: 3, addr: PhysAddr(0x1000), is_write: false }
+//!     }
+//! }
+//!
+//! let mut core = Core::new(SourceId(0), 4, 128, Box::new(Stream));
+//! let mut mem = FlatMemory;
+//! for _ in 0..100 {
+//!     core.cycle(&mut mem);
+//! }
+//! assert!(core.retired() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+
+use sim_core::addr::PhysAddr;
+use sim_core::req::{AccessKind, SourceId};
+
+/// One trace record: `bubbles` non-memory instructions followed by one
+/// memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Non-memory instructions preceding the access.
+    pub bubbles: u32,
+    /// Physical address of the access.
+    pub addr: PhysAddr,
+    /// True for stores.
+    pub is_write: bool,
+}
+
+/// An endless instruction stream feeding one core.
+pub trait TraceSource {
+    /// Produces the next record. Sources are infinite; runs are bounded by
+    /// time or instruction count, never by trace exhaustion.
+    fn next_entry(&mut self) -> TraceEntry;
+}
+
+/// Response of the memory hierarchy to a core access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortResponse {
+    /// Completed synchronously (cache hit / buffered store); the slot is
+    /// ready after `latency` core cycles.
+    Done {
+        /// Completion latency in core cycles.
+        latency: u32,
+    },
+    /// Outstanding (LLC miss sent to DRAM); completion arrives later via
+    /// [`Core::complete`] using this id.
+    Pending {
+        /// Request id to be echoed on completion.
+        req_id: u64,
+    },
+    /// The hierarchy cannot accept the request this cycle; retry.
+    Busy,
+}
+
+/// The memory hierarchy as seen by a core.
+pub trait MemoryPort {
+    /// Issues an access on behalf of `source`.
+    fn access(&mut self, source: SourceId, addr: PhysAddr, kind: AccessKind) -> PortResponse;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    DoneAt(u64),
+    Pending,
+}
+
+/// A single trace-driven core.
+pub struct Core {
+    id: SourceId,
+    width: u32,
+    rob: usize,
+    window: VecDeque<Slot>,
+    head_seq: u64,
+    next_seq: u64,
+    pending: HashMap<u64, u64>,
+    trace: Box<dyn TraceSource>,
+    bubbles_left: u32,
+    staged_access: Option<(PhysAddr, bool)>,
+    cycle: u64,
+    retired: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    stall_cycles: u64,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("cycle", &self.cycle)
+            .field("retired", &self.retired)
+            .field("window", &self.window.len())
+            .field("outstanding", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Creates a core with the given retire width and window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `rob_entries` is zero.
+    pub fn new(id: SourceId, width: u32, rob_entries: usize, trace: Box<dyn TraceSource>) -> Self {
+        assert!(width > 0, "retire width must be positive");
+        assert!(rob_entries > 0, "window must hold at least one instruction");
+        Self {
+            id,
+            width,
+            rob: rob_entries,
+            window: VecDeque::with_capacity(rob_entries),
+            head_seq: 0,
+            next_seq: 0,
+            pending: HashMap::new(),
+            trace,
+            bubbles_left: 0,
+            staged_access: None,
+            cycle: 0,
+            retired: 0,
+            mem_reads: 0,
+            mem_writes: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// The core's source id.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Core cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instructions per core cycle so far (0.0 before the first cycle).
+    pub fn ipc(&self) -> f64 {
+        if self.cycle == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycle as f64
+        }
+    }
+
+    /// (reads, writes) issued to the memory hierarchy.
+    pub fn mem_accesses(&self) -> (u64, u64) {
+        (self.mem_reads, self.mem_writes)
+    }
+
+    /// Cycles in which nothing retired.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Advances the core by one **core** cycle.
+    pub fn cycle(&mut self, port: &mut dyn MemoryPort) {
+        // Retire from the head.
+        let mut retired_now = 0;
+        while retired_now < self.width {
+            match self.window.front() {
+                Some(Slot::DoneAt(t)) if *t <= self.cycle => {
+                    self.window.pop_front();
+                    self.head_seq += 1;
+                    self.retired += 1;
+                    retired_now += 1;
+                }
+                _ => break,
+            }
+        }
+        if retired_now == 0 && !self.window.is_empty() {
+            self.stall_cycles += 1;
+        }
+
+        // Dispatch into the window.
+        let mut dispatched = 0;
+        while dispatched < self.width && self.window.len() < self.rob {
+            if self.bubbles_left > 0 {
+                self.bubbles_left -= 1;
+                self.window.push_back(Slot::DoneAt(self.cycle + 1));
+                self.next_seq += 1;
+                dispatched += 1;
+                continue;
+            }
+            let (addr, is_write) = match self.staged_access.take() {
+                Some(acc) => acc,
+                None => {
+                    let e = self.trace.next_entry();
+                    if e.bubbles > 0 {
+                        self.bubbles_left = e.bubbles;
+                        self.staged_access = Some((e.addr, e.is_write));
+                        continue;
+                    }
+                    (e.addr, e.is_write)
+                }
+            };
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            match port.access(self.id, addr, kind) {
+                PortResponse::Busy => {
+                    // Hierarchy full: park the access and stop dispatching.
+                    self.staged_access = Some((addr, is_write));
+                    break;
+                }
+                PortResponse::Done { latency } => {
+                    if is_write {
+                        self.mem_writes += 1;
+                    } else {
+                        self.mem_reads += 1;
+                    }
+                    self.window.push_back(Slot::DoneAt(self.cycle + latency as u64));
+                    self.next_seq += 1;
+                    dispatched += 1;
+                }
+                PortResponse::Pending { req_id } => {
+                    if is_write {
+                        self.mem_writes += 1;
+                    } else {
+                        self.mem_reads += 1;
+                    }
+                    self.pending.insert(req_id, self.next_seq);
+                    self.window.push_back(Slot::Pending);
+                    self.next_seq += 1;
+                    dispatched += 1;
+                }
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Marks an outstanding request complete. Unknown ids are ignored
+    /// (writes may complete after their slot retired in other models; ours
+    /// only reports reads, so unknown ids indicate a harness bug in debug
+    /// builds).
+    pub fn complete(&mut self, req_id: u64) {
+        if let Some(seq) = self.pending.remove(&req_id) {
+            let idx = (seq - self.head_seq) as usize;
+            debug_assert!(idx < self.window.len(), "completion for retired slot");
+            if let Some(slot) = self.window.get_mut(idx) {
+                debug_assert_eq!(*slot, Slot::Pending);
+                *slot = Slot::DoneAt(self.cycle);
+            }
+        } else {
+            debug_assert!(false, "completion for unknown request {req_id}");
+        }
+    }
+
+    /// Number of window slots still waiting on memory.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Converts bus cycles (3.2 GHz) into core cycles (4 GHz): five core cycles
+/// per four bus cycles.
+///
+/// # Example
+///
+/// ```
+/// use cpu::ClockRatio;
+///
+/// let mut r = ClockRatio::core_over_bus();
+/// let total: u32 = (0..4).map(|_| r.core_cycles_for_bus_cycle()).sum();
+/// assert_eq!(total, 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClockRatio {
+    acc: u32,
+}
+
+impl ClockRatio {
+    /// The 4 GHz-over-3.2 GHz ratio used by the baseline system.
+    pub fn core_over_bus() -> Self {
+        Self { acc: 0 }
+    }
+
+    /// Core cycles to run for the next bus cycle (1 or 2; averages 1.25).
+    pub fn core_cycles_for_bus_cycle(&mut self) -> u32 {
+        self.acc += 5;
+        let n = self.acc / 4;
+        self.acc %= 4;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedLatency(u32);
+    impl MemoryPort for FixedLatency {
+        fn access(&mut self, _s: SourceId, _a: PhysAddr, _k: AccessKind) -> PortResponse {
+            PortResponse::Done { latency: self.0 }
+        }
+    }
+
+    struct NeverReady;
+    impl MemoryPort for NeverReady {
+        fn access(&mut self, _s: SourceId, _a: PhysAddr, _k: AccessKind) -> PortResponse {
+            PortResponse::Busy
+        }
+    }
+
+    struct PendingPort {
+        next_id: u64,
+        issued: Vec<u64>,
+    }
+    impl MemoryPort for PendingPort {
+        fn access(&mut self, _s: SourceId, _a: PhysAddr, _k: AccessKind) -> PortResponse {
+            self.next_id += 1;
+            self.issued.push(self.next_id);
+            PortResponse::Pending { req_id: self.next_id }
+        }
+    }
+
+    struct Bubbles(u32);
+    impl TraceSource for Bubbles {
+        fn next_entry(&mut self) -> TraceEntry {
+            TraceEntry { bubbles: self.0, addr: PhysAddr(64), is_write: false }
+        }
+    }
+
+    #[test]
+    fn ideal_ipc_approaches_width() {
+        // With huge bubble counts and 1-cycle memory, IPC ~ width.
+        let mut core = Core::new(SourceId(0), 4, 128, Box::new(Bubbles(1000)));
+        let mut mem = FixedLatency(1);
+        for _ in 0..1000 {
+            core.cycle(&mut mem);
+        }
+        let ipc = core.ipc();
+        assert!(ipc > 3.5, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn memory_latency_throttles_ipc() {
+        let mut fast = Core::new(SourceId(0), 4, 8, Box::new(Bubbles(0)));
+        let mut slow = Core::new(SourceId(0), 4, 8, Box::new(Bubbles(0)));
+        let mut m_fast = FixedLatency(1);
+        let mut m_slow = FixedLatency(100);
+        for _ in 0..2000 {
+            fast.cycle(&mut m_fast);
+            slow.cycle(&mut m_slow);
+        }
+        assert!(slow.ipc() < fast.ipc() / 4.0, "{} vs {}", slow.ipc(), fast.ipc());
+    }
+
+    #[test]
+    fn busy_port_stalls_dispatch_entirely() {
+        let mut core = Core::new(SourceId(0), 4, 16, Box::new(Bubbles(0)));
+        let mut mem = NeverReady;
+        for _ in 0..100 {
+            core.cycle(&mut mem);
+        }
+        assert_eq!(core.retired(), 0);
+        let (r, w) = core.mem_accesses();
+        assert_eq!(r + w, 0);
+    }
+
+    #[test]
+    fn window_bounds_outstanding_misses() {
+        let mut core = Core::new(SourceId(0), 4, 16, Box::new(Bubbles(0)));
+        let mut mem = PendingPort { next_id: 0, issued: vec![] };
+        for _ in 0..100 {
+            core.cycle(&mut mem);
+        }
+        assert!(core.outstanding() <= 16);
+        assert_eq!(core.outstanding(), 16, "window should fill with misses");
+        assert_eq!(core.retired(), 0);
+    }
+
+    #[test]
+    fn completion_unblocks_retire_in_order() {
+        let mut core = Core::new(SourceId(0), 1, 4, Box::new(Bubbles(0)));
+        let mut mem = PendingPort { next_id: 0, issued: vec![] };
+        for _ in 0..10 {
+            core.cycle(&mut mem);
+        }
+        assert_eq!(core.retired(), 0);
+        let first = mem.issued[0];
+        let second = mem.issued[1];
+        // Complete out of order: second first.
+        core.complete(second);
+        core.cycle(&mut mem);
+        assert_eq!(core.retired(), 0, "head still pending; retire is in-order");
+        core.complete(first);
+        core.cycle(&mut mem);
+        core.cycle(&mut mem);
+        assert!(core.retired() >= 2, "both slots retire once head completes");
+    }
+
+    #[test]
+    fn stores_count_separately() {
+        struct Stores;
+        impl TraceSource for Stores {
+            fn next_entry(&mut self) -> TraceEntry {
+                TraceEntry { bubbles: 0, addr: PhysAddr(0), is_write: true }
+            }
+        }
+        let mut core = Core::new(SourceId(1), 2, 8, Box::new(Stores));
+        let mut mem = FixedLatency(1);
+        for _ in 0..50 {
+            core.cycle(&mut mem);
+        }
+        let (r, w) = core.mem_accesses();
+        assert_eq!(r, 0);
+        assert!(w > 0);
+    }
+
+    #[test]
+    fn clock_ratio_five_over_four() {
+        let mut r = ClockRatio::core_over_bus();
+        let seq: Vec<u32> = (0..8).map(|_| r.core_cycles_for_bus_cycle()).collect();
+        assert_eq!(seq.iter().sum::<u32>(), 10, "{seq:?}");
+        assert!(seq.iter().all(|&c| c == 1 || c == 2));
+    }
+}

@@ -1,0 +1,321 @@
+//! Low-Latency Block Cipher (LLBC).
+//!
+//! DAPPER randomises row-to-group mappings with a low-latency block cipher
+//! over the n-bit per-rank row-address domain (n = 21 for the baseline's 2M
+//! rows), in the mould of CEASER's LLBC and SCARF. The construction here is a
+//! keyed **4-round unbalanced Feistel network**: a bijection on `0..2^n`
+//! whose forward and inverse permutations are both cheap, exactly the
+//! properties the paper's security analysis assumes (Section V-B).
+//!
+//! Keys are generated at boot and re-drawn every rekey period (tREFW for
+//! DAPPER-H, t_reset for DAPPER-S) from a seeded PRNG standing in for the
+//! PRNG/TRNG the paper mentions.
+//!
+//! # Example
+//!
+//! ```
+//! use llbc::Llbc;
+//!
+//! let cipher = Llbc::new(21, 0xC0FFEE);
+//! let row = 0x12345u64;
+//! let hashed = cipher.encrypt(row);
+//! assert!(hashed < (1 << 21));
+//! assert_eq!(cipher.decrypt(hashed), row);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim_core::rng::SplitMix64;
+
+/// Number of Feistel rounds (the paper uses a four-round LLBC).
+pub const ROUNDS: usize = 4;
+
+/// A keyed bijection over the `n`-bit integers, `8 <= n <= 40`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Llbc {
+    bits: u32,
+    left_bits: u32,
+    right_bits: u32,
+    keys: [u64; ROUNDS],
+}
+
+impl Llbc {
+    /// Creates a cipher over `0..2^bits` with round keys derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `8..=40`.
+    pub fn new(bits: u32, seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut keys = [0u64; ROUNDS];
+        for k in &mut keys {
+            *k = sm.next_u64();
+        }
+        Self::with_keys(bits, keys)
+    }
+
+    /// Creates a cipher with explicit round keys (used by tests and by
+    /// rekeying paths that manage their own key registers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `8..=40`.
+    pub fn with_keys(bits: u32, keys: [u64; ROUNDS]) -> Self {
+        assert!((8..=40).contains(&bits), "LLBC supports 8..=40 bit domains, got {bits}");
+        Self { bits, left_bits: bits.div_ceil(2), right_bits: bits / 2, keys }
+    }
+
+    /// The domain width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The domain size `2^bits`.
+    pub fn domain(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The round keys (for inspection; e.g. storage accounting).
+    pub fn keys(&self) -> [u64; ROUNDS] {
+        self.keys
+    }
+
+    #[inline]
+    fn round_fn(key: u64, half: u64, out_bits: u32) -> u64 {
+        // SplitMix64 finaliser as the PRF core: cheap, well mixed.
+        let mut z = half ^ key;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z & ((1u64 << out_bits) - 1)
+    }
+
+    /// Encrypts an `n`-bit value (the "hashed address" Y* of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is out of domain.
+    #[inline]
+    pub fn encrypt(&self, x: u64) -> u64 {
+        debug_assert!(x < self.domain(), "plaintext {x:#x} outside {}-bit domain", self.bits);
+        // Unbalanced Feistel: the halves' widths (a, b) swap each round;
+        // after an even number of rounds the split returns to (a, b).
+        let mut l = x >> self.right_bits;
+        let mut r = x & ((1u64 << self.right_bits) - 1);
+        let mut lb = self.left_bits;
+        let mut rb = self.right_bits;
+        for key in self.keys {
+            // (L:lb, R:rb) -> (R:rb, L ^ F(R):lb); new widths are (rb, lb).
+            let f = Self::round_fn(key, r, lb);
+            let nl = r;
+            let nr = l ^ f;
+            l = nl;
+            r = nr;
+            std::mem::swap(&mut lb, &mut rb);
+        }
+        (l << rb) | r
+    }
+
+    /// Decrypts an `n`-bit value (recovers the original row address for
+    /// mitigative refreshes).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `y` is out of domain.
+    #[inline]
+    pub fn decrypt(&self, y: u64) -> u64 {
+        debug_assert!(y < self.domain(), "ciphertext {y:#x} outside {}-bit domain", self.bits);
+        // Record the left-width used by each forward round so we can replay
+        // the rounds backwards.
+        let mut left_widths = [0u32; ROUNDS];
+        let mut lb = self.left_bits;
+        let mut rb = self.right_bits;
+        for w in &mut left_widths {
+            *w = lb;
+            std::mem::swap(&mut lb, &mut rb);
+        }
+        // ROUNDS is even, so the final layout equals the initial one.
+        let mut l = y >> self.right_bits;
+        let mut r = y & ((1u64 << self.right_bits) - 1);
+        for i in (0..ROUNDS).rev() {
+            // Forward round i: (L, R) -> (R, L ^ F(R)). Hence the inputs were
+            // R = current L and L = current R ^ F(current L).
+            let prev_r = l;
+            let f = Self::round_fn(self.keys[i], prev_r, left_widths[i]);
+            let prev_l = r ^ f;
+            l = prev_l;
+            r = prev_r;
+        }
+        (l << self.right_bits) | r
+    }
+}
+
+/// Manages the periodically refreshed key registers of one LLBC engine.
+///
+/// DAPPER-S refreshes keys every t_reset; DAPPER-H every tREFW. Each call to
+/// [`KeySchedule::rekey`] draws fresh round keys from the PRNG stream.
+///
+/// # Example
+///
+/// ```
+/// use llbc::KeySchedule;
+///
+/// let mut ks = KeySchedule::new(21, 1);
+/// let y0 = ks.cipher().encrypt(7);
+/// ks.rekey();
+/// let y1 = ks.cipher().encrypt(7);
+/// assert_eq!(ks.generation(), 1);
+/// // Overwhelmingly likely to differ under fresh keys:
+/// assert_ne!(y0, y1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeySchedule {
+    bits: u32,
+    prng: SplitMix64,
+    current: Llbc,
+    generation: u64,
+}
+
+impl KeySchedule {
+    /// Creates a schedule seeded at boot time.
+    pub fn new(bits: u32, seed: u64) -> Self {
+        let mut prng = SplitMix64::new(seed);
+        let keys = [prng.next_u64(), prng.next_u64(), prng.next_u64(), prng.next_u64()];
+        Self { bits, prng, current: Llbc::with_keys(bits, keys), generation: 0 }
+    }
+
+    /// The active cipher.
+    pub fn cipher(&self) -> &Llbc {
+        &self.current
+    }
+
+    /// Replaces the round keys with fresh ones and bumps the generation.
+    pub fn rekey(&mut self) {
+        let keys = [
+            self.prng.next_u64(),
+            self.prng.next_u64(),
+            self.prng.next_u64(),
+            self.prng.next_u64(),
+        ];
+        self.current = Llbc::with_keys(self.bits, keys);
+        self.generation += 1;
+    }
+
+    /// Number of rekeys performed since boot.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_21_bits() {
+        let c = Llbc::new(21, 42);
+        for x in [0u64, 1, 0x1F_FFFF, 0x12345, 0xABCDE % (1 << 21)] {
+            assert_eq!(c.decrypt(c.encrypt(x)), x, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_bijection_12_bits() {
+        let c = Llbc::new(12, 7);
+        let mut seen = vec![false; 1 << 12];
+        for x in 0..(1u64 << 12) {
+            let y = c.encrypt(x) as usize;
+            assert!(!seen[y], "collision at {y:#x}");
+            seen[y] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn exhaustive_bijection_odd_width_13_bits() {
+        let c = Llbc::new(13, 19);
+        let mut seen = vec![false; 1 << 13];
+        for x in 0..(1u64 << 13) {
+            let y = c.encrypt(x) as usize;
+            assert!(!seen[y], "collision at {y:#x}");
+            seen[y] = true;
+            assert_eq!(c.decrypt(y as u64), x);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_permutations() {
+        let a = Llbc::new(21, 1);
+        let b = Llbc::new(21, 2);
+        let differing = (0..1024u64).filter(|&x| a.encrypt(x) != b.encrypt(x)).count();
+        assert!(differing > 1000, "only {differing}/1024 differ");
+    }
+
+    #[test]
+    fn output_distribution_spreads_groups() {
+        // Rows that share a group pre-hash should scatter across groups
+        // post-hash (this is the property DAPPER-S relies on).
+        let c = Llbc::new(21, 99);
+        let group = |y: u64| y >> 8; // 256-row groups
+        let mut groups = std::collections::HashSet::new();
+        for x in 0..256u64 {
+            groups.insert(group(c.encrypt(x)));
+        }
+        assert!(groups.len() > 200, "256 sequential rows landed in {} groups", groups.len());
+    }
+
+    #[test]
+    fn rekey_changes_mapping_and_generation() {
+        let mut ks = KeySchedule::new(21, 1234);
+        let before: Vec<u64> = (0..64).map(|x| ks.cipher().encrypt(x)).collect();
+        assert_eq!(ks.generation(), 0);
+        ks.rekey();
+        assert_eq!(ks.generation(), 1);
+        let after: Vec<u64> = (0..64).map(|x| ks.cipher().encrypt(x)).collect();
+        assert_ne!(before, after);
+        // Still a bijection on a sample.
+        let mut set = std::collections::HashSet::new();
+        for x in 0..4096u64 {
+            assert!(set.insert(ks.cipher().encrypt(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "8..=40")]
+    fn rejects_tiny_domains() {
+        let _ = Llbc::new(4, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(bits in 8u32..=40, seed: u64, x: u64) {
+            let c = Llbc::new(bits, seed);
+            let x = x & (c.domain() - 1);
+            prop_assert_eq!(c.decrypt(c.encrypt(x)), x);
+        }
+
+        #[test]
+        fn prop_encrypt_stays_in_domain(bits in 8u32..=40, seed: u64, x: u64) {
+            let c = Llbc::new(bits, seed);
+            let x = x & (c.domain() - 1);
+            prop_assert!(c.encrypt(x) < c.domain());
+        }
+
+        #[test]
+        fn prop_injective_on_pairs(seed: u64, a: u64, b: u64) {
+            let c = Llbc::new(21, seed);
+            let a = a & (c.domain() - 1);
+            let b = b & (c.domain() - 1);
+            if a != b {
+                prop_assert_ne!(c.encrypt(a), c.encrypt(b));
+            }
+        }
+    }
+}

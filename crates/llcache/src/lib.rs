@@ -1,0 +1,344 @@
+//! Shared last-level cache model.
+//!
+//! A set-associative cache with LRU or random replacement and **way
+//! reservation**: START dedicates half of the LLC ways to RowHammer
+//! counters, shrinking the effective capacity seen by demand accesses
+//! (Section III-A of the paper). Reserved ways are simply excluded from the
+//! demand lookup; the START tracker models the counter contents itself.
+//!
+//! The model is hit/miss + writeback only (no MSHRs): the core model bounds
+//! outstanding misses through its instruction window, which is the same
+//! abstraction Ramulator's OoO frontend uses.
+//!
+//! # Example
+//!
+//! ```
+//! use llcache::{Llc, LookupResult};
+//! use sim_core::config::LlcConfig;
+//!
+//! let mut llc = Llc::new(LlcConfig::paper_baseline(), 1);
+//! match llc.access(0x4000, false) {
+//!     LookupResult::Miss { writeback: None } => {}
+//!     other => panic!("cold access must miss cleanly: {other:?}"),
+//! }
+//! assert!(matches!(llc.access(0x4000, false), LookupResult::Hit));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim_core::config::LlcConfig;
+use sim_core::rng::Xoshiro256;
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present.
+    Hit,
+    /// Line absent; if a dirty victim was evicted its line address is
+    /// returned so the caller can issue a writeback.
+    Miss {
+        /// Dirty victim to write back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Replacement policy for demand ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used (default).
+    Lru,
+    /// Uniform random victim.
+    Random,
+}
+
+/// The shared LLC.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    cfg: LlcConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    policy: Replacement,
+    rng: Xoshiro256,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Llc {
+    /// Creates an empty cache. `seed` drives random replacement only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration reserves every way.
+    pub fn new(cfg: LlcConfig, seed: u64) -> Self {
+        assert!(
+            cfg.reserved_ways < cfg.ways,
+            "at least one way must remain for demand accesses"
+        );
+        let sets = cfg.sets();
+        Self {
+            cfg,
+            sets,
+            lines: vec![Line::default(); (sets * cfg.ways as u64) as usize],
+            policy: Replacement::Lru,
+            rng: Xoshiro256::seed_from(seed),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Switches the replacement policy.
+    pub fn with_policy(mut self, policy: Replacement) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &LlcConfig {
+        &self.cfg
+    }
+
+    /// Demand ways available per set.
+    pub fn demand_ways(&self) -> u16 {
+        self.cfg.ways - self.cfg.reserved_ways
+    }
+
+    /// (hits, misses) since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Demand-access hit rate; 0.0 before any access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line_addr: u64) -> u64 {
+        line_addr % self.sets
+    }
+
+    #[inline]
+    fn tag(&self, line_addr: u64) -> u64 {
+        line_addr / self.sets
+    }
+
+    /// Looks up the 64-byte line containing byte address `addr` (demand
+    /// access), allocating on miss. `is_write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> LookupResult {
+        let line_addr = addr >> 6;
+        self.access_line(line_addr, is_write)
+    }
+
+    /// Looks up by line address directly.
+    pub fn access_line(&mut self, line_addr: u64, is_write: bool) -> LookupResult {
+        self.tick += 1;
+        let set = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        let reserved = self.cfg.reserved_ways as usize;
+        let ways = self.cfg.ways as usize;
+        let base = (set * self.cfg.ways as u64) as usize;
+
+        // Hit path: scan the demand ways.
+        for w in reserved..ways {
+            let line = &mut self.lines[base + w];
+            if line.valid && line.tag == tag {
+                line.lru = self.tick;
+                line.dirty |= is_write;
+                self.hits += 1;
+                return LookupResult::Hit;
+            }
+        }
+        self.misses += 1;
+
+        // Miss: find a victim among demand ways (invalid first).
+        let victim_way = {
+            let mut invalid = None;
+            let mut lru_way = reserved;
+            let mut lru_min = u64::MAX;
+            for w in reserved..ways {
+                let line = &self.lines[base + w];
+                if !line.valid {
+                    invalid = Some(w);
+                    break;
+                }
+                if line.lru < lru_min {
+                    lru_min = line.lru;
+                    lru_way = w;
+                }
+            }
+            match (invalid, self.policy) {
+                (Some(w), _) => w,
+                (None, Replacement::Lru) => lru_way,
+                (None, Replacement::Random) => {
+                    reserved + self.rng.gen_range((ways - reserved) as u64) as usize
+                }
+            }
+        };
+
+        let victim = self.lines[base + victim_way];
+        let writeback = if victim.valid && victim.dirty {
+            // Reconstruct the victim's line address from tag and set.
+            Some(victim.tag * self.sets + set)
+        } else {
+            None
+        };
+        self.lines[base + victim_way] =
+            Line { tag, valid: true, dirty: is_write, lru: self.tick };
+        LookupResult::Miss { writeback }
+    }
+
+    /// Invalidates everything (used when reconfiguring reservations).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::config::LlcConfig;
+
+    fn small_cfg(reserved: u16) -> LlcConfig {
+        // 4 sets x 4 ways x 64 B = 1 KB.
+        LlcConfig { capacity_bytes: 1024, ways: 4, line_bytes: 64, reserved_ways: reserved }
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Llc::new(small_cfg(0), 0);
+        assert!(matches!(c.access(0x100, false), LookupResult::Miss { .. }));
+        assert_eq!(c.access(0x100, false), LookupResult::Hit);
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Llc::new(small_cfg(0), 0);
+        // Lines 0,4,8,12 all map to set 0 (4 sets).
+        for i in 0..4u64 {
+            c.access_line(i * 4, false);
+        }
+        // Touch line 0 so line 4 becomes LRU.
+        c.access_line(0, false);
+        // Insert a fifth line; line 4 must be evicted.
+        c.access_line(16, false);
+        assert_eq!(c.access_line(0, false), LookupResult::Hit);
+        assert!(matches!(c.access_line(4, false), LookupResult::Miss { .. }));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = Llc::new(small_cfg(0), 0);
+        c.access_line(0, true); // dirty
+        for i in 1..=4u64 {
+            let r = c.access_line(i * 4, false);
+            if i == 4 {
+                assert_eq!(r, LookupResult::Miss { writeback: Some(0) });
+            }
+        }
+    }
+
+    #[test]
+    fn reservation_shrinks_capacity() {
+        let mut full = Llc::new(small_cfg(0), 0);
+        let mut half = Llc::new(small_cfg(2), 0);
+        // Working set of 4 lines in one set: fits in 4 ways, not in 2.
+        for round in 0..3 {
+            for i in 0..4u64 {
+                let rf = full.access_line(i * 4, false);
+                let rh = half.access_line(i * 4, false);
+                if round > 0 {
+                    assert_eq!(rf, LookupResult::Hit);
+                    assert!(matches!(rh, LookupResult::Miss { .. }));
+                }
+            }
+        }
+        assert!(half.hit_rate() < full.hit_rate());
+    }
+
+    #[test]
+    fn paper_llc_has_8192_sets() {
+        let c = Llc::new(LlcConfig::paper_baseline(), 0);
+        assert_eq!(c.config().sets(), 8192);
+        assert_eq!(c.demand_ways(), 16);
+    }
+
+    #[test]
+    fn random_policy_still_caches() {
+        let mut c = Llc::new(small_cfg(0), 7).with_policy(Replacement::Random);
+        c.access_line(0, false);
+        assert_eq!(c.access_line(0, false), LookupResult::Hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn reserving_all_ways_panics() {
+        let _ = Llc::new(small_cfg(4), 0);
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut c = Llc::new(small_cfg(0), 0);
+        c.access_line(0, false);
+        c.flush();
+        assert!(matches!(c.access_line(0, false), LookupResult::Miss { .. }));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A line just inserted must hit on an immediately repeated access.
+        #[test]
+        fn prop_insert_then_hit(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut c = Llc::new(
+                sim_core::config::LlcConfig {
+                    capacity_bytes: 16 * 1024, ways: 8, line_bytes: 64, reserved_ways: 0,
+                },
+                1,
+            );
+            for a in addrs {
+                c.access_line(a, false);
+                prop_assert_eq!(c.access_line(a, false), LookupResult::Hit);
+            }
+        }
+
+        /// Hit + miss counts always equal total accesses.
+        #[test]
+        fn prop_counts_balance(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+            let mut c = Llc::new(
+                sim_core::config::LlcConfig {
+                    capacity_bytes: 8 * 1024, ways: 4, line_bytes: 64, reserved_ways: 2,
+                },
+                2,
+            );
+            let n = addrs.len() as u64;
+            for a in addrs {
+                c.access_line(a, false);
+            }
+            let (h, m) = c.hit_miss();
+            prop_assert_eq!(h + m, n);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Memory-system events consumed by observers (the RowHammer oracle, debug
+//! tooling). Event collection is optional; performance runs disable it.
+
+use crate::addr::DramAddr;
+use crate::time::Cycle;
+use crate::tracker::ResetScope;
+
+/// Something security-relevant the memory controller did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// An ACT command opened `addr.row`.
+    Activate {
+        /// The activated row.
+        addr: DramAddr,
+        /// Issue cycle.
+        cycle: Cycle,
+    },
+    /// A mitigation refreshed the victims within `blast_radius` of the
+    /// aggressor row.
+    VictimsRefreshed {
+        /// The aggressor whose neighbours were refreshed.
+        aggressor: DramAddr,
+        /// Rows refreshed on each side.
+        blast_radius: u8,
+        /// Completion cycle.
+        cycle: Cycle,
+    },
+    /// A structure-reset sweep refreshed every row in scope.
+    SweepRefreshed {
+        /// The refreshed scope.
+        scope: ResetScope,
+        /// Completion cycle.
+        cycle: Cycle,
+    },
+    /// An auto-refresh window (tREFW) boundary passed: every row has been
+    /// refreshed once since the previous boundary.
+    RefreshWindowEnd {
+        /// Boundary cycle.
+        cycle: Cycle,
+    },
+}

@@ -1,0 +1,44 @@
+//! Shared vocabulary for the DAPPER reproduction.
+//!
+//! This crate defines the types every other crate in the workspace speaks:
+//!
+//! * [`addr`] — physical and DRAM coordinates plus the address-mapping scheme,
+//! * [`time`] — the global clock domain (DDR5 memory-bus cycles) and unit
+//!   conversions,
+//! * [`config`] — the system configuration mirroring Table I of the paper,
+//! * [`tracker`] — the [`RowHammerTracker`](tracker::RowHammerTracker) trait
+//!   through which the memory controller consults a mitigation,
+//! * [`req`] — memory requests exchanged by cores, caches, and controllers,
+//! * [`rng`] — small deterministic PRNGs used in simulation hot paths,
+//! * [`stats`] — counters and summary statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::addr::{DramAddr, Geometry};
+//!
+//! let geom = Geometry::paper_baseline();
+//! let addr = DramAddr::new(0, 1, 3, 2, 4096, 17);
+//! let flat = geom.rank_row_index(&addr);
+//! let back = geom.addr_from_rank_row_index(addr.channel, addr.rank, flat);
+//! assert_eq!((back.bank_group, back.bank, back.row), (3, 2, 4096));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod events;
+pub mod req;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod tracker;
+
+pub use addr::{DramAddr, Geometry, PhysAddr};
+pub use config::SystemConfig;
+pub use events::MemEvent;
+pub use req::{AccessKind, MemRequest, SourceId};
+pub use time::Cycle;
+pub use tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};

@@ -1,0 +1,256 @@
+//! Small deterministic PRNGs for simulation hot paths.
+//!
+//! The simulator needs billions of cheap random draws (PARA coin flips,
+//! random eviction, synthetic address streams) that must be reproducible
+//! across runs from a seed. [`SplitMix64`] seeds state; [`Xoshiro256`]
+//! (xoshiro256**) generates the streams.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::rng::Xoshiro256;
+//!
+//! let mut a = Xoshiro256::seed_from(42);
+//! let mut b = Xoshiro256::seed_from(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let r = a.gen_range(10);
+//! assert!(r < 10);
+//! ```
+
+/// SplitMix64: used to expand a single `u64` seed into generator state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a new SplitMix64 stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the generator by expanding `seed` with SplitMix64.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `0..bound` (Lemire's method; `bound` must be nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be nonzero");
+        // Multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = x as u128 * bound as u128;
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to [0,1]).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against 53 random mantissa bits.
+        let x = self.next_u64() >> 11;
+        (x as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in [0, 1).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Geometric-ish draw: number of failures before a success with
+    /// probability `p` per trial, capped at `cap`. Used for synthetic
+    /// inter-arrival gaps.
+    pub fn gen_geometric(&mut self, p: f64, cap: u64) -> u64 {
+        if p >= 1.0 {
+            return 0;
+        }
+        let p = p.max(1e-12);
+        let u = self.gen_f64().max(f64::MIN_POSITIVE);
+        let v = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        v.min(cap)
+    }
+}
+
+/// A Zipf(θ) sampler over `0..n`, used for skewed footprints (YCSB-like
+/// workloads). Precomputes the harmonic normaliser.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` in (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside (0, 1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf domain must be nonempty");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self { n, theta, zetan, alpha, eta, zeta2: zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // For large n use the integral approximation to keep construction O(1).
+        const EXACT_LIMIT: u64 = 10_000;
+        if n <= EXACT_LIMIT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draws a rank in `0..n` (0 is the hottest item).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        // Gray et al. quick Zipf sampling.
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Zeta(2, theta), exposed for test introspection.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(0);
+        let first = sm.next_u64();
+        assert_eq!(first, 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_uniformish() {
+        let mut r = Xoshiro256::seed_from(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Xoshiro256::seed_from(9);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.125)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.125).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_zero() {
+        let z = Zipf::new(1000, 0.9);
+        let mut r = Xoshiro256::seed_from(11);
+        let mut zero_hits = 0;
+        let mut top_decile = 0;
+        for _ in 0..20_000 {
+            let v = z.sample(&mut r);
+            assert!(v < 1000);
+            if v == 0 {
+                zero_hits += 1;
+            }
+            if v < 100 {
+                top_decile += 1;
+            }
+        }
+        assert!(zero_hits > 1000, "hottest item should dominate: {zero_hits}");
+        assert!(top_decile > 10_000, "top decile should take most mass: {top_decile}");
+    }
+
+    #[test]
+    fn geometric_cap_is_respected() {
+        let mut r = Xoshiro256::seed_from(3);
+        for _ in 0..1000 {
+            assert!(r.gen_geometric(0.001, 50) <= 50);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Experiment definition: workload x tracker x attack -> normalized perf.
+
+use cpu::{TraceEntry, TraceSource};
+use dapper::{DapperConfig, DapperH, DapperS};
+use sim_core::addr::{Geometry, PhysAddr};
+use sim_core::config::{MitigationKind, SystemConfig};
+use sim_core::time::us_to_cycles;
+use sim_core::tracker::{NullTracker, RowHammerTracker};
+use trackers::{Abacus, BlockHammer, Comet, Hydra, Para, Prac, Pride, Start, TrackerParams};
+use workloads::{spec_by_name, Attack, SyntheticTrace};
+
+use crate::metrics::{normalized_performance, RunStats};
+use crate::system::System;
+
+/// Which RowHammer defense guards the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackerChoice {
+    /// Insecure baseline (no tracker).
+    None,
+    /// Hydra (ISCA'22).
+    Hydra,
+    /// START (HPCA'24).
+    Start,
+    /// CoMeT (HPCA'24).
+    Comet,
+    /// ABACuS (USENIX Sec'24).
+    Abacus,
+    /// BlockHammer (HPCA'21).
+    BlockHammer,
+    /// PARA (ISCA'14).
+    Para,
+    /// PrIDE (ISCA'24).
+    Pride,
+    /// PRAC / QPRAC (HPCA'25).
+    Prac,
+    /// DAPPER-S (this paper, Section V).
+    DapperS,
+    /// DAPPER-H (this paper, Section VI).
+    DapperH,
+}
+
+impl TrackerChoice {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrackerChoice::None => "none",
+            TrackerChoice::Hydra => "Hydra",
+            TrackerChoice::Start => "START",
+            TrackerChoice::Comet => "CoMeT",
+            TrackerChoice::Abacus => "ABACUS",
+            TrackerChoice::BlockHammer => "BlockHammer",
+            TrackerChoice::Para => "PARA",
+            TrackerChoice::Pride => "PrIDE",
+            TrackerChoice::Prac => "PRAC",
+            TrackerChoice::DapperS => "DAPPER-S",
+            TrackerChoice::DapperH => "DAPPER-H",
+        }
+    }
+
+    /// The four scalable baselines of Figs. 1 and 3-5.
+    pub fn scalable_baselines() -> [TrackerChoice; 4] {
+        [TrackerChoice::Hydra, TrackerChoice::Start, TrackerChoice::Abacus, TrackerChoice::Comet]
+    }
+
+    /// True if this tracker reserves half the LLC (START).
+    pub fn reserves_llc(self) -> bool {
+        self == TrackerChoice::Start
+    }
+
+    /// Instantiates the tracker for one channel.
+    pub fn build(
+        self,
+        nrh: u32,
+        geometry: Geometry,
+        channel: u8,
+        seed: u64,
+    ) -> Box<dyn RowHammerTracker> {
+        let p = TrackerParams { nrh, geometry, channel, seed };
+        let d = DapperConfig { geometry, ..DapperConfig::baseline(nrh, channel, seed) };
+        match self {
+            TrackerChoice::None => Box::new(NullTracker),
+            TrackerChoice::Hydra => Box::new(Hydra::new(p)),
+            TrackerChoice::Start => Box::new(Start::new(p)),
+            TrackerChoice::Comet => Box::new(Comet::new(p)),
+            TrackerChoice::Abacus => Box::new(Abacus::new(p)),
+            TrackerChoice::BlockHammer => Box::new(BlockHammer::new(p)),
+            TrackerChoice::Para => Box::new(Para::new(p)),
+            TrackerChoice::Pride => Box::new(Pride::new(p)),
+            TrackerChoice::Prac => Box::new(Prac::new(p)),
+            TrackerChoice::DapperS => Box::new(DapperS::new(d)),
+            TrackerChoice::DapperH => Box::new(DapperH::new(d)),
+        }
+    }
+}
+
+/// The adversary sharing the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackChoice {
+    /// No attacker: four homogeneous benign copies (Fig. 11 setting).
+    None,
+    /// Cache-thrashing attacker on one core.
+    CacheThrash,
+    /// The RH-Tracker-based attack tailored to the tracker under test.
+    Tailored,
+    /// A specific attack pattern.
+    Specific(Attack),
+}
+
+impl AttackChoice {
+    fn resolve(self, tracker: TrackerChoice) -> Option<Attack> {
+        match self {
+            AttackChoice::None => None,
+            AttackChoice::CacheThrash => Some(Attack::CacheThrash),
+            AttackChoice::Tailored => Some(Attack::tailored_for(tracker.name())),
+            AttackChoice::Specific(a) => Some(a),
+        }
+    }
+}
+
+/// Pure-compute filler trace for the reference run's idle core.
+#[derive(Debug)]
+struct IdleTrace {
+    next: u64,
+}
+
+impl TraceSource for IdleTrace {
+    fn next_entry(&mut self) -> TraceEntry {
+        // One access per 50K instructions inside a tiny private region:
+        // negligible memory traffic.
+        self.next = (self.next + 64) % 4096;
+        TraceEntry { bubbles: 50_000, addr: PhysAddr((60 << 30) + self.next), is_write: false }
+    }
+}
+
+/// One experiment: a workload mix, a tracker, and an optional attacker.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Benign workload name (from `workloads::catalog`).
+    pub workload: String,
+    /// Defense under test.
+    pub tracker: TrackerChoice,
+    /// Adversary.
+    pub attack: AttackChoice,
+    /// System configuration (threshold, window, mitigation command, ...).
+    pub cfg: SystemConfig,
+    /// Attach the ground-truth oracle (slower).
+    pub collect_events: bool,
+    /// When true, the reference run keeps the attacker (on the insecure
+    /// baseline), so normalized performance isolates the *tracker-induced*
+    /// overhead rather than the attacker's raw bandwidth contention. The
+    /// paper uses this normalization for the DAPPER figures (9, 10, 12, 13,
+    /// 16, 17); the motivation figures (1, 3-5) compare against the
+    /// attack-free baseline.
+    pub isolate_tracker_overhead: bool,
+}
+
+/// Outcome of [`Experiment::run`].
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Benign workload.
+    pub workload: String,
+    /// Tracker display name.
+    pub tracker_name: &'static str,
+    /// Attack display name ("benign" when none).
+    pub attack_name: &'static str,
+    /// Mean benign IPC relative to the insecure, attack-free baseline.
+    pub normalized_performance: f64,
+    /// The measured run.
+    pub run: RunStats,
+    /// The reference run.
+    pub reference: RunStats,
+}
+
+impl Experiment {
+    /// A paper-baseline experiment with a 2 ms window.
+    pub fn new(workload: &str) -> Self {
+        Self {
+            workload: workload.to_string(),
+            tracker: TrackerChoice::DapperH,
+            attack: AttackChoice::None,
+            cfg: SystemConfig::paper_baseline().with_window(us_to_cycles(2_000.0)),
+            collect_events: false,
+            isolate_tracker_overhead: false,
+        }
+    }
+
+    /// A fast variant (500 us window) for tests and doc examples.
+    pub fn quick(workload: &str) -> Self {
+        let mut e = Self::new(workload);
+        e.cfg.window_cycles = us_to_cycles(500.0);
+        e
+    }
+
+    /// Sets the tracker.
+    pub fn tracker(mut self, t: TrackerChoice) -> Self {
+        self.tracker = t;
+        self
+    }
+
+    /// Sets the attack.
+    pub fn attack(mut self, a: AttackChoice) -> Self {
+        self.attack = a;
+        self
+    }
+
+    /// Sets the RowHammer threshold.
+    pub fn nrh(mut self, nrh: u32) -> Self {
+        self.cfg.nrh = nrh;
+        self
+    }
+
+    /// Sets the simulation window in microseconds.
+    pub fn window_us(mut self, us: f64) -> Self {
+        self.cfg.window_cycles = us_to_cycles(us);
+        self
+    }
+
+    /// Sets the mitigation command flavour.
+    pub fn mitigation(mut self, m: MitigationKind) -> Self {
+        self.cfg.mitigation = m;
+        self
+    }
+
+    /// Sets the blast radius.
+    pub fn blast_radius(mut self, br: u8) -> Self {
+        self.cfg.blast_radius = br;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Uses the eight-channel geometry of Fig. 5 with the given per-core
+    /// LLC capacity.
+    pub fn eight_channel(mut self, llc_per_core_mib: u64) -> Self {
+        self.cfg.geometry = Geometry::eight_channel();
+        self.cfg.llc.capacity_bytes = llc_per_core_mib << 20 << 2; // x4 cores
+        self
+    }
+
+    /// Enables the ground-truth oracle.
+    pub fn with_oracle(mut self) -> Self {
+        self.collect_events = true;
+        self
+    }
+
+    /// Normalizes against an attacker-inclusive insecure baseline (isolates
+    /// the tracker's own overhead; the DAPPER-figure normalization).
+    pub fn isolating(mut self) -> Self {
+        self.isolate_tracker_overhead = true;
+        self
+    }
+
+    fn build_traces(
+        &self,
+        attack: Option<Attack>,
+        reference: bool,
+    ) -> (Vec<Box<dyn TraceSource>>, Vec<bool>) {
+        let spec = spec_by_name(&self.workload)
+            .unwrap_or_else(|| panic!("unknown workload '{}'", self.workload));
+        let cores = self.cfg.cpu.cores as usize;
+        let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cores);
+        let mut bypass = vec![false; cores];
+        for core in 0..cores {
+            let is_attacker_slot = attack.is_some() && core == cores - 1;
+            if is_attacker_slot {
+                if reference && !self.isolate_tracker_overhead {
+                    traces.push(Box::new(IdleTrace { next: 0 }));
+                } else {
+                    let a = attack.expect("attacker slot implies attack");
+                    traces.push(Box::new(a.trace(self.cfg.geometry, self.cfg.seed)));
+                    bypass[core] = a.bypasses_llc();
+                }
+            } else {
+                traces.push(Box::new(SyntheticTrace::new(spec, core, self.cfg.seed)));
+            }
+        }
+        (traces, bypass)
+    }
+
+    /// Builds the system under test (`reference = false`) or the insecure,
+    /// attack-free reference machine (`reference = true`).
+    pub fn build_system(&self, reference: bool) -> System {
+        let attack = self.attack.resolve(self.tracker);
+        let (traces, bypass) = self.build_traces(attack, reference);
+        let mut cfg = self.cfg.clone();
+        if !reference && self.tracker.reserves_llc() {
+            cfg.llc.reserved_ways = cfg.llc.ways / 2;
+        }
+        let trackers: Vec<Box<dyn RowHammerTracker>> = (0..cfg.geometry.channels)
+            .map(|ch| {
+                if reference {
+                    Box::new(NullTracker) as Box<dyn RowHammerTracker>
+                } else {
+                    self.tracker.build(cfg.nrh, cfg.geometry, ch, cfg.seed ^ (ch as u64) << 8)
+                }
+            })
+            .collect();
+        System::new(cfg, traces, bypass, trackers, self.collect_events && !reference)
+    }
+
+    /// The benign core indices for this experiment.
+    pub fn benign_cores(&self) -> Vec<usize> {
+        let cores = self.cfg.cpu.cores as usize;
+        match self.attack {
+            AttackChoice::None => (0..cores).collect(),
+            _ => (0..cores - 1).collect(),
+        }
+    }
+
+    /// Runs the experiment and its reference, returning normalized
+    /// performance (the paper's metric).
+    pub fn run(self) -> ExperimentResult {
+        let reference = self.build_system(true).run();
+        self.run_against(&reference)
+    }
+
+    /// Runs only the system under test, normalizing against a pre-computed
+    /// reference (sweeps share one reference per workload).
+    pub fn run_against(self, reference: &RunStats) -> ExperimentResult {
+        let run = self.build_system(false).run();
+        let benign = self.benign_cores();
+        let attack_name = match self.attack.resolve(self.tracker) {
+            None => "benign",
+            Some(a) => a.name(),
+        };
+        ExperimentResult {
+            normalized_performance: normalized_performance(&run, reference, &benign),
+            workload: self.workload,
+            tracker_name: self.tracker.name(),
+            attack_name,
+            run,
+            reference: reference.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_dapper_h_is_near_baseline() {
+        let r = Experiment::quick("gcc_like").tracker(TrackerChoice::DapperH).run();
+        assert!(
+            r.normalized_performance > 0.9,
+            "DAPPER-H benign: {}",
+            r.normalized_performance
+        );
+        assert_eq!(r.tracker_name, "DAPPER-H");
+        assert_eq!(r.attack_name, "benign");
+    }
+
+    #[test]
+    fn tailored_attack_names_resolve() {
+        let e = Experiment::quick("gcc_like")
+            .tracker(TrackerChoice::Hydra)
+            .attack(AttackChoice::Tailored);
+        assert_eq!(e.attack.resolve(e.tracker), Some(Attack::HydraRccThrash));
+    }
+
+    #[test]
+    fn attacker_occupies_last_core() {
+        let e = Experiment::quick("gcc_like").attack(AttackChoice::CacheThrash);
+        assert_eq!(e.benign_cores(), vec![0, 1, 2]);
+        let e2 = Experiment::quick("gcc_like");
+        assert_eq!(e2.benign_cores(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = Experiment::quick("not_a_workload").run();
+    }
+
+    #[test]
+    fn reference_reuse_matches_fresh_run() {
+        let e1 = Experiment::quick("povray_like").tracker(TrackerChoice::Para);
+        let reference = e1.build_system(true).run();
+        let a = e1.clone().run_against(&reference);
+        let b = Experiment::quick("povray_like").tracker(TrackerChoice::Para).run();
+        assert!((a.normalized_performance - b.normalized_performance).abs() < 1e-9);
+    }
+}

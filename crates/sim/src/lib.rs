@@ -1,0 +1,34 @@
+//! Full-system simulator for the DAPPER reproduction.
+//!
+//! Assembles the substrates — trace-driven cores (`cpu`), the shared LLC
+//! (`llcache`), per-channel memory controllers (`memctrl`) over the DDR5
+//! model (`dram`) — around a pluggable RowHammer tracker (`dapper` or
+//! `trackers`), and provides the experiment runner every bench binary and
+//! figure harness uses.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+//!
+//! let summary = Experiment::quick("mcf_like")
+//!     .tracker(TrackerChoice::DapperH)
+//!     .attack(AttackChoice::Tailored)
+//!     .run();
+//! println!(
+//!     "{} under attack: {:.3} of baseline",
+//!     summary.tracker_name, summary.normalized_performance
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod runner;
+pub mod system;
+
+pub use experiment::{AttackChoice, Experiment, ExperimentResult, TrackerChoice};
+pub use metrics::RunStats;
+pub use system::System;

@@ -1,0 +1,102 @@
+//! Run-level metrics.
+
+use serde::{Deserialize, Serialize};
+use sim_core::stats::MemStats;
+use sim_core::time::Cycle;
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Tracker under test.
+    pub tracker: String,
+    /// Bus cycles simulated.
+    pub cycles: Cycle,
+    /// Per-core instructions retired.
+    pub retired: Vec<u64>,
+    /// Per-core core-clock cycles.
+    pub core_cycles: Vec<u64>,
+    /// Merged memory-system statistics across channels.
+    pub mem: MemStats,
+    /// LLC demand hit rate.
+    pub llc_hit_rate: f64,
+    /// Total DRAM energy in millijoules.
+    pub energy_mj: f64,
+    /// Ground-truth oracle outcome, if events were collected:
+    /// (max victim disturbance, violations).
+    pub oracle: Option<(u32, u64)>,
+}
+
+impl RunStats {
+    /// IPC of core `i`.
+    pub fn ipc(&self, i: usize) -> f64 {
+        if self.core_cycles[i] == 0 {
+            0.0
+        } else {
+            self.retired[i] as f64 / self.core_cycles[i] as f64
+        }
+    }
+
+    /// Mean IPC over the given cores.
+    pub fn mean_ipc(&self, cores: &[usize]) -> f64 {
+        if cores.is_empty() {
+            return 0.0;
+        }
+        cores.iter().map(|&i| self.ipc(i)).sum::<f64>() / cores.len() as f64
+    }
+}
+
+/// Normalized performance: mean over `benign` of IPC ratio vs. a reference
+/// run (the paper's metric — performance of benign applications normalized
+/// to the insecure baseline).
+pub fn normalized_performance(run: &RunStats, reference: &RunStats, benign: &[usize]) -> f64 {
+    if benign.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &i in benign {
+        let r = reference.ipc(i);
+        if r > 0.0 {
+            sum += run.ipc(i) / r;
+        }
+    }
+    sum / benign.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(retired: Vec<u64>, cycles: Vec<u64>) -> RunStats {
+        RunStats {
+            tracker: "t".into(),
+            cycles: 1000,
+            retired,
+            core_cycles: cycles,
+            mem: MemStats::default(),
+            llc_hit_rate: 0.0,
+            energy_mj: 0.0,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn ipc_and_normalization() {
+        let run = stats(vec![500, 1000], vec![1000, 1000]);
+        let reference = stats(vec![1000, 1000], vec![1000, 1000]);
+        assert_eq!(run.ipc(0), 0.5);
+        let norm = normalized_performance(&run, &reference, &[0, 1]);
+        assert!((norm - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_benign_set_is_zero() {
+        let run = stats(vec![1], vec![1]);
+        assert_eq!(normalized_performance(&run, &run, &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_ipc_subsets() {
+        let run = stats(vec![100, 300, 500, 0], vec![1000, 1000, 1000, 1000]);
+        assert!((run.mean_ipc(&[0, 1, 2]) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,59 @@
+//! Parallel experiment sweeps.
+
+use crate::experiment::{Experiment, ExperimentResult};
+use std::sync::Mutex;
+
+/// Runs experiments across all available cores, preserving input order.
+pub fn run_parallel(jobs: Vec<Experiment>) -> Vec<ExperimentResult> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    let work: Mutex<Vec<(usize, Experiment)>> =
+        Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<ExperimentResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = work.lock().expect("work queue poisoned").pop();
+                match job {
+                    Some((i, e)) => {
+                        let r = e.run();
+                        results.lock().expect("results poisoned")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrackerChoice;
+
+    #[test]
+    fn parallel_results_keep_order() {
+        let jobs = vec![
+            Experiment::quick("povray_like").tracker(TrackerChoice::None).window_us(100.0),
+            Experiment::quick("namd_like").tracker(TrackerChoice::None).window_us(100.0),
+        ];
+        let results = run_parallel(jobs);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].workload, "povray_like");
+        assert_eq!(results[1].workload, "namd_like");
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_parallel(vec![]).is_empty());
+    }
+}

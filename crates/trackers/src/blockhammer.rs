@@ -1,0 +1,272 @@
+//! BlockHammer (Yağlıkçı et al., HPCA 2021): throttling via Bloom filters.
+//!
+//! Row activations are inserted into dual time-interleaved **counting Bloom
+//! filters** (one active, one retiring, swapped every tREFW/2). A row whose
+//! min-counter estimate crosses the blacklist threshold N_BL gets its ACTs
+//! rate-limited so it cannot reach N_RH within the window.
+//!
+//! Because CBF counters are shared, heavy benign traffic inflates them and
+//! benign rows get throttled too — the false-positive cost that makes
+//! BlockHammer lose 25% at N_RH = 500 and 66% at N_RH = 125 (Fig. 14), and
+//! the aliasing is also exploitable as a Perf-Attack (hammering rows that
+//! share filter entries with a victim's working set).
+
+use crate::util::hash64;
+use crate::TrackerParams;
+use sim_core::addr::DramAddr;
+use sim_core::req::SourceId;
+use sim_core::time::Cycle;
+use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
+
+/// Counters per bank per filter. The HPCA'21 design uses 1K counters per
+/// bank over a 32 ms epoch; we scale the filter with our shorter default
+/// simulation windows so benign aliasing pressure per counter matches.
+pub const CBF_COUNTERS: usize = 128;
+/// Hash functions.
+pub const CBF_HASHES: usize = 3;
+
+#[derive(Debug, Clone)]
+struct BankFilters {
+    /// Two filters; `active` indexes the live one.
+    cbf: [Vec<u32>; 2],
+    /// Last permitted-activation time per counter bucket (for throttling).
+    last_act: Vec<Cycle>,
+}
+
+/// The BlockHammer tracker for one channel.
+#[derive(Debug)]
+pub struct BlockHammer {
+    p: TrackerParams,
+    banks: Vec<BankFilters>,
+    active: usize,
+    next_swap: Cycle,
+    half_window: Cycle,
+    /// Blacklist threshold N_BL.
+    n_bl: u32,
+    /// Minimum spacing enforced on blacklisted rows, in cycles.
+    min_spacing: Cycle,
+    /// Throttle decisions issued (introspection).
+    pub throttles: u64,
+}
+
+impl BlockHammer {
+    /// Creates a BlockHammer instance for one channel.
+    pub fn new(p: TrackerParams) -> Self {
+        let nbanks = (p.geometry.ranks as u32 * p.geometry.banks_per_rank()) as usize;
+        let banks = (0..nbanks)
+            .map(|_| BankFilters {
+                cbf: [vec![0; CBF_COUNTERS], vec![0; CBF_COUNTERS]],
+                last_act: vec![0; CBF_COUNTERS],
+            })
+            .collect();
+        let t_refw = sim_core::time::ms_to_cycles(32.0);
+        // Blacklist at a quarter of the threshold; enforce a spacing that
+        // caps a row at N_RH activations per window.
+        let n_bl = (p.nrh / 4).max(1);
+        let min_spacing = t_refw / p.nrh as Cycle;
+        Self {
+            p,
+            banks,
+            active: 0,
+            next_swap: t_refw / 2,
+            half_window: t_refw / 2,
+            n_bl,
+            min_spacing,
+            throttles: 0,
+        }
+    }
+
+    /// The blacklist threshold.
+    pub fn blacklist_threshold(&self) -> u32 {
+        self.n_bl
+    }
+
+    fn bank_index(&self, a: &DramAddr) -> usize {
+        (a.rank as u32 * self.p.geometry.banks_per_rank() + self.p.geometry.bank_in_rank(a))
+            as usize
+    }
+
+    fn bucket_indices(&self, row: u32) -> [usize; CBF_HASHES] {
+        let mut out = [0; CBF_HASHES];
+        for (h, o) in out.iter_mut().enumerate() {
+            *o = (hash64(row as u64, self.p.seed ^ ((h as u64) << 13)) as usize) % CBF_COUNTERS;
+        }
+        out
+    }
+
+    fn maybe_swap(&mut self, now: Cycle) {
+        while now >= self.next_swap {
+            // Staggered epochs: clear one filter every half window, so the
+            // two filters' lifetimes overlap and a hammered row is always
+            // covered by at least one of them.
+            self.active ^= 1;
+            for b in &mut self.banks {
+                b.cbf[self.active].fill(0);
+            }
+            self.next_swap += self.half_window;
+        }
+    }
+
+    /// Estimate = max over the two filters of the min over the hash
+    /// buckets; inserts go to both filters (overlapping-lifetime CBFs).
+    fn estimate(&self, bank: usize, idxs: &[usize; CBF_HASHES]) -> u32 {
+        let f0 = idxs.iter().map(|&i| self.banks[bank].cbf[0][i]).min().unwrap_or(0);
+        let f1 = idxs.iter().map(|&i| self.banks[bank].cbf[1][i]).min().unwrap_or(0);
+        f0.max(f1)
+    }
+}
+
+impl RowHammerTracker for BlockHammer {
+    fn name(&self) -> &'static str {
+        "BlockHammer"
+    }
+
+    fn on_activation(&mut self, act: Activation, _actions: &mut Vec<TrackerAction>) {
+        self.maybe_swap(act.cycle);
+        let bank = self.bank_index(&act.addr);
+        let idxs = self.bucket_indices(act.addr.row);
+        // Conservative update on both overlapping filters.
+        for f in 0..2 {
+            let est = idxs
+                .iter()
+                .map(|&i| self.banks[bank].cbf[f][i])
+                .min()
+                .unwrap_or(0);
+            let newv = est + 1;
+            for &i in &idxs {
+                let c = &mut self.banks[bank].cbf[f][i];
+                if *c < newv {
+                    *c = newv;
+                }
+            }
+        }
+        for &i in &idxs {
+            self.banks[bank].last_act[i] = act.cycle;
+        }
+    }
+
+    fn activation_delay(&mut self, addr: &DramAddr, _src: SourceId, now: Cycle) -> Cycle {
+        self.maybe_swap(now);
+        let bank = self.bank_index(addr);
+        let idxs = self.bucket_indices(addr.row);
+        let est = self.estimate(bank, &idxs);
+        if est < self.n_bl {
+            return 0;
+        }
+        // Blacklisted: enforce minimum spacing from the bucket's last ACT.
+        let last = idxs.iter().map(|&i| self.banks[bank].last_act[i]).min().unwrap_or(0);
+        let earliest = last + self.min_spacing;
+        if earliest > now {
+            self.throttles += 1;
+            earliest - now
+        } else {
+            0
+        }
+    }
+
+    fn on_refresh_window(&mut self, _cycle: Cycle, _actions: &mut Vec<TrackerAction>) {
+        // Handled by the half-window swaps.
+    }
+
+    fn storage_overhead(&self) -> StorageOverhead {
+        // 2 filters x 1024 x 16-bit counters x 64 banks = 256 KB... the
+        // HPCA'21 paper's area-optimised config is ~48 KB per channel; we
+        // report that figure (BlockHammer is not in Table III).
+        StorageOverhead::new(48 * 1024, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(row: u32, cycle: Cycle) -> Activation {
+        Activation {
+            addr: DramAddr::new(0, 0, 0, 0, row, 0),
+            source: SourceId(0),
+            cycle,
+        }
+    }
+
+    fn params() -> TrackerParams {
+        TrackerParams::baseline(500, 0, 11)
+    }
+
+    #[test]
+    fn cold_rows_are_not_delayed() {
+        let mut b = BlockHammer::new(params());
+        let d = b.activation_delay(&DramAddr::new(0, 0, 0, 0, 9, 0), SourceId(0), 100);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn hammered_row_gets_blacklisted_and_throttled() {
+        let mut b = BlockHammer::new(params());
+        let mut out = Vec::new();
+        let mut now = 0;
+        for _ in 0..b.blacklist_threshold() + 1 {
+            b.on_activation(act(9, now), &mut out);
+            now += 154; // tRC pace
+        }
+        let d = b.activation_delay(&DramAddr::new(0, 0, 0, 0, 9, 0), SourceId(0), now);
+        assert!(d > 0, "blacklisted row must be delayed");
+        assert!(b.throttles > 0);
+    }
+
+    #[test]
+    fn throttle_caps_rate_below_nrh_per_window() {
+        let p = params();
+        let mut b = BlockHammer::new(p);
+        let mut out = Vec::new();
+        let addr = DramAddr::new(0, 0, 0, 0, 9, 0);
+        let mut now: Cycle = 0;
+        let mut acts = 0u64;
+        let window = sim_core::time::ms_to_cycles(32.0);
+        while now < window {
+            let d = b.activation_delay(&addr, SourceId(0), now);
+            if d > 0 {
+                now += d;
+                continue;
+            }
+            b.on_activation(act(9, now), &mut out);
+            acts += 1;
+            now += 154;
+        }
+        // Spacing is tREFW/N_RH, so the row lands near N_RH activations,
+        // never far above.
+        assert!(acts <= p.nrh as u64 + b.blacklist_threshold() as u64 + 8, "{acts}");
+    }
+
+    #[test]
+    fn filter_swap_forgives_old_counts() {
+        let mut b = BlockHammer::new(params());
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            b.on_activation(act(9, i * 154), &mut out);
+        }
+        // Jump past both filters' epochs: estimates fully reset.
+        let far = sim_core::time::ms_to_cycles(33.0);
+        let d = b.activation_delay(&DramAddr::new(0, 0, 0, 0, 9, 0), SourceId(0), far);
+        assert_eq!(d, 0, "new filter epochs start clean");
+    }
+
+    #[test]
+    fn aliasing_rows_share_fate() {
+        // With 1024 counters, two distinct rows can collide; verify shared
+        // inflation raises the estimate of an untouched row eventually
+        // (drive many rows so every bucket inflates).
+        let p = TrackerParams::baseline(125, 0, 13);
+        let mut b = BlockHammer::new(p);
+        let mut out = Vec::new();
+        let mut now = 0;
+        for r in 0..4096u32 {
+            for _ in 0..8 {
+                b.on_activation(act(r, now), &mut out);
+                now += 8;
+            }
+        }
+        // 32K insertions over 128 buckets: every bucket >> N_BL = 31.
+        let d = b.activation_delay(&DramAddr::new(0, 0, 0, 0, 60_000, 0), SourceId(0), now);
+        assert!(d > 0, "benign row falsely blacklisted under heavy traffic");
+    }
+}

@@ -1,0 +1,67 @@
+//! Baseline RowHammer trackers.
+//!
+//! Faithful (behaviour-level) reimplementations of the state-of-the-art
+//! host-side mitigations the paper evaluates and attacks:
+//!
+//! | Module | Scheme | Shared structure a Perf-Attack exploits |
+//! |---|---|---|
+//! | [`hydra`] | Hydra (ISCA'22) | Row Counter Cache misses → DRAM counter traffic |
+//! | [`start`] | START (HPCA'24) | reserved-LLC counter region misses → DRAM traffic |
+//! | [`comet`] | CoMeT (HPCA'24) | Recent Aggressor Table thrash → full-rank reset sweeps |
+//! | [`abacus`] | ABACuS (Security'24) | Misra-Gries spillover overflow → channel reset sweeps |
+//! | [`blockhammer`] | BlockHammer (HPCA'21) | Bloom-filter false positives → benign throttling |
+//! | [`para`] | PARA (ISCA'14) | stateless; frequent mitigations at low N_RH |
+//! | [`pride`] | PrIDE (ISCA'24) | per-tREFI mitigation budget |
+//! | [`prac`] | PRAC/QPRAC (DDR5 spec / HPCA'25) | per-ACT counter read-modify-write tax |
+//!
+//! Every tracker implements [`sim_core::tracker::RowHammerTracker`] and
+//! covers **one memory channel**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abacus;
+pub mod blockhammer;
+pub mod comet;
+pub mod hydra;
+pub mod para;
+pub mod prac;
+pub mod pride;
+pub mod start;
+pub(crate) mod util;
+
+pub use abacus::Abacus;
+pub use blockhammer::BlockHammer;
+pub use comet::Comet;
+pub use hydra::Hydra;
+pub use para::Para;
+pub use prac::Prac;
+pub use pride::Pride;
+pub use start::Start;
+
+use sim_core::addr::Geometry;
+
+/// Construction parameters shared by every tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerParams {
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// DRAM organisation.
+    pub geometry: Geometry,
+    /// The channel this instance covers.
+    pub channel: u8,
+    /// Seed for all randomised internals.
+    pub seed: u64,
+}
+
+impl TrackerParams {
+    /// Parameters for the paper baseline at a given threshold.
+    pub fn baseline(nrh: u32, channel: u8, seed: u64) -> Self {
+        Self { nrh, geometry: Geometry::paper_baseline(), channel, seed }
+    }
+
+    /// Mitigation threshold N_M = N_RH / 2.
+    pub fn nm(&self) -> u32 {
+        self.nrh / 2
+    }
+}

@@ -1,0 +1,101 @@
+//! PARA (Kim et al., ISCA 2014): probabilistic adjacent-row activation.
+//!
+//! Stateless: every activation refreshes the row's neighbours with
+//! probability `p`. We set `p = 18.4 / N_RH`, which bounds the chance that
+//! an aggressor reaches N_RH activations without a neighbour refresh at
+//! `(1-p)^N_RH ~ e^-18.4 ~ 1e-8` per row per window. Being stateless, PARA
+//! needs no reset and is immune to structure-targeted Perf-Attacks, but its
+//! mitigation frequency grows quickly as N_RH drops (Fig. 15/16).
+
+use crate::TrackerParams;
+use sim_core::rng::Xoshiro256;
+use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
+
+/// Safety exponent: p = EXPONENT / N_RH.
+pub const EXPONENT: f64 = 18.4;
+
+/// The PARA tracker for one channel.
+#[derive(Debug)]
+pub struct Para {
+    prob: f64,
+    rng: Xoshiro256,
+    /// Mitigations issued (introspection).
+    pub mitigations: u64,
+}
+
+impl Para {
+    /// Creates a PARA instance with `p` derived from `p.nrh`.
+    pub fn new(p: TrackerParams) -> Self {
+        Self {
+            prob: (EXPONENT / p.nrh as f64).min(1.0),
+            rng: Xoshiro256::seed_from(p.seed ^ 0xA11A_5A5Au64),
+            mitigations: 0,
+        }
+    }
+
+    /// The per-activation refresh probability.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+}
+
+impl RowHammerTracker for Para {
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+
+    fn on_activation(&mut self, act: Activation, actions: &mut Vec<TrackerAction>) {
+        if self.rng.gen_bool(self.prob) {
+            self.mitigations += 1;
+            actions.push(TrackerAction::MitigateRow(act.addr));
+        }
+    }
+
+    fn storage_overhead(&self) -> StorageOverhead {
+        // Stateless: an LFSR and a comparator.
+        StorageOverhead::new(16, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::addr::DramAddr;
+    use sim_core::req::SourceId;
+
+    fn act() -> Activation {
+        Activation { addr: DramAddr::default(), source: SourceId(0), cycle: 0 }
+    }
+
+    #[test]
+    fn probability_scales_inverse_to_nrh() {
+        let hi = Para::new(TrackerParams::baseline(4000, 0, 1));
+        let lo = Para::new(TrackerParams::baseline(125, 0, 1));
+        assert!(lo.probability() > hi.probability() * 30.0);
+    }
+
+    #[test]
+    fn mitigation_rate_matches_probability() {
+        let mut p = Para::new(TrackerParams::baseline(500, 0, 9));
+        let mut out = Vec::new();
+        for _ in 0..100_000 {
+            p.on_activation(act(), &mut out);
+        }
+        let rate = p.mitigations as f64 / 100_000.0;
+        assert!((rate - p.probability()).abs() < 0.005, "rate {rate}");
+        assert_eq!(out.len(), p.mitigations as usize);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Para::new(TrackerParams::baseline(500, 0, 4));
+        let mut b = Para::new(TrackerParams::baseline(500, 0, 4));
+        let mut oa = Vec::new();
+        let mut ob = Vec::new();
+        for _ in 0..10_000 {
+            a.on_activation(act(), &mut oa);
+            b.on_activation(act(), &mut ob);
+        }
+        assert_eq!(oa.len(), ob.len());
+    }
+}

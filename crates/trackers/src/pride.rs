@@ -1,0 +1,170 @@
+//! PrIDE (Jaleel et al., ISCA 2024): in-DRAM probabilistic FIFO sampling.
+//!
+//! Each bank samples activations into a small FIFO with probability
+//! `32 / N_RH`; queued aggressors are mitigated on the periodic refresh
+//! schedule — every bank with a non-empty queue issues `ceil(500 / N_RH)`
+//! mitigations per tREFI (PrIDE is an in-DRAM, per-bank scheme riding the
+//! refresh cadence). The fixed per-tREFI mitigation budget is what
+//! Perf-Attacks and low N_RH stress (Figs. 15/16).
+
+use crate::TrackerParams;
+use sim_core::addr::DramAddr;
+use sim_core::rng::Xoshiro256;
+use sim_core::time::Cycle;
+use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
+use std::collections::VecDeque;
+
+/// Per-bank FIFO depth.
+pub const QUEUE_DEPTH: usize = 4;
+
+/// The PrIDE tracker for one channel.
+#[derive(Debug)]
+pub struct Pride {
+    prob: f64,
+    rng: Xoshiro256,
+    queues: Vec<VecDeque<DramAddr>>,
+    per_trefi: usize,
+    next_service: usize,
+    /// Sampled aggressors dropped because a queue was full.
+    pub overflows: u64,
+    /// Mitigations issued.
+    pub mitigations: u64,
+}
+
+impl Pride {
+    /// Creates a PrIDE instance for one channel.
+    pub fn new(p: TrackerParams) -> Self {
+        let nbanks = (p.geometry.ranks as u32 * p.geometry.banks_per_rank()) as usize;
+        Self {
+            prob: (32.0 / p.nrh as f64).min(1.0),
+            rng: Xoshiro256::seed_from(p.seed ^ 0x9B1D_E001u64),
+            queues: vec![VecDeque::with_capacity(QUEUE_DEPTH); nbanks],
+            per_trefi: (500usize).div_ceil(p.nrh as usize),
+            next_service: 0,
+            overflows: 0,
+            mitigations: 0,
+        }
+    }
+
+    /// Sampling probability per activation.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+
+    /// Mitigations per tREFI.
+    pub fn budget(&self) -> usize {
+        self.per_trefi
+    }
+
+    fn bank_index(queues: usize, a: &DramAddr, banks_per_rank: u32, banks_per_group: u8) -> usize {
+        let b = a.rank as u32 * banks_per_rank
+            + a.bank_group as u32 * banks_per_group as u32
+            + a.bank as u32;
+        (b as usize) % queues
+    }
+}
+
+impl RowHammerTracker for Pride {
+    fn name(&self) -> &'static str {
+        "PrIDE"
+    }
+
+    fn on_activation(&mut self, act: Activation, _actions: &mut Vec<TrackerAction>) {
+        if !self.rng.gen_bool(self.prob) {
+            return;
+        }
+        let idx = Self::bank_index(self.queues.len(), &act.addr, 32, 4);
+        let q = &mut self.queues[idx];
+        if q.len() >= QUEUE_DEPTH {
+            self.overflows += 1;
+            q.pop_front();
+        }
+        q.push_back(act.addr);
+    }
+
+    fn on_trefi(&mut self, _cycle: Cycle, actions: &mut Vec<TrackerAction>) {
+        // Every bank services its own queue on the refresh cadence,
+        // `per_trefi` entries each (in-DRAM, per-bank mitigation).
+        for q in &mut self.queues {
+            for _ in 0..self.per_trefi {
+                match q.pop_front() {
+                    Some(addr) => {
+                        actions.push(TrackerAction::MitigateRow(addr));
+                        self.mitigations += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn storage_overhead(&self) -> StorageOverhead {
+        // In-DRAM queues: 64 banks x 4 entries x ~3 B.
+        StorageOverhead::new(768, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::req::SourceId;
+
+    fn act(row: u32) -> Activation {
+        Activation {
+            addr: DramAddr::new(0, 0, 0, 0, row, 0),
+            source: SourceId(0),
+            cycle: 0,
+        }
+    }
+
+    fn params(nrh: u32) -> TrackerParams {
+        TrackerParams::baseline(nrh, 0, 21)
+    }
+
+    #[test]
+    fn budget_scales_with_threshold() {
+        assert_eq!(Pride::new(params(500)).budget(), 1);
+        assert_eq!(Pride::new(params(250)).budget(), 2);
+        assert_eq!(Pride::new(params(125)).budget(), 4);
+        assert_eq!(Pride::new(params(1000)).budget(), 1);
+    }
+
+    #[test]
+    fn sampled_rows_get_mitigated_at_trefi() {
+        let mut t = Pride::new(params(500));
+        let mut out = Vec::new();
+        // Hammer until something is sampled (p = 3.2%).
+        for _ in 0..1000 {
+            t.on_activation(act(7), &mut out);
+        }
+        t.on_trefi(0, &mut out);
+        assert!(
+            out.iter().any(|x| matches!(x, TrackerAction::MitigateRow(_))),
+            "sampled aggressor must be serviced"
+        );
+        assert!(t.mitigations >= 1);
+    }
+
+    #[test]
+    fn budget_caps_mitigations_per_trefi() {
+        let mut t = Pride::new(params(500));
+        let mut out = Vec::new();
+        // All samples land in bank 0's queue (capacity 4).
+        for row in 0..10_000u32 {
+            t.on_activation(act(row), &mut out);
+        }
+        out.clear();
+        t.on_trefi(0, &mut out);
+        assert_eq!(out.len(), 1, "N_RH=500: one mitigation per bank per tREFI");
+    }
+
+    #[test]
+    fn queue_overflow_drops_oldest() {
+        let mut t = Pride::new(params(125)); // p = 12.8%: samples fast
+        let mut out = Vec::new();
+        for row in 0..2000u32 {
+            t.on_activation(act(row), &mut out);
+        }
+        assert!(t.overflows > 0, "tiny FIFO must overflow under hammering");
+    }
+}

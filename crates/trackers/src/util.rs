@@ -1,0 +1,61 @@
+//! Internal helpers shared by the trackers.
+
+use sim_core::addr::{DramAddr, Geometry};
+
+/// SplitMix64 finaliser — a cheap keyed hash for counter indexing.
+#[inline]
+pub fn hash64(x: u64, seed: u64) -> u64 {
+    let mut z = x ^ seed.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(seed | 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a metadata (counter-storage) index to a DRAM address in the
+/// reserved region — the top rows of each bank, striped across banks so
+/// counter traffic spreads like Hydra's RCT does.
+pub fn meta_addr(geom: &Geometry, channel: u8, rank: u8, idx: u64) -> DramAddr {
+    let banks = geom.banks_per_rank() as u64;
+    let bank_flat = (idx % banks) as u32;
+    let depth = (idx / banks) % 64; // 64 reserved rows per bank
+    let row = geom.rows_per_bank - 1 - depth as u32;
+    DramAddr {
+        channel,
+        rank,
+        bank_group: (bank_flat / geom.banks_per_group as u32) as u8,
+        bank: (bank_flat % geom.banks_per_group as u32) as u8,
+        row,
+        col: (idx % geom.cols_per_row() as u64) as u16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        assert_eq!(hash64(42, 1), hash64(42, 1));
+        assert_ne!(hash64(42, 1), hash64(42, 2));
+        assert_ne!(hash64(42, 1), hash64(43, 1));
+    }
+
+    #[test]
+    fn meta_addr_stays_in_reserved_region() {
+        let g = Geometry::paper_baseline();
+        for idx in [0u64, 1, 31, 32, 1000, 123_456] {
+            let a = meta_addr(&g, 0, 1, idx);
+            assert!(a.row >= g.rows_per_bank - 64, "row {} outside reserved", a.row);
+            assert!(a.col < g.cols_per_row());
+            assert_eq!(a.rank, 1);
+        }
+    }
+
+    #[test]
+    fn meta_addr_stripes_banks() {
+        let g = Geometry::paper_baseline();
+        let a = meta_addr(&g, 0, 0, 0);
+        let b = meta_addr(&g, 0, 0, 1);
+        assert_ne!((a.bank_group, a.bank), (b.bank_group, b.bank));
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic trace generation from a [`WorkloadSpec`].
+
+use crate::catalog::WorkloadSpec;
+use cpu::{TraceEntry, TraceSource};
+use sim_core::addr::PhysAddr;
+use sim_core::rng::{Xoshiro256, Zipf};
+
+/// A deterministic, endless memory-access stream matching a workload's
+/// intensity, locality, footprint, and reuse skew.
+///
+/// The generator walks a per-core physical segment: with probability
+/// `row_locality` the next access stays in the current 8 KB row (sequential
+/// lines — the open-page-friendly pattern); otherwise it jumps to another
+/// row of the footprint, uniformly or Zipf-skewed.
+#[derive(Debug)]
+pub struct SyntheticTrace {
+    rng: Xoshiro256,
+    /// Mean bubbles between accesses (1000 / apki).
+    mean_gap: f64,
+    row_locality: f64,
+    write_frac: f64,
+    /// Footprint in 8 KB rows.
+    rows: u64,
+    /// Base physical address of this core's segment.
+    base: u64,
+    zipf: Option<Zipf>,
+    cur_row: u64,
+    cur_line: u64,
+}
+
+/// Lines per 8 KB row.
+const LINES_PER_ROW: u64 = 128;
+
+impl SyntheticTrace {
+    /// Creates the stream for `core` (each core gets a disjoint segment so
+    /// homogeneous mixes do not alias).
+    pub fn new(spec: &WorkloadSpec, core: usize, seed: u64) -> Self {
+        let rows = (spec.footprint_mib * 1024 * 1024 / 8192).max(4);
+        // Segments stride the paper's 64 GB space; 16 GiB apart per core.
+        let base = core as u64 * (16 << 30);
+        let rng = Xoshiro256::seed_from(
+            seed ^ (core as u64) << 48 ^ spec.name.len() as u64 ^ spec.apki.to_bits(),
+        );
+        Self {
+            rng,
+            mean_gap: 1000.0 / spec.apki,
+            row_locality: spec.row_locality,
+            write_frac: spec.write_frac,
+            rows,
+            base,
+            zipf: spec.zipf_theta.map(|t| Zipf::new(rows, t)),
+            cur_row: 0,
+            cur_line: 0,
+        }
+    }
+
+    fn pick_row(&mut self) -> u64 {
+        match &self.zipf {
+            Some(z) => {
+                // Scramble the Zipf rank so hot rows scatter over the space.
+                let rank = z.sample(&mut self.rng);
+                rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.rows
+            }
+            None => self.rng.gen_range(self.rows),
+        }
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_entry(&mut self) -> TraceEntry {
+        // Geometric gap with mean ~ 1000/apki, capped to keep tails sane.
+        let p = 1.0 / (1.0 + self.mean_gap);
+        let bubbles = self.rng.gen_geometric(p, 50_000) as u32;
+
+        if self.rng.gen_bool(self.row_locality) {
+            self.cur_line = (self.cur_line + 1) % LINES_PER_ROW;
+        } else {
+            self.cur_row = self.pick_row();
+            self.cur_line = self.rng.gen_range(LINES_PER_ROW);
+        }
+        let addr = self.base + (self.cur_row * LINES_PER_ROW + self.cur_line) * 64;
+        let is_write = self.rng.gen_bool(self.write_frac);
+        TraceEntry { bubbles, addr: PhysAddr(addr), is_write }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::spec_by_name;
+
+    fn collect(name: &str, n: usize) -> Vec<TraceEntry> {
+        let spec = spec_by_name(name).unwrap();
+        let mut t = SyntheticTrace::new(spec, 0, 99);
+        (0..n).map(|_| t.next_entry()).collect()
+    }
+
+    #[test]
+    fn intensity_tracks_apki() {
+        let entries = collect("mcf_like", 20_000);
+        let insts: u64 = entries.iter().map(|e| e.bubbles as u64 + 1).sum();
+        let apki = 20_000.0 * 1000.0 / insts as f64;
+        let want = spec_by_name("mcf_like").unwrap().apki;
+        assert!((apki - want).abs() / want < 0.15, "apki {apki} want {want}");
+    }
+
+    #[test]
+    fn footprint_is_respected() {
+        let spec = spec_by_name("povray_like").unwrap(); // 3 MiB
+        let mut t = SyntheticTrace::new(spec, 0, 1);
+        let limit = 3 * 1024 * 1024;
+        for _ in 0..50_000 {
+            let e = t.next_entry();
+            assert!(e.addr.0 < limit, "{:#x} outside footprint", e.addr.0);
+        }
+    }
+
+    #[test]
+    fn locality_produces_sequential_lines() {
+        let entries = collect("libquantum_like", 10_000); // locality 0.85
+        let sequential = entries
+            .windows(2)
+            .filter(|w| w[1].addr.0 == w[0].addr.0 + 64)
+            .count();
+        assert!(
+            sequential as f64 / entries.len() as f64 > 0.6,
+            "sequential fraction {sequential}"
+        );
+    }
+
+    #[test]
+    fn write_fraction_matches_spec() {
+        let entries = collect("lbm_like", 20_000); // 45% writes
+        let writes = entries.iter().filter(|e| e.is_write).count() as f64;
+        let frac = writes / entries.len() as f64;
+        assert!((frac - 0.45).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn cores_get_disjoint_segments() {
+        let spec = spec_by_name("gcc_like").unwrap();
+        let mut a = SyntheticTrace::new(spec, 0, 5);
+        let mut b = SyntheticTrace::new(spec, 1, 5);
+        for _ in 0..1000 {
+            let ea = a.next_entry();
+            let eb = b.next_entry();
+            assert!(ea.addr.0 < (16 << 30));
+            assert!(eb.addr.0 >= (16 << 30) && eb.addr.0 < (32 << 30));
+        }
+    }
+
+    #[test]
+    fn zipf_workloads_concentrate_reuse() {
+        let entries = collect("ycsb_a_like", 30_000);
+        let mut counts = std::collections::HashMap::new();
+        for e in &entries {
+            *counts.entry(e.addr.0 >> 13).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // A uniform draw over 150K rows would almost never repeat 30 times.
+        assert!(max > 30, "hottest row only {max} touches");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let spec = spec_by_name("milc_like").unwrap();
+        let mut a = SyntheticTrace::new(spec, 2, 42);
+        let mut b = SyntheticTrace::new(spec, 2, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_entry(), b.next_entry());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's headline experiment in miniature: a tailored Perf-Attack
+//! devastates a shared-structure tracker (Hydra) while DAPPER-H shrugs off
+//! its strongest mapping-agnostic attack.
+//!
+//! Run with: `cargo run --release --example perf_attack`
+
+use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::workloads::Attack;
+
+fn main() {
+    let window_us = 2000.0;
+    println!("co-running workload: parest_r_like (510.parest stand-in), {window_us} us window\n");
+
+    // Hydra under its tailored RCC-thrash attack (normalized vs attack-free
+    // baseline: shows the combined contention + tracker amplification).
+    let hydra = Experiment::new("parest_r_like")
+        .tracker(TrackerChoice::Hydra)
+        .attack(AttackChoice::Tailored)
+        .window_us(window_us)
+        .run();
+    println!(
+        "Hydra  + tailored attack : {:.3} of baseline ({} extra DRAM counter ops)",
+        hydra.normalized_performance,
+        hydra.run.mem.counter_reads + hydra.run.mem.counter_writes
+    );
+
+    // DAPPER-H under the refresh attack, tracker overhead isolated (the
+    // paper's Fig. 10 normalization).
+    let dapper = Experiment::new("parest_r_like")
+        .tracker(TrackerChoice::DapperH)
+        .attack(AttackChoice::Specific(Attack::RefreshAttack))
+        .isolating()
+        .window_us(window_us)
+        .run();
+    println!(
+        "DAPPER-H + refresh attack: {:.3} of baseline ({} victim-row refreshes)",
+        dapper.normalized_performance, dapper.run.mem.victim_rows_refreshed
+    );
+
+    println!(
+        "\npaper: Hydra loses ~61% under its tailored attack; DAPPER-H loses <1%"
+    );
+}

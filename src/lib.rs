@@ -1,0 +1,40 @@
+//! # DAPPER reproduction — workspace facade
+//!
+//! This crate re-exports every workspace member so examples and integration
+//! tests can reach the whole system through one dependency. The interesting
+//! code lives in the member crates:
+//!
+//! * [`dapper`] — DAPPER-S / DAPPER-H, the paper's contribution,
+//! * [`trackers`] — Hydra, START, CoMeT, ABACUS, BlockHammer, PARA, PrIDE,
+//!   PRAC baselines,
+//! * [`sim`] — the full-system simulator and experiment runner,
+//! * [`workloads`] — the 57-workload catalog and the Perf-Attack generators,
+//! * [`analysis`] — security/storage/energy models and the RowHammer oracle,
+//! * [`dram`], [`memctrl`], [`llcache`], [`cpu`], [`llbc`], [`sim_core`] —
+//!   substrates.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+//!
+//! let result = Experiment::quick("milc_like")
+//!     .tracker(TrackerChoice::DapperH)
+//!     .attack(AttackChoice::None)
+//!     .run();
+//! assert!(result.normalized_performance > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use analysis;
+pub use cpu;
+pub use dapper;
+pub use dram;
+pub use llbc;
+pub use llcache;
+pub use memctrl;
+pub use sim;
+pub use sim_core;
+pub use trackers;
+pub use workloads;

@@ -89,10 +89,7 @@ mod tests {
         let (hits, trials) = s_capture_trials(cfg, 200_000, 1);
         let rate = hits as f64 / trials as f64;
         let expect = 1.0 / cfg.groups_per_rank() as f64;
-        assert!(
-            (rate - expect).abs() < expect * 0.2,
-            "rate {rate:.6} expect {expect:.6}"
-        );
+        assert!((rate - expect).abs() < expect * 0.2, "rate {rate:.6} expect {expect:.6}");
     }
 
     #[test]
@@ -106,10 +103,7 @@ mod tests {
             let one = 1.0 - (1.0 - 1.0 / nf) * (1.0 - 1.0 / nf);
             one * one
         };
-        assert!(
-            (rate - expect).abs() < expect * 0.25,
-            "rate {rate:.2e} expect {expect:.2e}"
-        );
+        assert!((rate - expect).abs() < expect * 0.25, "rate {rate:.2e} expect {expect:.2e}");
     }
 
     #[test]

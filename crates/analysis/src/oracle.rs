@@ -40,8 +40,7 @@ impl Oracle {
     }
 
     fn key(&self, rank: u8, bank_flat: u32, row: u32) -> u64 {
-        ((rank as u64 * self.geom.banks_per_rank() as u64 + bank_flat as u64) << 32)
-            | row as u64
+        ((rank as u64 * self.geom.banks_per_rank() as u64 + bank_flat as u64) << 32) | row as u64
     }
 
     /// Feeds one controller event.

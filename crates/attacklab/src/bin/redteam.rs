@@ -1,0 +1,6 @@
+//! Red-team campaign runner. See `attacklab::cli` for the interface.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(attacklab::cli::main_with_args(&args));
+}

@@ -1,0 +1,299 @@
+//! Red-team campaigns: scenario × tracker matrices plus per-tracker
+//! worst-case search, fanned out over the sim runner's parallel sweep.
+//!
+//! A campaign evaluates every fixed scenario against every tracker (all
+//! jobs share one reference run), optionally runs the mutation search per
+//! tracker, and aggregates everything into a resilience leaderboard with
+//! JSON/CSV exports.
+
+use crate::json::{csv_field, Json};
+use crate::scenario::ScenarioSpec;
+use crate::search::{
+    evaluate_specs, reference_run, search_against, EvalRecord, SearchConfig, SearchReport,
+};
+use sim::experiment::TrackerChoice;
+use workloads::Attack;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Trackers under test.
+    pub trackers: Vec<TrackerChoice>,
+    /// Benign workload sharing the machine.
+    pub workload: String,
+    /// Fixed scenarios evaluated for every tracker.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Simulation window per run, microseconds.
+    pub window_us: f64,
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Seed for simulation and search.
+    pub seed: u64,
+    /// Worst-case-search evaluations per tracker (0 disables the search).
+    pub search_budget: u32,
+}
+
+impl CampaignConfig {
+    /// A campaign over the given trackers with the paper's seven attack
+    /// patterns as the fixed matrix and a 50-evaluation search per tracker.
+    pub fn new(trackers: Vec<TrackerChoice>, workload: &str) -> Self {
+        Self {
+            trackers,
+            workload: workload.to_string(),
+            scenarios: Attack::all().map(ScenarioSpec::baseline).to_vec(),
+            window_us: 250.0,
+            nrh: 500,
+            seed: 0xDA99E5,
+            search_budget: 50,
+        }
+    }
+
+    fn search_config(&self, tracker: TrackerChoice) -> SearchConfig {
+        let mut cfg = SearchConfig::new(tracker, &self.workload);
+        cfg.window_us = self.window_us;
+        cfg.nrh = self.nrh;
+        cfg.seed = self.seed;
+        cfg.budget = self.search_budget.max(1);
+        cfg
+    }
+}
+
+/// One evaluated (tracker, scenario) cell.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Tracker display name.
+    pub tracker: &'static str,
+    /// "fixed" for matrix scenarios, "search" for search discoveries.
+    pub origin: &'static str,
+    /// The evaluation.
+    pub record: EvalRecord,
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The configuration that produced this report.
+    pub config: CampaignConfig,
+    /// Every evaluated cell (fixed matrix first, then search bests).
+    pub rows: Vec<CampaignRow>,
+    /// Per-tracker search reports (empty when the search was disabled).
+    pub searches: Vec<SearchReport>,
+}
+
+/// Runs the campaign: the fixed matrix for every tracker, then (budget
+/// permitting) the worst-case search per tracker.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let mut rows = Vec::new();
+    let mut searches = Vec::new();
+    // The reference run (insecure, attack-free) depends only on the
+    // workload and system config, so every tracker's matrix and search
+    // share one.
+    let reference = cfg
+        .trackers
+        .first()
+        .map(|&t| reference_run(&cfg.search_config(t)))
+        .expect("campaign needs at least one tracker");
+    for &tracker in &cfg.trackers {
+        let scfg = cfg.search_config(tracker);
+        for record in evaluate_specs(&scfg, &reference, cfg.scenarios.clone()) {
+            rows.push(CampaignRow { tracker: tracker.name(), origin: "fixed", record });
+        }
+        if cfg.search_budget > 0 {
+            let report = search_against(&scfg, &reference);
+            rows.push(CampaignRow {
+                tracker: tracker.name(),
+                origin: "search",
+                record: report.best.clone(),
+            });
+            searches.push(report);
+        }
+    }
+    CampaignReport { config: cfg.clone(), rows, searches }
+}
+
+impl CampaignReport {
+    /// The worst (highest-slowdown) row per tracker, most-resilient tracker
+    /// first.
+    pub fn leaderboard(&self) -> Vec<&CampaignRow> {
+        let mut worst: Vec<&CampaignRow> = Vec::new();
+        for &tracker in &self.config.trackers {
+            let name = tracker.name();
+            if let Some(row) = self
+                .rows
+                .iter()
+                .filter(|r| r.tracker == name)
+                .max_by(|a, b| a.record.slowdown.total_cmp(&b.record.slowdown))
+            {
+                worst.push(row);
+            }
+        }
+        worst.sort_by(|a, b| a.record.slowdown.total_cmp(&b.record.slowdown));
+        worst
+    }
+
+    /// Renders the leaderboard as an aligned text table.
+    pub fn leaderboard_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<13} {:>9} {:>9} {:>12} {:>12} {:>8} {:>10}  {}\n",
+            "tracker",
+            "worst",
+            "norm.perf",
+            "mitigations",
+            "counter-ops",
+            "resets",
+            "energy",
+            "scenario"
+        ));
+        for row in self.leaderboard() {
+            let r = &row.record;
+            out.push_str(&format!(
+                "{:<13} {:>8.3}x {:>9.3} {:>12} {:>12} {:>8} {:>8.2}mJ  {} [{}]\n",
+                row.tracker,
+                r.slowdown,
+                r.normalized_performance,
+                r.mitigations,
+                r.counter_ops,
+                r.reset_sweeps,
+                r.energy_mj,
+                r.name,
+                row.origin,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the full report (config, rows, searches) as JSON.
+    pub fn to_json(&self) -> Json {
+        let row_json = |row: &CampaignRow| {
+            let r = &row.record;
+            Json::obj([
+                ("tracker", Json::str(row.tracker)),
+                ("origin", Json::str(row.origin)),
+                ("scenario", Json::str(&r.name)),
+                ("spec", r.spec.to_json()),
+                ("slowdown", Json::num(r.slowdown)),
+                ("normalized_performance", Json::num(r.normalized_performance)),
+                ("mitigations", Json::count(r.mitigations)),
+                ("counter_ops", Json::count(r.counter_ops)),
+                ("reset_sweeps", Json::count(r.reset_sweeps)),
+                ("energy_mj", Json::num(r.energy_mj)),
+            ])
+        };
+        let searches = self
+            .searches
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("tracker", Json::str(s.tracker)),
+                    ("seed", Json::hex(s.seed)),
+                    ("evaluations", Json::count(s.evaluations as u64)),
+                    ("best_slowdown", Json::num(s.best.slowdown)),
+                    ("tailored_slowdown", Json::num(s.tailored.slowdown)),
+                    ("tailored_scenario", Json::str(&s.tailored.name)),
+                    ("slack", Json::num(s.slack())),
+                    ("rediscovered_tailored", Json::Bool(s.rediscovered_tailored())),
+                    ("best_spec", s.best.spec.to_json()),
+                    (
+                        "history",
+                        Json::Arr(
+                            s.history
+                                .iter()
+                                .map(|(i, v)| {
+                                    Json::Arr(vec![Json::count(*i as u64), Json::num(*v)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "config",
+                Json::obj([
+                    (
+                        "trackers",
+                        Json::Arr(
+                            self.config.trackers.iter().map(|t| Json::str(t.name())).collect(),
+                        ),
+                    ),
+                    ("workload", Json::str(&self.config.workload)),
+                    ("window_us", Json::num(self.config.window_us)),
+                    ("nrh", Json::count(self.config.nrh as u64)),
+                    ("seed", Json::hex(self.config.seed)),
+                    ("search_budget", Json::count(self.config.search_budget as u64)),
+                ]),
+            ),
+            ("rows", Json::Arr(self.rows.iter().map(row_json).collect())),
+            ("searches", Json::Arr(searches)),
+        ])
+    }
+
+    /// Serializes every row as CSV (header + one line per evaluation).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "tracker,origin,scenario,slowdown,normalized_performance,mitigations,counter_ops,reset_sweeps,energy_mj\n",
+        );
+        for row in &self.rows {
+            let r = &row.record;
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{},{},{},{:.4}\n",
+                csv_field(row.tracker),
+                row.origin,
+                csv_field(&r.name),
+                r.slowdown,
+                r.normalized_performance,
+                r.mitigations,
+                r.counter_ops,
+                r.reset_sweeps,
+                r.energy_mj,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        let mut cfg =
+            CampaignConfig::new(vec![TrackerChoice::Hydra, TrackerChoice::DapperH], "povray_like");
+        cfg.window_us = 60.0;
+        cfg.scenarios = vec![
+            ScenarioSpec::baseline(Attack::Streaming),
+            ScenarioSpec::baseline(Attack::CacheThrash),
+        ];
+        cfg.search_budget = 0;
+        cfg
+    }
+
+    #[test]
+    fn campaign_covers_the_full_matrix() {
+        let report = run_campaign(&tiny());
+        assert_eq!(report.rows.len(), 4, "2 trackers x 2 scenarios");
+        assert!(report.searches.is_empty());
+        let board = report.leaderboard();
+        assert_eq!(board.len(), 2);
+        assert!(
+            board[0].record.slowdown <= board[1].record.slowdown,
+            "leaderboard sorts most-resilient first"
+        );
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let report = run_campaign(&tiny());
+        let json = report.to_json().render();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rows\""));
+        assert!(json.contains("\"Hydra\""));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 5, "header + 4 rows");
+        assert!(csv.starts_with("tracker,origin,scenario"));
+        let table = report.leaderboard_table();
+        assert!(table.contains("Hydra") && table.contains("DAPPER-H"));
+    }
+}

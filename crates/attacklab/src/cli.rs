@@ -1,0 +1,229 @@
+//! The `redteam` command-line campaign driver.
+//!
+//! ```text
+//! cargo run --release --bin redteam -- --trackers dapper-h,hydra,comet --budget 50
+//! ```
+//!
+//! Runs the fixed attack matrix plus the worst-case search for every named
+//! tracker, prints the resilience leaderboard and the search-vs-tailored
+//! comparison (with the seed reproducing each best scenario), and writes
+//! the full structured results as JSON (and optionally CSV).
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
+use sim::experiment::TrackerChoice;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct RedteamOpts {
+    /// Campaign configuration.
+    pub campaign: CampaignConfig,
+    /// JSON output path.
+    pub out: String,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+}
+
+/// Default tracker set: DAPPER plus the four attackable shared-structure
+/// baselines.
+pub const DEFAULT_TRACKERS: &str = "dapper-h,dapper-s,hydra,start,comet,abacus";
+
+const USAGE: &str = "redteam — adversarial scenario campaign runner
+
+USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
+               [--window-us F] [--nrh N] [--seed N] [--out FILE] [--csv FILE]
+
+  --trackers   comma-separated tracker list (default dapper-h,dapper-s,hydra,start,comet,abacus)
+  --workload   benign co-running workload (default libquantum_like)
+  --budget     search evaluations per tracker, 0 = fixed matrix only (default 50)
+  --window-us  simulated window per evaluation in microseconds (default 250)
+  --nrh        RowHammer threshold (default 500)
+  --seed       seed for simulation and search (default 0xDA99E5 as decimal)
+  --out        JSON results path (default redteam_results.json)
+  --csv        also write rows as CSV to this path
+";
+
+/// Parses CLI arguments. Returns `Err` with a usage/diagnostic string on
+/// bad input (the caller prints it and sets the exit code).
+pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(USAGE.to_string());
+    }
+    // Strict parse: every argument must be a known flag followed by its
+    // value, so a typo'd flag or a forgotten value fails fast instead of
+    // silently running a multi-minute campaign with defaults.
+    const FLAGS: [&str; 8] = [
+        "--trackers",
+        "--workload",
+        "--budget",
+        "--window-us",
+        "--nrh",
+        "--seed",
+        "--out",
+        "--csv",
+    ];
+    let mut pairs: Vec<(&str, &String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(&known) = FLAGS.iter().find(|&&f| f == flag) else {
+            return Err(format!("unknown argument '{flag}' (try --help)"));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("{flag} requires a value"));
+        };
+        pairs.push((known, value));
+        i += 2;
+    }
+    let get = |flag: &str| -> Option<&String> {
+        pairs.iter().rev().find(|(f, _)| *f == flag).map(|(_, v)| *v)
+    };
+    let parse_num = |flag: &str, default: f64| -> Result<f64, String> {
+        match get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{flag}: cannot parse '{v}'")),
+        }
+    };
+    let tracker_list = get("--trackers").map(String::as_str).unwrap_or(DEFAULT_TRACKERS);
+    let mut trackers = Vec::new();
+    for name in tracker_list.split(',').filter(|s| !s.is_empty()) {
+        let t = TrackerChoice::parse(name).ok_or_else(|| {
+            format!(
+                "unknown tracker '{name}'; known: {}",
+                TrackerChoice::all().map(|t| t.name()).join(", ")
+            )
+        })?;
+        if !trackers.contains(&t) {
+            trackers.push(t);
+        }
+    }
+    if trackers.is_empty() {
+        return Err("no trackers selected".to_string());
+    }
+    let workload = get("--workload").map(String::as_str).unwrap_or("libquantum_like");
+    if workloads::spec_by_name(workload).is_none() {
+        return Err(format!("unknown workload '{workload}'"));
+    }
+    let mut campaign = CampaignConfig::new(trackers, workload);
+    campaign.search_budget = parse_num("--budget", 50.0)? as u32;
+    campaign.window_us = parse_num("--window-us", 250.0)?;
+    campaign.nrh = parse_num("--nrh", 500.0)? as u32;
+    campaign.seed = match get("--seed") {
+        None => 0xDA99E5,
+        Some(v) => v.parse().map_err(|_| format!("--seed: cannot parse '{v}'"))?,
+    };
+    Ok(RedteamOpts {
+        campaign,
+        out: get("--out").cloned().unwrap_or_else(|| "redteam_results.json".to_string()),
+        csv: get("--csv").cloned(),
+    })
+}
+
+fn print_report(report: &CampaignReport) {
+    let cfg = &report.config;
+    println!("==== redteam: adversarial scenario campaign ====");
+    println!(
+        "workload: {} | window: {} us | N_RH: {} | seed: {:#x} | search budget: {}/tracker",
+        cfg.workload, cfg.window_us, cfg.nrh, cfg.seed, cfg.search_budget
+    );
+    println!();
+    println!("resilience leaderboard (worst case found per tracker, best defense first):");
+    print!("{}", report.leaderboard_table());
+    if !report.searches.is_empty() {
+        println!();
+        println!("search vs. the paper's tailored attacks:");
+        for s in &report.searches {
+            let verdict = if s.slack() > 1e-9 { "beats tailored" } else { "matches tailored" };
+            println!(
+                "  {:<13} best {:>7.3}x ({}) vs tailored {:>7.3}x ({}) -> {} | reproduce: --seed {} ({} evals)",
+                s.tracker,
+                s.best.slowdown,
+                s.best.name,
+                s.tailored.slowdown,
+                s.tailored.name,
+                verdict,
+                s.seed,
+                s.evaluations,
+            );
+        }
+    }
+}
+
+/// Full CLI entry point; returns the process exit code.
+pub fn main_with_args(args: &[String]) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let report = run_campaign(&opts.campaign);
+    print_report(&report);
+    let json = report.to_json().render();
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("cannot write {}: {e}", opts.out);
+        return 1;
+    }
+    println!("\nresults written to {}", opts.out);
+    if let Some(csv_path) = &opts.csv {
+        if let Err(e) = std::fs::write(csv_path, report.to_csv()) {
+            eprintln!("cannot write {csv_path}: {e}");
+            return 1;
+        }
+        println!("rows written to {csv_path}");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_the_acceptance_command_line() {
+        let opts =
+            parse_args(&argv("--trackers dapper-h,hydra,comet --budget 50")).expect("parses");
+        assert_eq!(
+            opts.campaign.trackers,
+            vec![TrackerChoice::DapperH, TrackerChoice::Hydra, TrackerChoice::Comet]
+        );
+        assert_eq!(opts.campaign.search_budget, 50);
+        assert_eq!(opts.out, "redteam_results.json");
+        assert_eq!(opts.campaign.workload, "libquantum_like");
+    }
+
+    #[test]
+    fn rejects_unknown_trackers_and_workloads() {
+        assert!(parse_args(&argv("--trackers nonsense")).is_err());
+        assert!(parse_args(&argv("--workload nonsense")).is_err());
+        assert!(parse_args(&argv("--help")).is_err());
+    }
+
+    #[test]
+    fn rejects_typoed_flags_and_missing_values() {
+        let err = parse_args(&argv("--buget 200")).expect_err("typo must not run with defaults");
+        assert!(err.contains("--buget"), "{err}");
+        let err = parse_args(&argv("--trackers")).expect_err("flag without value");
+        assert!(err.contains("requires a value"), "{err}");
+        let err = parse_args(&argv("--budget 5 extra")).expect_err("stray positional");
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn last_occurrence_of_a_repeated_flag_wins() {
+        let opts = parse_args(&argv("--budget 5 --budget 9")).expect("parses");
+        assert_eq!(opts.campaign.search_budget, 9);
+    }
+
+    #[test]
+    fn defaults_cover_the_shared_structure_baselines() {
+        let opts = parse_args(&[]).expect("defaults parse");
+        assert_eq!(opts.campaign.trackers.len(), 6);
+        assert_eq!(opts.campaign.window_us, 250.0);
+        assert!(opts.csv.is_none());
+    }
+}

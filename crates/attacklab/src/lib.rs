@@ -1,0 +1,55 @@
+//! # attacklab — composable adversarial scenarios and red-team campaigns
+//!
+//! The paper's claim is resilience against *performance attacks*; this
+//! crate stops taking the attacker's side for granted. It replaces the
+//! fixed menu of hand-written patterns (`workloads::Attack`) with:
+//!
+//! * [`pattern`] — a SWAGE-style composable pattern engine: primitives
+//!   ([`pattern::RowSweep`], [`pattern::HammerRows`],
+//!   [`pattern::LineStream`], [`pattern::RandomRows`]) wrapped by
+//!   combinators ([`pattern::Interleave`], [`pattern::Burst`],
+//!   [`pattern::Decoy`], [`pattern::Feint`], [`pattern::RateLimit`]), all
+//!   deterministic in their seed;
+//! * [`compat`] — bit-exact reconstructions of every paper attack as a
+//!   composition, keeping the `Attack` enum a thin facade;
+//! * [`scenario`] — the [`scenario::ScenarioSpec`] genome that expands into
+//!   pattern compositions and supports one-gene mutation;
+//! * [`search`] — hill-climbing worst-case search on normalized slowdown,
+//!   seeded with the paper's tailored attacks so it can only match or beat
+//!   them, reporting the seed that reproduces its best find;
+//! * [`campaign`] — scenario × tracker matrices over the parallel sweep
+//!   runner, with a resilience leaderboard and JSON/CSV export;
+//! * [`cli`] — the `redteam` binary driving all of the above.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use attacklab::search::{search, SearchConfig};
+//! use sim::experiment::TrackerChoice;
+//!
+//! let mut cfg = SearchConfig::new(TrackerChoice::Hydra, "libquantum_like");
+//! cfg.budget = 20;
+//! let report = search(&cfg);
+//! println!(
+//!     "worst case for {}: {:.2}x slowdown via {} (seed {:#x})",
+//!     report.tracker, report.best.slowdown, report.best.name, report.seed
+//! );
+//! assert!(report.rediscovered_tailored());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod cli;
+pub mod compat;
+pub mod json;
+pub mod pattern;
+pub mod scenario;
+pub mod search;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignRow};
+pub use compat::attack_pattern;
+pub use pattern::{BoxPattern, PatternGen, PatternTrace};
+pub use scenario::{ScenarioSpec, Shape};
+pub use search::{search, SearchConfig, SearchReport};

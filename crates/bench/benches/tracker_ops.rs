@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dapper::{DapperConfig, DapperH, DapperS};
 use llbc::Llbc;
-use sim_core::addr::{DramAddr, Geometry};
+use sim_core::addr::Geometry;
 use sim_core::req::SourceId;
 use sim_core::rng::Xoshiro256;
 use sim_core::tracker::{Activation, RowHammerTracker};

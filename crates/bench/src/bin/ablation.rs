@@ -29,7 +29,10 @@ fn main() {
     }
 
     println!("\n-- storage vs group size (both trackers, per 32 GB channel) --");
-    println!("  {:<8} {:>14} {:>14} {:>12}", "group", "DAPPER-S (KB)", "DAPPER-H (KB)", "groups/rank");
+    println!(
+        "  {:<8} {:>14} {:>14} {:>12}",
+        "group", "DAPPER-S (KB)", "DAPPER-H (KB)", "groups/rank"
+    );
     for gs in [64u32, 128, 256, 512] {
         let cfg = DapperConfig::baseline(opts.nrh, 0, opts.seed).with_group_size(gs);
         let s = DapperS::new(cfg).storage_overhead().sram_kb();
@@ -39,18 +42,12 @@ fn main() {
 
     println!("\n-- mitigation scope: rows refreshed per mitigation --");
     let cfg = DapperConfig::baseline(opts.nrh, 0, opts.seed);
-    println!(
-        "  DAPPER-S refreshes the whole group: {} rows per mitigation",
-        cfg.group_size
-    );
+    println!("  DAPPER-S refreshes the whole group: {} rows per mitigation", cfg.group_size);
     println!("  DAPPER-H refreshes the shared rows: ~1 row (99.9% single, Section VI-D)");
 
     println!("\n-- reset-period sensitivity for DAPPER-S (Table II shape) --");
     for t_reset_us in [36.0, 24.0, 12.0] {
         let r = analysis::equations::dapper_s_capture(t_reset_us * 1000.0, 48.0, 2.5, 250, 8192);
-        println!(
-            "  t_reset {t_reset_us:>4.0}us -> capture every {:>9.3} ms",
-            r.at_time_ns / 1e6
-        );
+        println!("  t_reset {t_reset_us:>4.0}us -> capture every {:>9.3} ms", r.at_time_ns / 1e6);
     }
 }

@@ -16,17 +16,61 @@ fn main() {
 
     let cases: Vec<(&str, Experiment, &str)> = vec![
         ("Hydra   benign        ", base(TrackerChoice::Hydra), "(~1.0)"),
-        ("Hydra   tailored      ", base(TrackerChoice::Hydra).attack(AttackChoice::Tailored), "(~0.39)"),
-        ("Hydra   cache-thrash  ", base(TrackerChoice::Hydra).attack(AttackChoice::CacheThrash), "(~0.6)"),
-        ("START   tailored      ", base(TrackerChoice::Start).attack(AttackChoice::Tailored), "(~0.35)"),
-        ("CoMeT   tailored      ", base(TrackerChoice::Comet).attack(AttackChoice::Tailored), "(~0.10)"),
-        ("ABACUS  tailored      ", base(TrackerChoice::Abacus).attack(AttackChoice::Tailored), "(~0.28)"),
+        (
+            "Hydra   tailored      ",
+            base(TrackerChoice::Hydra).attack(AttackChoice::Tailored),
+            "(~0.39)",
+        ),
+        (
+            "Hydra   cache-thrash  ",
+            base(TrackerChoice::Hydra).attack(AttackChoice::CacheThrash),
+            "(~0.6)",
+        ),
+        (
+            "START   tailored      ",
+            base(TrackerChoice::Start).attack(AttackChoice::Tailored),
+            "(~0.35)",
+        ),
+        (
+            "CoMeT   tailored      ",
+            base(TrackerChoice::Comet).attack(AttackChoice::Tailored),
+            "(~0.10)",
+        ),
+        (
+            "ABACUS  tailored      ",
+            base(TrackerChoice::Abacus).attack(AttackChoice::Tailored),
+            "(~0.28)",
+        ),
         ("DAPPER-S benign       ", base(TrackerChoice::DapperS), "(~1.0)"),
-        ("DAPPER-S streaming    ", base(TrackerChoice::DapperS).attack(AttackChoice::Specific(Attack::Streaming)).isolating(), "(~0.87)"),
-        ("DAPPER-S refresh      ", base(TrackerChoice::DapperS).attack(AttackChoice::Specific(Attack::RefreshAttack)).isolating(), "(~0.80)"),
+        (
+            "DAPPER-S streaming    ",
+            base(TrackerChoice::DapperS)
+                .attack(AttackChoice::Specific(Attack::Streaming))
+                .isolating(),
+            "(~0.87)",
+        ),
+        (
+            "DAPPER-S refresh      ",
+            base(TrackerChoice::DapperS)
+                .attack(AttackChoice::Specific(Attack::RefreshAttack))
+                .isolating(),
+            "(~0.80)",
+        ),
         ("DAPPER-H benign       ", base(TrackerChoice::DapperH), "(~0.999)"),
-        ("DAPPER-H streaming    ", base(TrackerChoice::DapperH).attack(AttackChoice::Specific(Attack::Streaming)).isolating(), "(~0.998)"),
-        ("DAPPER-H refresh      ", base(TrackerChoice::DapperH).attack(AttackChoice::Specific(Attack::RefreshAttack)).isolating(), "(~0.99)"),
+        (
+            "DAPPER-H streaming    ",
+            base(TrackerChoice::DapperH)
+                .attack(AttackChoice::Specific(Attack::Streaming))
+                .isolating(),
+            "(~0.998)",
+        ),
+        (
+            "DAPPER-H refresh      ",
+            base(TrackerChoice::DapperH)
+                .attack(AttackChoice::Specific(Attack::RefreshAttack))
+                .isolating(),
+            "(~0.99)",
+        ),
         ("BlockHammer benign    ", base(TrackerChoice::BlockHammer), "(~0.75)"),
         ("PARA    benign        ", base(TrackerChoice::Para), "(~0.97)"),
         ("PrIDE   benign        ", base(TrackerChoice::Pride), "(~0.93)"),

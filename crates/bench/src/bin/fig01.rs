@@ -28,15 +28,12 @@ fn main() {
     for t in TrackerChoice::scalable_baselines() {
         let jobs: Vec<Experiment> = workload_set
             .iter()
-            .map(|w| {
-                opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored))
-            })
+            .map(|w| opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored)))
             .collect();
         series.push((t.name().to_string(), run_all(jobs)));
     }
 
-    let labeled: Vec<(&str, _)> =
-        series.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();
+    let labeled: Vec<(&str, _)> = series.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();
     print_suite_table(&labeled, &workload_set);
     println!("\npaper: tailored attacks cost 60-90% vs ~40% for cache thrashing");
 }

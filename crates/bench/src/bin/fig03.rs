@@ -25,9 +25,7 @@ fn main() {
     for t in TrackerChoice::scalable_baselines() {
         let jobs: Vec<Experiment> = workload_set
             .iter()
-            .map(|w| {
-                opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored))
-            })
+            .map(|w| opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored)))
             .collect();
         series.push((t.name().to_string(), run_all(jobs)));
     }

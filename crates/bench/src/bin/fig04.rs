@@ -32,10 +32,8 @@ fn main() {
             let jobs: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| {
-                    opts.apply(
-                        Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored),
-                    )
-                    .nrh(nrh)
+                    opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored))
+                        .nrh(nrh)
                 })
                 .collect();
             let r = run_all(jobs);

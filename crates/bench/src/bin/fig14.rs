@@ -15,9 +15,7 @@ fn main() {
         let mk = |t: TrackerChoice, kind: MitigationKind| -> f64 {
             let jobs: Vec<Experiment> = workload_set
                 .iter()
-                .map(|w| {
-                    opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh)
-                })
+                .map(|w| opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh))
                 .collect();
             let r = run_all(jobs);
             mean_norm(&r.iter().collect::<Vec<_>>())

@@ -28,14 +28,14 @@ fn main() {
         for (_, t, kind) in variants {
             let jobs: Vec<Experiment> = workload_set
                 .iter()
-                .map(|w| {
-                    opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh)
-                })
+                .map(|w| opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh))
                 .collect();
             let r = run_all(jobs);
             print!(" {:>16.4}", mean_norm(&r.iter().collect::<Vec<_>>()));
         }
         println!();
     }
-    println!("\npaper @500: PARA 3%, PrIDE 7%, PARA-DRFMsb 18.4%, PrIDE-RFMsb 11.5%, DAPPER-H <0.3%");
+    println!(
+        "\npaper @500: PARA 3%, PrIDE 7%, PARA-DRFMsb 18.4%, PrIDE-RFMsb 11.5%, DAPPER-H <0.3%"
+    );
 }

@@ -12,7 +12,13 @@ fn main() {
 
     println!(
         "{:<8} {:>8} {:>10} {:>10} {:>16} {:>14} {:>18}",
-        "N_RH", "PRAC", "PRAC-Perf", "DAPPER-H", "DAPPER-H-DRFMsb", "DAPPER-H-Refr", "DAPPER-H-DRFM-Refr"
+        "N_RH",
+        "PRAC",
+        "PRAC-Perf",
+        "DAPPER-H",
+        "DAPPER-H-DRFMsb",
+        "DAPPER-H-Refr",
+        "DAPPER-H-DRFM-Refr"
     );
     for nrh in opts.nrh_sweep() {
         let mk = |t: TrackerChoice, kind: MitigationKind, attack: AttackChoice| -> f64 {

@@ -6,13 +6,54 @@ use workloads::Attack;
 
 fn main() {
     let cases: Vec<(&str, Experiment)> = vec![
-        ("START  tailored 3ms  (~0.35)", Experiment::new("milc_like").tracker(TrackerChoice::Start).attack(AttackChoice::Tailored).window_us(3000.0)),
-        ("ABACUS tailored 3ms  (~0.28)", Experiment::new("milc_like").tracker(TrackerChoice::Abacus).attack(AttackChoice::Tailored).window_us(3000.0)),
-        ("DAPPER-S stream 8ms  (~0.87)", Experiment::new("milc_like").tracker(TrackerChoice::DapperS).attack(AttackChoice::Specific(Attack::Streaming)).isolating().window_us(8000.0)),
-        ("DAPPER-H stream 8ms  (~0.998)", Experiment::new("milc_like").tracker(TrackerChoice::DapperH).attack(AttackChoice::Specific(Attack::Streaming)).isolating().window_us(8000.0)),
-        ("BlockHammer@125 2ms  (~0.34)", Experiment::new("milc_like").tracker(TrackerChoice::BlockHammer).nrh(125).window_us(2000.0)),
-        ("BlockHammer@500 2ms  (~0.75)", Experiment::new("milc_like").tracker(TrackerChoice::BlockHammer).nrh(500).window_us(2000.0)),
-        ("PRAC   benign   2ms  (~0.93)", Experiment::new("milc_like").tracker(TrackerChoice::Prac).window_us(2000.0)),
+        (
+            "START  tailored 3ms  (~0.35)",
+            Experiment::new("milc_like")
+                .tracker(TrackerChoice::Start)
+                .attack(AttackChoice::Tailored)
+                .window_us(3000.0),
+        ),
+        (
+            "ABACUS tailored 3ms  (~0.28)",
+            Experiment::new("milc_like")
+                .tracker(TrackerChoice::Abacus)
+                .attack(AttackChoice::Tailored)
+                .window_us(3000.0),
+        ),
+        (
+            "DAPPER-S stream 8ms  (~0.87)",
+            Experiment::new("milc_like")
+                .tracker(TrackerChoice::DapperS)
+                .attack(AttackChoice::Specific(Attack::Streaming))
+                .isolating()
+                .window_us(8000.0),
+        ),
+        (
+            "DAPPER-H stream 8ms  (~0.998)",
+            Experiment::new("milc_like")
+                .tracker(TrackerChoice::DapperH)
+                .attack(AttackChoice::Specific(Attack::Streaming))
+                .isolating()
+                .window_us(8000.0),
+        ),
+        (
+            "BlockHammer@125 2ms  (~0.34)",
+            Experiment::new("milc_like")
+                .tracker(TrackerChoice::BlockHammer)
+                .nrh(125)
+                .window_us(2000.0),
+        ),
+        (
+            "BlockHammer@500 2ms  (~0.75)",
+            Experiment::new("milc_like")
+                .tracker(TrackerChoice::BlockHammer)
+                .nrh(500)
+                .window_us(2000.0),
+        ),
+        (
+            "PRAC   benign   2ms  (~0.93)",
+            Experiment::new("milc_like").tracker(TrackerChoice::Prac).window_us(2000.0),
+        ),
     ];
     for (name, e) in cases {
         let t0 = Instant::now();

@@ -37,14 +37,12 @@ fn main() {
             let without: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| {
-                    opts.apply(
-                        Experiment::new(w.name).tracker(TrackerChoice::None).attack(
-                            match attack {
-                                AttackChoice::None => AttackChoice::None,
-                                a => a,
-                            },
-                        ),
-                    )
+                    opts.apply(Experiment::new(w.name).tracker(TrackerChoice::None).attack(
+                        match attack {
+                            AttackChoice::None => AttackChoice::None,
+                            a => a,
+                        },
+                    ))
                     .nrh(nrh)
                 })
                 .collect();

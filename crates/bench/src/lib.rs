@@ -126,11 +126,8 @@ pub fn print_suite_table(
         seen
     };
     for suite in &suites {
-        let names: Vec<&str> = workload_set
-            .iter()
-            .filter(|w| w.suite == *suite)
-            .map(|w| w.name)
-            .collect();
+        let names: Vec<&str> =
+            workload_set.iter().filter(|w| w.suite == *suite).map(|w| w.name).collect();
         print!("{:<14}", suite.to_string());
         for (_, results) in series {
             let vals: Vec<&ExperimentResult> =

@@ -92,10 +92,7 @@ impl DapperH {
     pub fn groups_of(&self, rank: u8, row_index: u64) -> (u64, u64) {
         let s = self.cfg.group_size as u64;
         let r = &self.ranks[rank as usize];
-        (
-            r.keys1.cipher().encrypt(row_index) / s,
-            r.keys2.cipher().encrypt(row_index) / s,
-        )
+        (r.keys1.cipher().encrypt(row_index) / s, r.keys2.cipher().encrypt(row_index) / s)
     }
 
     /// Current counter values for a row's two groups (introspection).
@@ -144,8 +141,7 @@ impl DapperH {
         let members1: Vec<u64> = ((g1 * s)..((g1 + 1) * s)).map(|h| c1.decrypt(h)).collect();
         let members2: Vec<u64> = ((g2 * s)..((g2 + 1) * s)).map(|h| c2.decrypt(h)).collect();
         let set1: HashSet<u64> = members1.iter().copied().collect();
-        let shared: Vec<u64> =
-            members2.iter().copied().filter(|m| set1.contains(m)).collect();
+        let shared: Vec<u64> = members2.iter().copied().filter(|m| set1.contains(m)).collect();
 
         // Refresh the shared rows.
         for &m in &shared {
@@ -281,10 +277,7 @@ impl RowHammerTracker for DapperH {
         let tables = 2 * groups * self.cfg.bytes_per_counter();
         let bitvec = groups * 4;
         let keys = 2 * 4 * 2;
-        StorageOverhead::new(
-            (tables + bitvec + keys) * self.cfg.geometry.ranks as u64,
-            0,
-        )
+        StorageOverhead::new((tables + bitvec + keys) * self.cfg.geometry.ranks as u64, 0)
     }
 }
 

@@ -44,13 +44,7 @@ impl DapperS {
                 rgc: RgcTable::new(cfg.groups_per_rank(), saturate),
             })
             .collect();
-        Self {
-            cfg,
-            ranks,
-            next_reset: cfg.t_reset,
-            mitigations: 0,
-            rows_refreshed: 0,
-        }
+        Self { cfg, ranks, next_reset: cfg.t_reset, mitigations: 0, rows_refreshed: 0 }
     }
 
     /// The configuration.
@@ -139,10 +133,7 @@ impl RowHammerTracker for DapperS {
         // (Section V-A), plus four 16-bit key registers per rank.
         let table = self.cfg.groups_per_rank() * self.cfg.bytes_per_counter();
         let keys = 4 * 2;
-        StorageOverhead::new(
-            (table + keys) * self.cfg.geometry.ranks as u64,
-            0,
-        )
+        StorageOverhead::new((table + keys) * self.cfg.geometry.ranks as u64, 0)
     }
 }
 
@@ -187,9 +178,7 @@ mod tests {
         let mut rows: Vec<_> = out
             .iter()
             .map(|x| match x {
-                TrackerAction::MitigateRow(r) => {
-                    cfg().geometry.rank_row_index(r)
-                }
+                TrackerAction::MitigateRow(r) => cfg().geometry.rank_row_index(r),
                 _ => unreachable!(),
             })
             .collect();

@@ -119,11 +119,8 @@ impl DramChannel {
         let rank = &self.ranks[a.rank as usize];
         let bank = self.bank(a);
         debug_assert!(bank.open_row.is_none(), "ACT to an open bank; PRE first");
-        let faw_gate = if rank.faw_count >= 4 {
-            rank.faw[rank.faw_idx] + self.timing.t_faw
-        } else {
-            0
-        };
+        let faw_gate =
+            if rank.faw_count >= 4 { rank.faw[rank.faw_idx] + self.timing.t_faw } else { 0 };
         now.max(bank.next_act)
             .max(rank.next_act_any)
             .max(rank.next_act_bg[a.bank_group as usize])

@@ -103,8 +103,7 @@ impl EnergyCounters {
             + self.writes as f64 * m.wr_nj
             + self.refs as f64 * m.ref_nj
             + (self.victim_rows + self.sweep_rows) as f64 * m.victim_row_nj;
-        let background_nj =
-            m.background_w_per_rank * ranks as f64 * cycles_to_ns(elapsed);
+        let background_nj = m.background_w_per_rank * ranks as f64 * cycles_to_ns(elapsed);
         (dynamic_nj + background_nj) / 1.0e6
     }
 

@@ -153,9 +153,8 @@ impl ChannelController {
         let trefi = dram.timing().t_refi;
         let trefw = dram.timing().t_refw;
         // Stagger rank refreshes across the tREFI interval.
-        let next_ref = (0..ranks)
-            .map(|r| trefi + (r as Cycle * trefi) / ranks.max(1) as Cycle)
-            .collect();
+        let next_ref =
+            (0..ranks).map(|r| trefi + (r as Cycle * trefi) / ranks.max(1) as Cycle).collect();
         Self {
             channel,
             cfg,
@@ -309,7 +308,13 @@ impl ChannelController {
         self.next_meta_id += 1;
         let phys = self.dram.geometry().encode(&addr);
         let req = MemRequest::new(id, sim_core::req::SourceId::TRACKER, kind, phys, addr, now);
-        self.counter_q.push_back(Queued { req, not_before: now, metadata: true, missed: false, taxed: false });
+        self.counter_q.push_back(Queued {
+            req,
+            not_before: now,
+            metadata: true,
+            missed: false,
+            taxed: false,
+        });
         match kind {
             AccessKind::Read => self.stats.counter_reads += 1,
             AccessKind::Write => self.stats.counter_writes += 1,
@@ -327,9 +332,7 @@ impl ChannelController {
             // Only start a sweep when the scope isn't already mid-sweep.
             let rank_to_check: Vec<u8> = match scope {
                 ResetScope::Rank { rank, .. } => vec![rank],
-                ResetScope::Channel { .. } => {
-                    (0..self.dram.geometry().ranks).collect()
-                }
+                ResetScope::Channel { .. } => (0..self.dram.geometry().ranks).collect(),
             };
             if rank_to_check.iter().any(|&r| self.dram.rank_blocked(r, now)) {
                 break;
@@ -368,9 +371,12 @@ impl ChannelController {
                 }
                 self.mit_q[slot].pop_front();
                 self.mit_q_len -= 1;
-                let until =
-                    self.dram
-                        .issue_mitigation(&addr, self.cfg.mitigation, self.cfg.blast_radius, now);
+                let until = self.dram.issue_mitigation(
+                    &addr,
+                    self.cfg.mitigation,
+                    self.cfg.blast_radius,
+                    now,
+                );
                 match self.cfg.mitigation {
                     MitigationKind::Vrr => self.stats.vrr_commands += 1,
                     _ => self.stats.rfm_commands += 1,
@@ -442,11 +448,11 @@ impl ChannelController {
                 if q.not_before > now {
                     continue;
                 }
-                if self.dram.is_row_hit(&q.req.dram) && self.dram.earliest_col(&q.req.dram, now) <= now
+                if self.dram.is_row_hit(&q.req.dram)
+                    && self.dram.earliest_col(&q.req.dram, now) <= now
+                    && best.is_none_or(|(_, _, arr)| q.req.arrival < arr)
                 {
-                    if best.map_or(true, |(_, _, arr)| q.req.arrival < arr) {
-                        best = Some((p, i, q.req.arrival));
-                    }
+                    best = Some((p, i, q.req.arrival));
                 }
             }
             if best.is_some() {
@@ -498,10 +504,9 @@ impl ChannelController {
                 if self.dram.is_bank_closed(a)
                     && self.mit_busy[self.mit_slot(a)] <= now
                     && self.dram.earliest_act(a, now) <= now
+                    && best.is_none_or(|(_, _, arr)| q.req.arrival < arr)
                 {
-                    if best.map_or(true, |(_, _, arr)| q.req.arrival < arr) {
-                        best = Some((p, i, q.req.arrival));
-                    }
+                    best = Some((p, i, q.req.arrival));
                 }
             }
             if best.is_some() {
@@ -572,6 +577,9 @@ impl ChannelController {
         // were touched than the inline scratch records).
         let full_scan = ntouched >= touched.len();
         let limit = if full_scan { self.pre_conflict.len() } else { ntouched };
+        // `i` indexes either `pre_conflict` directly (full scan) or through
+        // `touched`, so a plain range loop is the clearest form.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..limit {
             let slot = if full_scan { i } else { touched[i] as usize };
             let (g, conflict, served) = self.pre_conflict[slot];
@@ -727,7 +735,7 @@ mod tests {
         }
         fn on_activation(&mut self, act: Activation, actions: &mut Vec<TrackerAction>) {
             self.count += 1;
-            if self.count % self.n == 0 {
+            if self.count.is_multiple_of(self.n) {
                 actions.push(TrackerAction::MitigateRow(act.addr));
             }
         }
@@ -745,10 +753,7 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(c.stats.vrr_commands, 1);
         assert_eq!(c.stats.victim_rows_refreshed, 2);
-        assert!(c
-            .events
-            .iter()
-            .any(|e| matches!(e, MemEvent::VictimsRefreshed { .. })));
+        assert!(c.events.iter().any(|e| matches!(e, MemEvent::VictimsRefreshed { .. })));
     }
 
     /// A tracker that asks for counter traffic on each ACT (Hydra-like).
@@ -800,10 +805,7 @@ mod tests {
         fn on_trefi(&mut self, _cycle: Cycle, actions: &mut Vec<TrackerAction>) {
             if !self.fired {
                 self.fired = true;
-                actions.push(TrackerAction::ResetSweep(ResetScope::Rank {
-                    channel: 0,
-                    rank: 0,
-                }));
+                actions.push(TrackerAction::ResetSweep(ResetScope::Rank { channel: 0, rank: 0 }));
             }
         }
         fn storage_overhead(&self) -> StorageOverhead {
@@ -834,12 +836,7 @@ mod tests {
             "throttle"
         }
         fn on_activation(&mut self, _: Activation, _: &mut Vec<TrackerAction>) {}
-        fn activation_delay(
-            &mut self,
-            _a: &DramAddr,
-            _s: SourceId,
-            _c: Cycle,
-        ) -> Cycle {
+        fn activation_delay(&mut self, _a: &DramAddr, _s: SourceId, _c: Cycle) -> Cycle {
             std::mem::take(&mut self.0)
         }
         fn storage_overhead(&self) -> StorageOverhead {

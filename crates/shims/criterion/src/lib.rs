@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of criterion's surface for the benches under
+//! `crates/bench/benches` to compile and produce useful numbers without
+//! crates.io access: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated wall-clock
+//! loop (warm-up, then enough iterations to cover ~50 ms) reporting ns/iter
+//! — no statistics, plots, or CLI. Swap the path dependency for the real
+//! crate to get the full harness.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { _private: () }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    _private: (),
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the shim does not resample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then scaling the iteration count so the
+    /// measured loop runs for roughly 50 ms.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up & calibration: find an iteration count covering ~10 ms.
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt.as_millis() >= 10 || n >= 1 << 30 {
+                // Scale to ~50 ms for the measured run.
+                let per_iter = dt.as_nanos().max(1) / n as u128;
+                let target = 50_000_000u128;
+                n = ((target / per_iter.max(1)) as u64).clamp(1, 1 << 32);
+                break;
+            }
+            n *= 4;
+        }
+        let t = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.iters = n;
+        self.elapsed_ns = t.elapsed().as_nanos();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("  {name:<40} (no measurement)");
+        } else {
+            let per = self.elapsed_ns as f64 / self.iters as f64;
+            println!("  {name:<40} {per:>12.1} ns/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+fn run_one<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { iters: 0, elapsed_ns: 0 };
+    f(&mut b);
+    b.report(name);
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no crates.io access, and no
+//! code path in the repo serializes through serde — the derives on config
+//! and stats types document intent only. This shim provides the two marker
+//! traits plus the no-op derive macros so those annotations keep compiling
+//! unchanged. If real serialization is ever needed, swap this path
+//! dependency for the real crate; nothing else has to change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes through serde: the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent. These derives therefore
+//! expand to nothing; the marker traits live in the sibling `serde` shim.
+//! Structured output (JSON/CSV) is hand-rolled where needed (see
+//! `attacklab::json`).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item, emits no impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item, emits no impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -152,7 +152,7 @@ impl Zipf {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Self { n, theta, zetan, alpha, eta, zeta2: zeta2 }
+        Self { n, theta, zetan, alpha, eta, zeta2 }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {

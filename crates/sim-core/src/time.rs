@@ -53,7 +53,8 @@ pub fn cycles_to_us(cycles: Cycle) -> f64 {
 
 /// Converts a cycle count to milliseconds.
 pub fn cycles_to_ms(cycles: Cycle) -> f64 {
-    cycles_to_ns(cycles) / 1_000_000.0}
+    cycles_to_ns(cycles) / 1_000_000.0
+}
 
 #[cfg(test)]
 mod tests {

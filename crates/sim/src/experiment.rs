@@ -11,6 +11,7 @@ use workloads::{spec_by_name, Attack, SyntheticTrace};
 
 use crate::metrics::{normalized_performance, RunStats};
 use crate::system::System;
+use std::sync::Arc;
 
 /// Which RowHammer defense guards the memory controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +61,42 @@ impl TrackerChoice {
     /// The four scalable baselines of Figs. 1 and 3-5.
     pub fn scalable_baselines() -> [TrackerChoice; 4] {
         [TrackerChoice::Hydra, TrackerChoice::Start, TrackerChoice::Abacus, TrackerChoice::Comet]
+    }
+
+    /// Every tracker, in the order the paper's tables list them.
+    pub fn all() -> [TrackerChoice; 11] {
+        [
+            TrackerChoice::None,
+            TrackerChoice::Hydra,
+            TrackerChoice::Start,
+            TrackerChoice::Comet,
+            TrackerChoice::Abacus,
+            TrackerChoice::BlockHammer,
+            TrackerChoice::Para,
+            TrackerChoice::Pride,
+            TrackerChoice::Prac,
+            TrackerChoice::DapperS,
+            TrackerChoice::DapperH,
+        ]
+    }
+
+    /// Parses a tracker name, ignoring case and `-`/`_` separators, so CLI
+    /// spellings like `dapper-h`, `DAPPER_H`, and `DapperH` all resolve.
+    pub fn parse(s: &str) -> Option<TrackerChoice> {
+        let key: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        TrackerChoice::all().into_iter().find(|t| {
+            let name: String = t
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .map(|c| c.to_ascii_lowercase())
+                .collect();
+            name == key
+        })
     }
 
     /// True if this tracker reserves half the LLC (START).
@@ -117,6 +154,55 @@ impl AttackChoice {
     }
 }
 
+/// An attacker trace injected from outside the fixed [`Attack`] menu —
+/// attacklab scenarios drive the attacker core through this hook.
+///
+/// The factory is called once per system build with the experiment's
+/// geometry and seed, so a cloned experiment (reference run, parallel
+/// sweeps) reconstructs an identical trace stream deterministically.
+#[derive(Clone)]
+pub struct CustomAttack {
+    name: Arc<str>,
+    bypasses_llc: bool,
+    factory: Arc<dyn Fn(Geometry, u64) -> Box<dyn TraceSource> + Send + Sync>,
+}
+
+impl CustomAttack {
+    /// Wraps a trace factory under a display name. `bypasses_llc` mirrors
+    /// [`Attack::bypasses_llc`]: RowHammer patterns evict with
+    /// clflush/conflict sets, cache-pressure patterns go through the LLC.
+    pub fn new<F>(name: &str, bypasses_llc: bool, factory: F) -> Self
+    where
+        F: Fn(Geometry, u64) -> Box<dyn TraceSource> + Send + Sync + 'static,
+    {
+        Self { name: Arc::from(name), bypasses_llc, factory: Arc::new(factory) }
+    }
+
+    /// Display name for results and leaderboards.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the attacker's accesses skip the LLC.
+    pub fn bypasses_llc(&self) -> bool {
+        self.bypasses_llc
+    }
+
+    /// Builds the attacker's trace for one system instance.
+    pub fn build(&self, geom: Geometry, seed: u64) -> Box<dyn TraceSource> {
+        (self.factory)(geom, seed)
+    }
+}
+
+impl std::fmt::Debug for CustomAttack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CustomAttack")
+            .field("name", &self.name)
+            .field("bypasses_llc", &self.bypasses_llc)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Pure-compute filler trace for the reference run's idle core.
 #[derive(Debug)]
 struct IdleTrace {
@@ -141,6 +227,9 @@ pub struct Experiment {
     pub tracker: TrackerChoice,
     /// Adversary.
     pub attack: AttackChoice,
+    /// Attacker injected from outside the fixed [`Attack`] menu; takes
+    /// precedence over `attack` for the attacker core.
+    pub custom_attack: Option<CustomAttack>,
     /// System configuration (threshold, window, mitigation command, ...).
     pub cfg: SystemConfig,
     /// Attach the ground-truth oracle (slower).
@@ -162,7 +251,7 @@ pub struct ExperimentResult {
     /// Tracker display name.
     pub tracker_name: &'static str,
     /// Attack display name ("benign" when none).
-    pub attack_name: &'static str,
+    pub attack_name: String,
     /// Mean benign IPC relative to the insecure, attack-free baseline.
     pub normalized_performance: f64,
     /// The measured run.
@@ -178,6 +267,7 @@ impl Experiment {
             workload: workload.to_string(),
             tracker: TrackerChoice::DapperH,
             attack: AttackChoice::None,
+            custom_attack: None,
             cfg: SystemConfig::paper_baseline().with_window(us_to_cycles(2_000.0)),
             collect_events: false,
             isolate_tracker_overhead: false,
@@ -200,6 +290,12 @@ impl Experiment {
     /// Sets the attack.
     pub fn attack(mut self, a: AttackChoice) -> Self {
         self.attack = a;
+        self
+    }
+
+    /// Puts a custom attacker on the last core (overrides `attack`).
+    pub fn custom(mut self, attack: CustomAttack) -> Self {
+        self.custom_attack = Some(attack);
         self
     }
 
@@ -264,15 +360,19 @@ impl Experiment {
         let cores = self.cfg.cpu.cores as usize;
         let mut traces: Vec<Box<dyn TraceSource>> = Vec::with_capacity(cores);
         let mut bypass = vec![false; cores];
-        for core in 0..cores {
-            let is_attacker_slot = attack.is_some() && core == cores - 1;
+        let has_attacker = attack.is_some() || self.custom_attack.is_some();
+        for (core, bypass_slot) in bypass.iter_mut().enumerate() {
+            let is_attacker_slot = has_attacker && core == cores - 1;
             if is_attacker_slot {
                 if reference && !self.isolate_tracker_overhead {
                     traces.push(Box::new(IdleTrace { next: 0 }));
+                } else if let Some(custom) = &self.custom_attack {
+                    traces.push(custom.build(self.cfg.geometry, self.cfg.seed));
+                    *bypass_slot = custom.bypasses_llc();
                 } else {
                     let a = attack.expect("attacker slot implies attack");
                     traces.push(Box::new(a.trace(self.cfg.geometry, self.cfg.seed)));
-                    bypass[core] = a.bypasses_llc();
+                    *bypass_slot = a.bypasses_llc();
                 }
             } else {
                 traces.push(Box::new(SyntheticTrace::new(spec, core, self.cfg.seed)));
@@ -305,9 +405,10 @@ impl Experiment {
     /// The benign core indices for this experiment.
     pub fn benign_cores(&self) -> Vec<usize> {
         let cores = self.cfg.cpu.cores as usize;
-        match self.attack {
-            AttackChoice::None => (0..cores).collect(),
-            _ => (0..cores - 1).collect(),
+        if self.custom_attack.is_none() && self.attack == AttackChoice::None {
+            (0..cores).collect()
+        } else {
+            (0..cores - 1).collect()
         }
     }
 
@@ -323,9 +424,10 @@ impl Experiment {
     pub fn run_against(self, reference: &RunStats) -> ExperimentResult {
         let run = self.build_system(false).run();
         let benign = self.benign_cores();
-        let attack_name = match self.attack.resolve(self.tracker) {
-            None => "benign",
-            Some(a) => a.name(),
+        let attack_name = match (&self.custom_attack, self.attack.resolve(self.tracker)) {
+            (Some(c), _) => c.name().to_string(),
+            (None, Some(a)) => a.name().to_string(),
+            (None, None) => "benign".to_string(),
         };
         ExperimentResult {
             normalized_performance: normalized_performance(&run, reference, &benign),
@@ -345,11 +447,7 @@ mod tests {
     #[test]
     fn benign_dapper_h_is_near_baseline() {
         let r = Experiment::quick("gcc_like").tracker(TrackerChoice::DapperH).run();
-        assert!(
-            r.normalized_performance > 0.9,
-            "DAPPER-H benign: {}",
-            r.normalized_performance
-        );
+        assert!(r.normalized_performance > 0.9, "DAPPER-H benign: {}", r.normalized_performance);
         assert_eq!(r.tracker_name, "DAPPER-H");
         assert_eq!(r.attack_name, "benign");
     }
@@ -374,6 +472,54 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = Experiment::quick("not_a_workload").run();
+    }
+
+    #[test]
+    fn tracker_names_parse_with_any_spelling() {
+        assert_eq!(TrackerChoice::parse("dapper-h"), Some(TrackerChoice::DapperH));
+        assert_eq!(TrackerChoice::parse("DAPPER_S"), Some(TrackerChoice::DapperS));
+        assert_eq!(TrackerChoice::parse("hydra"), Some(TrackerChoice::Hydra));
+        assert_eq!(TrackerChoice::parse("CoMeT"), Some(TrackerChoice::Comet));
+        assert_eq!(TrackerChoice::parse("blockhammer"), Some(TrackerChoice::BlockHammer));
+        assert_eq!(TrackerChoice::parse("what"), None);
+        for t in TrackerChoice::all() {
+            assert_eq!(TrackerChoice::parse(t.name()), Some(t), "{} must round-trip", t.name());
+        }
+    }
+
+    #[test]
+    fn custom_attack_replays_the_legacy_pattern_identically() {
+        // A custom factory wrapping the legacy streaming trace must produce
+        // the exact run the built-in enum produces: same traces, same seed,
+        // same system.
+        let legacy = Experiment::quick("gcc_like")
+            .tracker(TrackerChoice::DapperS)
+            .attack(AttackChoice::Specific(Attack::Streaming))
+            .window_us(100.0)
+            .run();
+        let custom = Experiment::quick("gcc_like")
+            .tracker(TrackerChoice::DapperS)
+            .custom(CustomAttack::new("streaming-custom", true, |geom, seed| {
+                Box::new(Attack::Streaming.trace(geom, seed))
+            }))
+            .window_us(100.0)
+            .run();
+        assert_eq!(custom.attack_name, "streaming-custom");
+        assert!(
+            (legacy.normalized_performance - custom.normalized_performance).abs() < 1e-12,
+            "{} vs {}",
+            legacy.normalized_performance,
+            custom.normalized_performance
+        );
+        assert_eq!(legacy.run.mem.activations, custom.run.mem.activations);
+    }
+
+    #[test]
+    fn custom_attack_occupies_the_last_core() {
+        let e = Experiment::quick("gcc_like").custom(CustomAttack::new("x", true, |geom, seed| {
+            Box::new(Attack::Streaming.trace(geom, seed))
+        }));
+        assert_eq!(e.benign_cores(), vec![0, 1, 2]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod runner;
 pub mod system;
 
-pub use experiment::{AttackChoice, Experiment, ExperimentResult, TrackerChoice};
+pub use experiment::{AttackChoice, CustomAttack, Experiment, ExperimentResult, TrackerChoice};
 pub use metrics::RunStats;
+pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
 pub use system::System;

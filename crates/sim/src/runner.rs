@@ -1,26 +1,77 @@
 //! Parallel experiment sweeps.
+//!
+//! The work queue is a shared stack drained by one worker per host core.
+//! Every job runs under [`std::panic::catch_unwind`], so a single bad
+//! experiment (unknown workload, assertion in a model, ...) surfaces as a
+//! [`SweepError`] for that slot instead of poisoning the queue and killing
+//! the entire sweep. [`run_parallel`] keeps the historical infallible
+//! signature for the figure harnesses; [`try_run_parallel`] exposes per-job
+//! results; [`parallel_map`] is the generic engine (attacklab's campaign
+//! and search fan out through it with a shared reference run).
 
 use crate::experiment::{Experiment, ExperimentResult};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
-/// Runs experiments across all available cores, preserving input order.
-pub fn run_parallel(jobs: Vec<Experiment>) -> Vec<ExperimentResult> {
-    let n = jobs.len();
+/// Failure of a single job inside a parallel sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Index of the failed job in the input order.
+    pub index: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Locks a mutex, recovering the guard even if a previous holder panicked
+/// (our critical sections only move plain data, so the state stays valid).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies `f` to every item across all available cores, preserving input
+/// order. A panicking call yields `Err(SweepError)` in its slot; the other
+/// items still complete.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, SweepError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
-    let work: Mutex<Vec<(usize, Experiment)>> =
-        Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<ExperimentResult>>> = Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<Result<R, SweepError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
-                let job = work.lock().expect("work queue poisoned").pop();
+                let job = relock(&work).pop();
                 match job {
-                    Some((i, e)) => {
-                        let r = e.run();
-                        results.lock().expect("results poisoned")[i] = Some(r);
+                    Some((i, item)) => {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(item)))
+                            .map_err(|p| SweepError { index: i, message: panic_message(p) });
+                        relock(&results)[i] = Some(outcome);
                     }
                     None => break,
                 }
@@ -29,10 +80,35 @@ pub fn run_parallel(jobs: Vec<Experiment>) -> Vec<ExperimentResult> {
     });
     results
         .into_inner()
-        .expect("results poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every job completed"))
         .collect()
+}
+
+/// Runs experiments in parallel, returning one `Result` per job in input
+/// order. A panicking experiment does not disturb its neighbours.
+pub fn try_run_parallel(jobs: Vec<Experiment>) -> Vec<Result<ExperimentResult, SweepError>> {
+    parallel_map(jobs, Experiment::run)
+}
+
+/// Runs experiments across all available cores, preserving input order.
+///
+/// # Panics
+///
+/// Panics after the whole sweep finishes if any job failed, reporting every
+/// failure (use [`try_run_parallel`] to handle failures per job).
+pub fn run_parallel(jobs: Vec<Experiment>) -> Vec<ExperimentResult> {
+    let (ok, errs): (Vec<_>, Vec<_>) = try_run_parallel(jobs).into_iter().partition(Result::is_ok);
+    let errs: Vec<SweepError> = errs.into_iter().map(|e| e.unwrap_err()).collect();
+    assert!(
+        errs.is_empty(),
+        "{} of {} sweep jobs failed: {}",
+        errs.len(),
+        errs.len() + ok.len(),
+        errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ")
+    );
+    ok.into_iter().map(|r| r.expect("partitioned ok")).collect()
 }
 
 #[cfg(test)]
@@ -55,5 +131,33 @@ mod tests {
     #[test]
     fn empty_job_list_is_fine() {
         assert!(run_parallel(vec![]).is_empty());
+    }
+
+    #[test]
+    fn one_bad_job_does_not_kill_the_sweep() {
+        // Silence the expected panic backtrace from the worker thread.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs = vec![
+            Experiment::quick("povray_like").tracker(TrackerChoice::None).window_us(100.0),
+            Experiment::quick("not_a_workload").window_us(100.0),
+            Experiment::quick("namd_like").tracker(TrackerChoice::None).window_us(100.0),
+        ];
+        let results = try_run_parallel(jobs);
+        std::panic::set_hook(prev);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().expect_err("bad workload must fail alone");
+        assert_eq!(err.index, 1);
+        assert!(err.message.contains("unknown workload"), "{}", err.message);
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn parallel_map_is_generic_and_ordered() {
+        let out = parallel_map((0..64).collect::<Vec<u64>>(), |x| x * x);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
+        }
     }
 }

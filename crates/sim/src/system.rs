@@ -35,12 +35,8 @@ impl Hierarchy {
         let id = self.next_req;
         let req = MemRequest::new(id, source, kind, addr, dram_addr, self.now);
         let ok = match kind {
-            AccessKind::Read => {
-                self.ctrls[ch].can_accept_read() && self.ctrls[ch].enqueue(req)
-            }
-            AccessKind::Write => {
-                self.ctrls[ch].can_accept_write() && self.ctrls[ch].enqueue(req)
-            }
+            AccessKind::Read => self.ctrls[ch].can_accept_read() && self.ctrls[ch].enqueue(req),
+            AccessKind::Write => self.ctrls[ch].can_accept_write() && self.ctrls[ch].enqueue(req),
         };
         if ok {
             self.next_req += 1;
@@ -152,21 +148,12 @@ impl System {
     ) -> Self {
         assert_eq!(traces.len(), cfg.cpu.cores as usize, "one trace per core");
         assert_eq!(bypass_llc.len(), traces.len(), "one bypass flag per core");
-        assert_eq!(
-            trackers.len(),
-            cfg.geometry.channels as usize,
-            "one tracker per channel"
-        );
+        assert_eq!(trackers.len(), cfg.geometry.channels as usize, "one tracker per channel");
         let cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
-                Core::new(
-                    SourceId(i as u8),
-                    cfg.cpu.width as u32,
-                    cfg.cpu.rob_entries as usize,
-                    t,
-                )
+                Core::new(SourceId(i as u8), cfg.cpu.width as u32, cfg.cpu.rob_entries as usize, t)
             })
             .collect();
         let timing = TimingParams::ddr5_6400();
@@ -192,14 +179,7 @@ impl System {
         let llc = Llc::new(cfg.llc, cfg.seed ^ 0x11C);
         Self {
             cores,
-            hierarchy: Hierarchy {
-                cfg,
-                llc,
-                ctrls,
-                bypass_llc,
-                next_req: 1,
-                now: 0,
-            },
+            hierarchy: Hierarchy { cfg, llc, ctrls, bypass_llc, next_req: 1, now: 0 },
             ratio: ClockRatio::core_over_bus(),
             oracles,
             completions_buf: Vec::new(),

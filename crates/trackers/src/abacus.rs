@@ -13,9 +13,7 @@
 
 use crate::TrackerParams;
 use sim_core::time::Cycle;
-use sim_core::tracker::{
-    Activation, ResetScope, RowHammerTracker, StorageOverhead, TrackerAction,
-};
+use sim_core::tracker::{Activation, ResetScope, RowHammerTracker, StorageOverhead, TrackerAction};
 use std::collections::HashMap;
 
 /// Misra-Gries table sizes from the paper, per N_RH.
@@ -123,16 +121,14 @@ impl RowHammerTracker for Abacus {
                 for rank in 0..geom.ranks {
                     for bg in 0..geom.bank_groups {
                         for bank in 0..geom.banks_per_group {
-                            actions.push(TrackerAction::MitigateRow(
-                                sim_core::addr::DramAddr {
-                                    channel: self.p.channel,
-                                    rank,
-                                    bank_group: bg,
-                                    bank,
-                                    row,
-                                    col: 0,
-                                },
-                            ));
+                            actions.push(TrackerAction::MitigateRow(sim_core::addr::DramAddr {
+                                channel: self.p.channel,
+                                rank,
+                                bank_group: bg,
+                                bank,
+                                row,
+                                col: 0,
+                            }));
                         }
                     }
                 }
@@ -150,11 +146,8 @@ impl RowHammerTracker for Abacus {
         }
         // Misra-Gries: if some entry's count equals the spillover floor we
         // replace it; otherwise the activation lands on the spillover.
-        if let Some((slot, _)) = self
-            .entries
-            .iter()
-            .enumerate()
-            .find(|(_, e)| e.count <= self.spillover)
+        if let Some((slot, _)) =
+            self.entries.iter().enumerate().find(|(_, e)| e.count <= self.spillover)
         {
             let old = self.entries[slot].row;
             self.index.remove(&old);
@@ -167,9 +160,8 @@ impl RowHammerTracker for Abacus {
             // Every untracked row may be at the threshold: reset the channel.
             self.overflow_resets += 1;
             self.clear();
-            actions.push(TrackerAction::ResetSweep(ResetScope::Channel {
-                channel: self.p.channel,
-            }));
+            actions
+                .push(TrackerAction::ResetSweep(ResetScope::Channel { channel: self.p.channel }));
         }
     }
 

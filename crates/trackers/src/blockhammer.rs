@@ -127,11 +127,7 @@ impl RowHammerTracker for BlockHammer {
         let idxs = self.bucket_indices(act.addr.row);
         // Conservative update on both overlapping filters.
         for f in 0..2 {
-            let est = idxs
-                .iter()
-                .map(|&i| self.banks[bank].cbf[f][i])
-                .min()
-                .unwrap_or(0);
+            let est = idxs.iter().map(|&i| self.banks[bank].cbf[f][i]).min().unwrap_or(0);
             let newv = est + 1;
             for &i in &idxs {
                 let c = &mut self.banks[bank].cbf[f][i];
@@ -181,11 +177,7 @@ mod tests {
     use super::*;
 
     fn act(row: u32, cycle: Cycle) -> Activation {
-        Activation {
-            addr: DramAddr::new(0, 0, 0, 0, row, 0),
-            source: SourceId(0),
-            cycle,
-        }
+        Activation { addr: DramAddr::new(0, 0, 0, 0, row, 0), source: SourceId(0), cycle }
     }
 
     fn params() -> TrackerParams {

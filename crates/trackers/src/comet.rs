@@ -15,9 +15,7 @@
 use crate::util::hash64;
 use crate::TrackerParams;
 use sim_core::time::Cycle;
-use sim_core::tracker::{
-    Activation, ResetScope, RowHammerTracker, StorageOverhead, TrackerAction,
-};
+use sim_core::tracker::{Activation, ResetScope, RowHammerTracker, StorageOverhead, TrackerAction};
 
 /// Hash functions in the sketch.
 pub const CMS_HASHES: usize = 4;
@@ -182,8 +180,7 @@ impl RowHammerTracker for Comet {
                     }
                 }
             };
-            self.ranks[rank].rat[slot] =
-                RatEntry { valid: true, row, count: 0, lru: self.tick };
+            self.ranks[rank].rat[slot] = RatEntry { valid: true, row, count: 0, lru: self.tick };
             // A full RAT evicting a live entry is the thrash signal.
             if self.record_history(rank, evicting) {
                 self.early_resets += 1;
@@ -268,18 +265,14 @@ mod tests {
         let geom = params().geometry;
         let mut out = Vec::new();
         // 192 aggressors > 128 RAT entries (the paper's attack).
-        let aggressors: Vec<DramAddr> = (0..192u64)
-            .map(|i| geom.addr_from_rank_row_index(0, 0, i * 64))
-            .collect();
+        let aggressors: Vec<DramAddr> =
+            (0..192u64).map(|i| geom.addr_from_rank_row_index(0, 0, i * 64)).collect();
         let mut sweeps = 0;
         for _round in 0..c.threshold() * 4 {
             for a in &aggressors {
                 out.clear();
                 c.on_activation(act(*a), &mut out);
-                sweeps += out
-                    .iter()
-                    .filter(|x| matches!(x, TrackerAction::ResetSweep(_)))
-                    .count();
+                sweeps += out.iter().filter(|x| matches!(x, TrackerAction::ResetSweep(_))).count();
             }
             if sweeps > 0 {
                 break;

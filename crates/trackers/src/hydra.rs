@@ -95,12 +95,7 @@ impl Hydra {
 
     /// Looks up `row` in a rank's RCC; on miss performs fetch + evict,
     /// emitting the corresponding DRAM traffic. Returns the entry index.
-    fn rcc_access(
-        &mut self,
-        rank: usize,
-        row: u64,
-        actions: &mut Vec<TrackerAction>,
-    ) -> usize {
+    fn rcc_access(&mut self, rank: usize, row: u64, actions: &mut Vec<TrackerAction>) -> usize {
         let set = self.rcc_set(row);
         let base = set * RCC_WAYS;
         let geom: Geometry = self.p.geometry;
@@ -131,12 +126,7 @@ impl Hydra {
         }
         // Fetch the requested counter from DRAM.
         let fetched = self.ranks[rank].rct.get(&row).copied().unwrap_or(self.n_gc);
-        actions.push(TrackerAction::CounterRead(meta_addr(
-            &geom,
-            self.p.channel,
-            rank as u8,
-            row,
-        )));
+        actions.push(TrackerAction::CounterRead(meta_addr(&geom, self.p.channel, rank as u8, row)));
         self.ranks[rank].rcc[slot] = RccEntry { valid: true, row, count: fetched };
         slot
     }
@@ -229,10 +219,7 @@ mod tests {
         for i in 0..600u32 {
             out.clear();
             h.on_activation(act(a, i as Cycle), &mut out);
-            mitigated += out
-                .iter()
-                .filter(|x| matches!(x, TrackerAction::MitigateRow(_)))
-                .count();
+            mitigated += out.iter().filter(|x| matches!(x, TrackerAction::MitigateRow(_))).count();
         }
         // 600 activations with N_M = 250: per-row counter starts at N_GC
         // (200) on first fetch, so mitigations at ~250 and ~500.

@@ -108,11 +108,7 @@ mod tests {
     use super::*;
 
     fn act(row: u32) -> Activation {
-        Activation {
-            addr: DramAddr::new(0, 0, 0, 0, row, 0),
-            source: SourceId(0),
-            cycle: 0,
-        }
+        Activation { addr: DramAddr::new(0, 0, 0, 0, row, 0), source: SourceId(0), cycle: 0 }
     }
 
     fn params() -> TrackerParams {

@@ -24,7 +24,6 @@ pub struct Pride {
     rng: Xoshiro256,
     queues: Vec<VecDeque<DramAddr>>,
     per_trefi: usize,
-    next_service: usize,
     /// Sampled aggressors dropped because a queue was full.
     pub overflows: u64,
     /// Mitigations issued.
@@ -40,7 +39,6 @@ impl Pride {
             rng: Xoshiro256::seed_from(p.seed ^ 0x9B1D_E001u64),
             queues: vec![VecDeque::with_capacity(QUEUE_DEPTH); nbanks],
             per_trefi: (500usize).div_ceil(p.nrh as usize),
-            next_service: 0,
             overflows: 0,
             mitigations: 0,
         }
@@ -110,11 +108,7 @@ mod tests {
     use sim_core::req::SourceId;
 
     fn act(row: u32) -> Activation {
-        Activation {
-            addr: DramAddr::new(0, 0, 0, 0, row, 0),
-            source: SourceId(0),
-            cycle: 0,
-        }
+        Activation { addr: DramAddr::new(0, 0, 0, 0, row, 0), source: SourceId(0), cycle: 0 }
     }
 
     fn params(nrh: u32) -> TrackerParams {

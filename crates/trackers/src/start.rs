@@ -60,7 +60,7 @@ impl Start {
     ///
     /// Panics if `lines` is not a multiple of 16.
     pub fn with_region_lines(p: TrackerParams, lines: usize) -> Self {
-        assert!(lines % 16 == 0, "region must divide into 16-way sets");
+        assert!(lines.is_multiple_of(16), "region must divide into 16-way sets");
         let ways = 16;
         let sets = lines / ways;
         Self {
@@ -90,7 +90,8 @@ impl RowHammerTracker for Start {
     fn on_activation(&mut self, act: Activation, actions: &mut Vec<TrackerAction>) {
         self.tick += 1;
         let geom = self.p.geometry;
-        let row_global = act.addr.rank as u64 * geom.rows_per_rank() + geom.rank_row_index(&act.addr);
+        let row_global =
+            act.addr.rank as u64 * geom.rows_per_rank() + geom.rank_row_index(&act.addr);
         debug_assert!(row_global < self.rows_per_channel());
         let line = row_global / COUNTERS_PER_LINE;
         let off = (row_global % COUNTERS_PER_LINE) as usize;
@@ -221,11 +222,7 @@ mod tests {
             let a = geom.addr_from_rank_row_index(0, 0, i * 17 % geom.rows_per_rank());
             s.on_activation(act(a), &mut out);
         }
-        assert!(
-            s.region_misses > 700,
-            "streaming should thrash: misses = {}",
-            s.region_misses
-        );
+        assert!(s.region_misses > 700, "streaming should thrash: misses = {}", s.region_misses);
         assert!(out.iter().any(|x| matches!(x, TrackerAction::CounterWrite(_))));
     }
 

@@ -38,6 +38,20 @@ pub enum Attack {
 }
 
 impl Attack {
+    /// Every attack pattern, in paper order. Campaign matrices and the
+    /// attacklab compatibility layer iterate this.
+    pub fn all() -> [Attack; 7] {
+        [
+            Attack::CacheThrash,
+            Attack::HydraRccThrash,
+            Attack::StartStream,
+            Attack::CometRatOverflow,
+            Attack::AbacusSpillover,
+            Attack::Streaming,
+            Attack::RefreshAttack,
+        ]
+    }
+
     /// The attack tailored to a given tracker name (Figs. 1, 3, 4, 5).
     pub fn tailored_for(tracker: &str) -> Attack {
         match tracker {
@@ -158,6 +172,13 @@ impl AttackTrace {
     /// The attack this trace realises.
     pub fn attack(&self) -> Attack {
         self.attack
+    }
+
+    /// The fixed aggressor set of this attack (empty for the formula-driven
+    /// streaming patterns). Exposed so the attacklab compatibility layer can
+    /// rebuild the same pattern as a composition of primitives.
+    pub fn aggressor_rows(&self) -> &[DramAddr] {
+        &self.aggressors
     }
 
     fn entry_for(&self, addr: DramAddr) -> TraceEntry {

@@ -164,11 +164,20 @@ pub fn spec_by_name(name: &str) -> Option<&'static WorkloadSpec> {
 /// A small representative subset (one per suite plus the two memory
 /// monsters) used by quick benches.
 pub fn quick_subset() -> Vec<&'static WorkloadSpec> {
-    ["mcf_like", "parest_r_like", "libquantum_like", "povray_like", "tpcc64_like",
-     "hadoop_sort_like", "h263enc_like", "ycsb_a_like", "gcc_like"]
-        .iter()
-        .map(|n| spec_by_name(n).expect("subset name in catalog"))
-        .collect()
+    [
+        "mcf_like",
+        "parest_r_like",
+        "libquantum_like",
+        "povray_like",
+        "tpcc64_like",
+        "hadoop_sort_like",
+        "h263enc_like",
+        "ycsb_a_like",
+        "gcc_like",
+    ]
+    .iter()
+    .map(|n| spec_by_name(n).expect("subset name in catalog"))
+    .collect()
 }
 
 #[cfg(test)]

@@ -118,14 +118,8 @@ mod tests {
     #[test]
     fn locality_produces_sequential_lines() {
         let entries = collect("libquantum_like", 10_000); // locality 0.85
-        let sequential = entries
-            .windows(2)
-            .filter(|w| w[1].addr.0 == w[0].addr.0 + 64)
-            .count();
-        assert!(
-            sequential as f64 / entries.len() as f64 > 0.6,
-            "sequential fraction {sequential}"
-        );
+        let sequential = entries.windows(2).filter(|w| w[1].addr.0 == w[0].addr.0 + 64).count();
+        assert!(sequential as f64 / entries.len() as f64 > 0.6, "sequential fraction {sequential}");
     }
 
     #[test]

@@ -37,7 +37,5 @@ fn main() {
         dapper.normalized_performance, dapper.run.mem.victim_rows_refreshed
     );
 
-    println!(
-        "\npaper: Hydra loses ~61% under its tailored attack; DAPPER-H loses <1%"
-    );
+    println!("\npaper: Hydra loses ~61% under its tailored attack; DAPPER-H loses <1%");
 }

@@ -10,6 +10,8 @@
 //! * [`sim`] — the full-system simulator and experiment runner,
 //! * [`workloads`] — the 57-workload catalog and the Perf-Attack generators,
 //! * [`analysis`] — security/storage/energy models and the RowHammer oracle,
+//! * [`attacklab`] — the composable adversarial scenario engine, worst-case
+//!   scenario search, and the `redteam` campaign runner,
 //! * [`dram`], [`memctrl`], [`llcache`], [`cpu`], [`llbc`], [`sim_core`] —
 //!   substrates.
 //!
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 pub use analysis;
+pub use attacklab;
 pub use cpu;
 pub use dapper;
 pub use dram;

@@ -53,14 +53,8 @@ fn every_tracker_survives_its_tailored_attack() {
 fn trackers_do_not_break_correct_completion_counts() {
     // The same workload and seed must retire the same instruction mix on
     // the reference machine regardless of tracker choice.
-    let a = Experiment::quick("gcc_like")
-        .tracker(TrackerChoice::DapperH)
-        .window_us(150.0)
-        .run();
-    let b = Experiment::quick("gcc_like")
-        .tracker(TrackerChoice::Para)
-        .window_us(150.0)
-        .run();
+    let a = Experiment::quick("gcc_like").tracker(TrackerChoice::DapperH).window_us(150.0).run();
+    let b = Experiment::quick("gcc_like").tracker(TrackerChoice::Para).window_us(150.0).run();
     assert_eq!(a.reference.retired, b.reference.retired, "references must be identical");
 }
 
@@ -69,10 +63,10 @@ fn memory_intensive_workloads_stress_dram_more() {
     let heavy = Experiment::quick("mcf_like").tracker(TrackerChoice::None).window_us(200.0).run();
     let light =
         Experiment::quick("povray_like").tracker(TrackerChoice::None).window_us(200.0).run();
-    let heavy_apki = heavy.run.mem.activations as f64
-        / (heavy.run.retired.iter().sum::<u64>() as f64 / 1000.0);
-    let light_apki = light.run.mem.activations as f64
-        / (light.run.retired.iter().sum::<u64>() as f64 / 1000.0);
+    let heavy_apki =
+        heavy.run.mem.activations as f64 / (heavy.run.retired.iter().sum::<u64>() as f64 / 1000.0);
+    let light_apki =
+        light.run.mem.activations as f64 / (light.run.retired.iter().sum::<u64>() as f64 / 1000.0);
     assert!(
         heavy_apki > light_apki * 5.0,
         "mcf {heavy_apki} vs povray {light_apki} activations/kilo-instruction"

@@ -38,12 +38,7 @@ fn fig10_shape_dapper_h_isolated_overhead_is_small() {
             .isolating()
             .window_us(W)
             .run();
-        assert!(
-            r.normalized_performance > 0.9,
-            "{:?}: {}",
-            attack,
-            r.normalized_performance
-        );
+        assert!(r.normalized_performance > 0.9, "{:?}: {}", attack, r.normalized_performance);
     }
 }
 

@@ -43,7 +43,8 @@ fn dapper_s_prevents_rowhammer_under_refresh_attack() {
 
 #[test]
 fn baseline_trackers_also_hold_the_line() {
-    for t in [TrackerChoice::Hydra, TrackerChoice::Comet, TrackerChoice::Abacus, TrackerChoice::Prac]
+    for t in
+        [TrackerChoice::Hydra, TrackerChoice::Comet, TrackerChoice::Abacus, TrackerChoice::Prac]
     {
         let (max_damage, violations) = audit(t, Attack::RefreshAttack, 400.0);
         assert_eq!(violations, 0, "{}: max damage {max_damage}", t.name());

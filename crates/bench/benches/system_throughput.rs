@@ -1,43 +1,61 @@
 //! Criterion benchmark of whole-system simulation throughput: bus cycles
-//! simulated per second of host time, benign and under attack.
+//! simulated per second of host time, benign and under attack, for both
+//! the dense-tick reference engine and the event-driven time-skipping
+//! engine (see `bench_snapshot` for the machine-readable JSON trajectory).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::Engine;
+
+fn run(e: &Experiment, engine: Engine) -> u64 {
+    e.build_system(false).run_engine(engine).cycles
+}
 
 fn bench_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system");
     group.sample_size(10);
+    let benign = Experiment::new("gcc_like").tracker(TrackerChoice::DapperH).window_us(100.0);
     group.bench_function("benign_100us_dapper_h", |b| {
-        b.iter(|| {
-            let mut sys = Experiment::new("gcc_like")
-                .tracker(TrackerChoice::DapperH)
-                .window_us(100.0)
-                .build_system(false);
-            black_box(sys.run().cycles)
-        });
+        b.iter(|| black_box(run(&benign, Engine::EventDriven)));
     });
+    let refresh = Experiment::new("gcc_like")
+        .tracker(TrackerChoice::DapperH)
+        .attack(AttackChoice::Specific(workloads::Attack::RefreshAttack))
+        .window_us(100.0);
     group.bench_function("refresh_attack_100us_dapper_h", |b| {
-        b.iter(|| {
-            let mut sys = Experiment::new("gcc_like")
-                .tracker(TrackerChoice::DapperH)
-                .attack(AttackChoice::Specific(workloads::Attack::RefreshAttack))
-                .window_us(100.0)
-                .build_system(false);
-            black_box(sys.run().cycles)
-        });
+        b.iter(|| black_box(run(&refresh, Engine::EventDriven)));
     });
+    let tailored = Experiment::new("gcc_like")
+        .tracker(TrackerChoice::Hydra)
+        .attack(AttackChoice::Tailored)
+        .window_us(100.0);
     group.bench_function("tailored_attack_100us_hydra", |b| {
-        b.iter(|| {
-            let mut sys = Experiment::new("gcc_like")
-                .tracker(TrackerChoice::Hydra)
-                .attack(AttackChoice::Tailored)
-                .window_us(100.0)
-                .build_system(false);
-            black_box(sys.run().cycles)
-        });
+        b.iter(|| black_box(run(&tailored, Engine::EventDriven)));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_system);
+/// Dense vs. event engine on the idle-heavy workload the skip targets, and
+/// on a saturated one where probing must stay cheap.
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    let idle = Experiment::new("povray_like").tracker(TrackerChoice::DapperH).window_us(500.0);
+    group.bench_function("idle_povray_500us_dense", |b| {
+        b.iter(|| black_box(run(&idle, Engine::Dense)));
+    });
+    group.bench_function("idle_povray_500us_event", |b| {
+        b.iter(|| black_box(run(&idle, Engine::EventDriven)));
+    });
+    let saturated = Experiment::new("mcf_like").tracker(TrackerChoice::DapperH).window_us(100.0);
+    group.bench_function("saturated_mcf_100us_dense", |b| {
+        b.iter(|| black_box(run(&saturated, Engine::Dense)));
+    });
+    group.bench_function("saturated_mcf_100us_event", |b| {
+        b.iter(|| black_box(run(&saturated, Engine::EventDriven)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system, bench_engines);
 criterion_main!(benches);

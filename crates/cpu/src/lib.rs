@@ -99,6 +99,62 @@ enum Slot {
     Pending,
 }
 
+/// How far a core can be advanced without simulating it cycle by cycle.
+///
+/// The time-skipping engine may only fast-forward a core through cycles
+/// whose effect it can reproduce exactly. As long as the core neither
+/// touches the memory port (enough staged bubbles remain) nor receives a
+/// completion (the engine separately bounds skips by the controllers'
+/// event horizon), its evolution is a short sequence of closed-form
+/// phases — bubble streaks, waits on the window head, full-window stalls —
+/// that [`Core::fast_forward`] replays without per-cycle work. A core
+/// about to consult its trace or issue an access answers
+/// [`Quiescence::Busy`] and forces dense stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quiescence {
+    /// The core may interact with the memory port on the very next cycle;
+    /// it must be stepped densely.
+    Busy,
+    /// The core ends in a full window behind a pending memory request: it
+    /// can absorb arbitrarily many cycles (bounded only by external
+    /// events, since only a completion can unwedge it).
+    Stalled,
+    /// The core can be fast-forwarded exactly `cycles` core cycles without
+    /// touching the memory port or its trace.
+    Streaming {
+        /// Exact number of fast-forwardable core cycles.
+        cycles: u64,
+    },
+}
+
+/// Accumulated effect of a virtual (no-memory) run over a core: shared by
+/// the dry pass ([`Core::quiescence`]) and the applying pass
+/// ([`Core::fast_forward`]) so both walk identical phase sequences.
+#[derive(Debug, Default, Clone, Copy)]
+struct NoMemRun {
+    /// Core cycles consumed.
+    cycles: u64,
+    /// Window slots retired (oldest first: existing slots, then appended).
+    popped: u64,
+    /// Existing window slots among `popped`.
+    popped_existing: usize,
+    /// Bubble instructions dispatched (appended to the window back).
+    appended: u64,
+    /// Cycles in which nothing retired while the window was non-empty.
+    stalls: u64,
+    /// Window length at the end of the run.
+    len: usize,
+    /// Bubbles remaining.
+    bubbles: u64,
+    /// True when the run ended in the absorb-anything full-stall state.
+    unbounded: bool,
+}
+
+/// Phase-iteration cap for the dry pass: every phase advances at least one
+/// cycle, and realistic states settle in a handful of phases; the cap only
+/// bounds pathological ready/blocked interleavings.
+const MAX_NO_MEM_PHASES: u32 = 32;
+
 /// A single trace-driven core.
 pub struct Core {
     id: SourceId,
@@ -111,6 +167,11 @@ pub struct Core {
     trace: Box<dyn TraceSource>,
     bubbles_left: u32,
     staged_access: Option<(PhysAddr, bool)>,
+    /// Upper bound on every `DoneAt` time in the window (it survives pops,
+    /// so it may be stale-high). With `pending` empty and `cycle >=
+    /// max_done_at` the whole window is provably retireable, which unlocks
+    /// the O(1) fast-forward fast path.
+    max_done_at: u64,
     cycle: u64,
     retired: u64,
     mem_reads: u64,
@@ -150,6 +211,7 @@ impl Core {
             trace,
             bubbles_left: 0,
             staged_access: None,
+            max_done_at: 0,
             cycle: 0,
             retired: 0,
             mem_reads: 0,
@@ -217,6 +279,7 @@ impl Core {
             if self.bubbles_left > 0 {
                 self.bubbles_left -= 1;
                 self.window.push_back(Slot::DoneAt(self.cycle + 1));
+                self.max_done_at = self.max_done_at.max(self.cycle + 1);
                 self.next_seq += 1;
                 dispatched += 1;
                 continue;
@@ -247,6 +310,7 @@ impl Core {
                         self.mem_reads += 1;
                     }
                     self.window.push_back(Slot::DoneAt(self.cycle + latency as u64));
+                    self.max_done_at = self.max_done_at.max(self.cycle + latency as u64);
                     self.next_seq += 1;
                     dispatched += 1;
                 }
@@ -288,6 +352,234 @@ impl Core {
     pub fn outstanding(&self) -> usize {
         self.pending.len()
     }
+
+    /// Virtual execution of up to `limit` core cycles assuming the memory
+    /// port is never touched and no completion arrives.
+    ///
+    /// The run advances in closed-form phases and stops early (leaving
+    /// `cycles < limit`) as soon as the next cycle could consult the trace
+    /// or issue an access — i.e. whenever dispatch would need a bubble the
+    /// core does not have. Appended bubble slots are tracked by count only:
+    /// a slot dispatched at virtual cycle `p` is retireable from `p + 1`
+    /// on, which is always before the retire cursor can reach it, so only
+    /// the count matters (survivors are materialized by `fast_forward`).
+    fn no_mem_run(&self, limit: u64) -> NoMemRun {
+        let width = self.width as usize;
+        let mut r = NoMemRun {
+            len: self.window.len(),
+            bubbles: self.bubbles_left as u64,
+            ..NoMemRun::default()
+        };
+        let mut vcycle = self.cycle;
+        let mut phases = 0;
+        while r.cycles < limit && phases < MAX_NO_MEM_PHASES {
+            phases += 1;
+            let budget = limit - r.cycles;
+            // Ready prefix from the retire cursor: existing slots first
+            // (ready iff completed by `vcycle`), then appended bubbles
+            // (always ready by the time retire reaches them).
+            let existing_left = self.window.len() - r.popped_existing;
+            let appended_left = r.appended - (r.popped - r.popped_existing as u64);
+            let mut prefix: u64 = 0;
+            let mut head_pending = false;
+            let mut head_wait: Option<u64> = None; // future DoneAt head
+            for s in self.window.iter().skip(r.popped_existing) {
+                match s {
+                    Slot::DoneAt(t) if *t <= vcycle => prefix += 1,
+                    Slot::DoneAt(t) => {
+                        if prefix == 0 {
+                            head_wait = Some(*t);
+                        }
+                        break;
+                    }
+                    Slot::Pending => {
+                        if prefix == 0 {
+                            head_pending = true;
+                        }
+                        break;
+                    }
+                }
+            }
+            if prefix == existing_left as u64 {
+                prefix += appended_left;
+            }
+
+            if prefix == 0 && r.len > 0 {
+                // Head blocked: pure stall, dispatch keeps filling the
+                // window until it is full or the head releases.
+                let room = self.rob - r.len;
+                if room == 0 && head_pending {
+                    r.unbounded = true;
+                    r.stalls += budget;
+                    r.cycles += budget;
+                    return r;
+                }
+                let mut m = budget;
+                if let Some(t) = head_wait {
+                    m = m.min(t - vcycle);
+                } else {
+                    // Pending head: the wait has no deadline, but dispatch
+                    // stops once the window fills, after which the state is
+                    // the absorb-anything full stall — bound the phase so
+                    // the loop reaches that classification.
+                    m = m.min((room as u64).div_ceil(width as u64));
+                }
+                if room > 0 && (room as u64) > r.bubbles {
+                    // Dispatch could exhaust the bubbles mid-phase; stay
+                    // within the exactly-affordable cycle count.
+                    m = m.min(r.bubbles / width as u64);
+                    if m == 0 {
+                        return r;
+                    }
+                }
+                let pushed = (room as u64).min(m * width as u64);
+                r.appended += pushed;
+                r.bubbles -= pushed;
+                r.len += pushed as usize;
+                r.stalls += m;
+                r.cycles += m;
+                vcycle += m;
+                continue;
+            }
+
+            if prefix >= width as u64 {
+                // Steady drain: retire `width`, dispatch `width` per cycle
+                // (after retiring there is always room); length invariant.
+                // With the whole window ready the state is self-similar —
+                // each cycle's appends rejoin the ready prefix — so only
+                // the bubble supply bounds the phase; a mid-window blocker
+                // instead caps it at the ready prefix.
+                let mut m = budget.min(r.bubbles / width as u64);
+                if prefix < r.len as u64 {
+                    m = m.min(prefix / width as u64);
+                }
+                if m == 0 {
+                    return r; // not enough bubbles for a full cycle
+                }
+                let insts = m * width as u64;
+                let from_existing = (existing_left as u64).min(insts) as usize;
+                r.popped += insts;
+                r.popped_existing += from_existing;
+                r.appended += insts;
+                r.bubbles -= insts;
+                r.cycles += m;
+                vcycle += m;
+                continue;
+            }
+
+            // Single exact cycle: partial retire (0 < prefix < width) or an
+            // empty window warming up.
+            let pops = prefix.min(width as u64);
+            let len_after = r.len - pops as usize;
+            let d = width.min(self.rob - len_after);
+            if (d as u64) > r.bubbles {
+                return r; // dispatch would reach the trace/port
+            }
+            let from_existing = (existing_left as u64).min(pops) as usize;
+            r.popped += pops;
+            r.popped_existing += from_existing;
+            r.appended += d as u64;
+            r.bubbles -= d as u64;
+            r.len = len_after + d;
+            if pops == 0 && r.len > 0 && len_after > 0 {
+                r.stalls += 1; // retire idled with a non-empty window
+            }
+            r.cycles += 1;
+            vcycle += 1;
+        }
+        r
+    }
+
+    /// Reports how many core cycles can be skipped without changing any
+    /// observable behaviour relative to dense stepping (see [`Quiescence`]).
+    ///
+    /// The answer is exact, not a heuristic: [`Core::fast_forward`] through
+    /// at most this many cycles produces bit-identical retire/stall/cycle
+    /// counters and a behaviourally equivalent window.
+    pub fn quiescence(&self) -> Quiescence {
+        // Fast path: whole window retireable and enough bubbles for at
+        // least one full-width cycle — the steady drain needs no phase
+        // walk; its horizon is purely bubble-bounded.
+        if self.whole_window_ready() && self.window.len() >= self.width as usize {
+            let cycles = (self.bubbles_left / self.width) as u64;
+            if cycles > 0 {
+                return Quiescence::Streaming { cycles };
+            }
+        }
+        let r = self.no_mem_run(u64::MAX);
+        if r.unbounded {
+            Quiescence::Stalled
+        } else if r.cycles == 0 {
+            Quiescence::Busy
+        } else {
+            Quiescence::Streaming { cycles: r.cycles }
+        }
+    }
+
+    /// True when every window slot is provably retireable right now (O(1)
+    /// via the `max_done_at` bound; may conservatively answer false).
+    fn whole_window_ready(&self) -> bool {
+        self.pending.is_empty() && self.cycle >= self.max_done_at
+    }
+
+    /// Advances the core `n` core cycles in closed form.
+    ///
+    /// Must only be called with `n` within the bound last reported by
+    /// [`Core::quiescence`] (and with no intervening mutation); the effect
+    /// is then exactly that of `n` calls to [`Core::cycle`] during which
+    /// the memory port is never touched and no completion arrives.
+    pub fn fast_forward(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // Fast path mirroring `quiescence`'s: a steady drain retires and
+        // dispatches exactly `width` per cycle, leaving the window length
+        // unchanged and every slot still retireable — and since retire
+        // only tests `t <= cycle` against a non-decreasing clock, the
+        // existing (already retireable) slots can simply stand in for the
+        // freshly dispatched ones. Pure scalar updates, no window churn.
+        let insts = n * self.width as u64;
+        if self.whole_window_ready()
+            && self.window.len() >= self.width as usize
+            && insts <= self.bubbles_left as u64
+        {
+            self.cycle += n;
+            self.retired += insts;
+            self.head_seq += insts;
+            self.next_seq += insts;
+            self.bubbles_left -= insts as u32;
+            return;
+        }
+        let r = self.no_mem_run(n);
+        debug_assert_eq!(r.cycles, n, "fast_forward past the quiescent horizon");
+        self.cycle += r.cycles;
+        self.stall_cycles += r.stalls;
+        self.retired += r.popped;
+        self.head_seq += r.popped;
+        self.next_seq += r.appended;
+        self.bubbles_left -= r.appended as u32;
+        if r.popped_existing == self.window.len() {
+            // Every original slot retired: the survivors are all appended
+            // bubbles, ready at the final cycle.
+            self.window.clear();
+            self.window.resize(r.len, Slot::DoneAt(self.cycle));
+        } else {
+            for _ in 0..r.popped_existing {
+                self.window.pop_front();
+            }
+            // Surviving appended bubbles: dispatched at some cycle `p`
+            // within the run, retireable from `p + 1 <= self.cycle`;
+            // stamping them with the final cycle is behaviourally
+            // identical.
+            let appended_popped = r.popped - r.popped_existing as u64;
+            for _ in 0..(r.appended - appended_popped) {
+                self.window.push_back(Slot::DoneAt(self.cycle));
+            }
+        }
+        self.max_done_at = self.max_done_at.max(self.cycle);
+        debug_assert_eq!(self.window.len(), r.len);
+        debug_assert_eq!(self.bubbles_left as u64, r.bubbles);
+    }
 }
 
 /// Converts bus cycles (3.2 GHz) into core cycles (4 GHz): five core cycles
@@ -319,6 +611,24 @@ impl ClockRatio {
         let n = self.acc / 4;
         self.acc %= 4;
         n
+    }
+
+    /// Largest number of bus cycles whose core-cycle total stays within
+    /// `core_budget`, from the current phase. Pure query; the phase is
+    /// unchanged.
+    pub fn max_bus_cycles_within(&self, core_budget: u64) -> u64 {
+        // Over k bus cycles the emitted core-cycle total is
+        // (acc + 5k) div 4 (each step conserves acc + 4 * emitted), so we
+        // need acc + 5k <= 4 * budget + 3.
+        core_budget.saturating_mul(4).saturating_add(3 - self.acc as u64) / 5
+    }
+
+    /// Advances the phase by `bus_cycles` at once, returning the exact
+    /// total of core cycles the dense per-cycle sequence would emit.
+    pub fn advance_bus_cycles(&mut self, bus_cycles: u64) -> u64 {
+        let total = self.acc as u64 + 5 * bus_cycles;
+        self.acc = (total % 4) as u32;
+        total / 4
     }
 }
 
@@ -452,5 +762,188 @@ mod tests {
         let seq: Vec<u32> = (0..8).map(|_| r.core_cycles_for_bus_cycle()).collect();
         assert_eq!(seq.iter().sum::<u32>(), 10, "{seq:?}");
         assert!(seq.iter().all(|&c| c == 1 || c == 2));
+    }
+
+    #[test]
+    fn clock_ratio_batch_matches_dense_sequence() {
+        for lead in 0..7u64 {
+            for k in 0..23u64 {
+                let mut dense = ClockRatio::core_over_bus();
+                let mut batch = ClockRatio::core_over_bus();
+                for _ in 0..lead {
+                    dense.core_cycles_for_bus_cycle();
+                    batch.core_cycles_for_bus_cycle();
+                }
+                let want: u64 = (0..k).map(|_| dense.core_cycles_for_bus_cycle() as u64).sum();
+                assert!(batch.max_bus_cycles_within(want) >= k, "lead {lead} k {k}");
+                assert_eq!(batch.advance_bus_cycles(k), want, "lead {lead} k {k}");
+                // Both must land in the same phase.
+                assert_eq!(
+                    dense.core_cycles_for_bus_cycle(),
+                    batch.core_cycles_for_bus_cycle(),
+                    "phase diverged at lead {lead} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clock_ratio_budget_is_tight() {
+        let r = ClockRatio::core_over_bus();
+        let k = r.max_bus_cycles_within(10);
+        let mut probe = ClockRatio::core_over_bus();
+        assert!(probe.advance_bus_cycles(k) <= 10);
+        let mut over = ClockRatio::core_over_bus();
+        assert!(over.advance_bus_cycles(k + 1) > 10, "budget not maximal");
+        // An unbounded budget must not overflow.
+        assert!(r.max_bus_cycles_within(u64::MAX) > 1 << 60);
+    }
+
+    /// Runs `core.cycle` densely with a port that must never be touched.
+    struct UnreachablePort;
+    impl MemoryPort for UnreachablePort {
+        fn access(&mut self, _s: SourceId, _a: PhysAddr, _k: AccessKind) -> PortResponse {
+            panic!("quiescent core touched the memory port");
+        }
+    }
+
+    fn snapshot(c: &Core) -> (u64, u64, u64, u64, u64, usize) {
+        (c.retired, c.cycle, c.stall_cycles, c.head_seq, c.next_seq, c.window.len())
+    }
+
+    #[test]
+    fn fast_forward_matches_dense_bubble_streak() {
+        // Prime two identical cores into a bubble streak, then advance one
+        // densely and one in closed form; every counter must agree.
+        let mk = || Core::new(SourceId(0), 4, 32, Box::new(Bubbles(10_000)));
+        let mut dense = mk();
+        let mut skip = mk();
+        let mut warm = FixedLatency(1);
+        for _ in 0..5 {
+            dense.cycle(&mut warm);
+            skip.cycle(&mut warm);
+        }
+        let q = skip.quiescence();
+        let Quiescence::Streaming { cycles } = q else { panic!("expected streak, got {q:?}") };
+        assert!(cycles > 100);
+        let n = cycles.min(200);
+        let mut port = UnreachablePort;
+        for _ in 0..n {
+            dense.cycle(&mut port);
+        }
+        skip.fast_forward(n);
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+        // After the streak both evolve identically again.
+        let mut mem = FixedLatency(1);
+        for _ in 0..50 {
+            dense.cycle(&mut mem);
+            skip.cycle(&mut mem);
+        }
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+    }
+
+    #[test]
+    fn fast_forward_matches_dense_full_stall() {
+        let mk = || Core::new(SourceId(0), 4, 8, Box::new(Bubbles(0)));
+        let mut dense = mk();
+        let mut skip = mk();
+        let mut pend_a = PendingPort { next_id: 0, issued: vec![] };
+        let mut pend_b = PendingPort { next_id: 0, issued: vec![] };
+        for _ in 0..20 {
+            dense.cycle(&mut pend_a);
+            skip.cycle(&mut pend_b);
+        }
+        assert_eq!(skip.quiescence(), Quiescence::Stalled);
+        let mut port = UnreachablePort;
+        for _ in 0..1000 {
+            dense.cycle(&mut port);
+        }
+        skip.fast_forward(1000);
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+        // A completion wakes both the same way.
+        dense.complete(pend_a.issued[0]);
+        skip.complete(pend_b.issued[0]);
+        for _ in 0..3 {
+            dense.cycle(&mut pend_a);
+            skip.cycle(&mut pend_b);
+        }
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+    }
+
+    #[test]
+    fn trace_hungry_states_refuse_to_skip() {
+        // Out of bubbles: must report Busy (next dispatch needs the trace,
+        // which may yield a memory access).
+        let mut core = Core::new(SourceId(0), 4, 32, Box::new(Bubbles(0)));
+        let mut pend = PendingPort { next_id: 0, issued: vec![] };
+        core.cycle(&mut pend);
+        assert_eq!(core.quiescence(), Quiescence::Busy);
+    }
+
+    #[test]
+    fn fast_forward_spans_in_flight_cache_hits() {
+        // A future DoneAt (cache hit mid-latency) no longer blocks the
+        // skip: the phase engine stalls through the wait, keeps dispatching
+        // bubbles, and resumes the drain — matching dense exactly.
+        let mk = || Core::new(SourceId(0), 4, 32, Box::new(Bubbles(200)));
+        let mut dense = mk();
+        let mut skip = mk();
+        let mut port_a = FixedLatency(37);
+        let mut port_b = FixedLatency(37);
+        // Warm until an access is in flight.
+        for _ in 0..52 {
+            dense.cycle(&mut port_a);
+            skip.cycle(&mut port_b);
+        }
+        assert!(
+            skip.window.iter().any(|s| matches!(s, Slot::DoneAt(t) if *t > skip.cycle)),
+            "setup: expected an in-flight hit in the window"
+        );
+        let Quiescence::Streaming { cycles } = skip.quiescence() else {
+            panic!("in-flight hit with staged bubbles must be streamable")
+        };
+        assert!(cycles > 30, "horizon must span the wait, got {cycles}");
+        let mut port = UnreachablePort;
+        for _ in 0..cycles {
+            dense.cycle(&mut port);
+        }
+        skip.fast_forward(cycles);
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+        // Both resume identically through further memory traffic.
+        for _ in 0..300 {
+            dense.cycle(&mut port_a);
+            skip.cycle(&mut port_b);
+        }
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+    }
+
+    #[test]
+    fn fast_forward_in_chunks_matches_one_shot() {
+        // System skips land mid-phase; chunked fast-forwarding must agree
+        // with dense stepping at every intermediate horizon.
+        let mk = || Core::new(SourceId(0), 4, 16, Box::new(Bubbles(73)));
+        let mut dense = mk();
+        let mut skip = mk();
+        let mut port_a = FixedLatency(29);
+        let mut port_b = FixedLatency(29);
+        for _ in 0..40 {
+            dense.cycle(&mut port_a);
+            skip.cycle(&mut port_b);
+        }
+        let mut port = UnreachablePort;
+        if let Quiescence::Streaming { cycles } = skip.quiescence() {
+            // Advance in uneven chunks across the horizon.
+            let mut left = cycles;
+            while left > 0 {
+                let chunk = (left / 3).max(1);
+                skip.fast_forward(chunk);
+                for _ in 0..chunk {
+                    dense.cycle(&mut port);
+                }
+                assert_eq!(snapshot(&dense), snapshot(&skip));
+                left -= chunk;
+            }
+        }
+        assert_eq!(snapshot(&dense), snapshot(&skip));
     }
 }

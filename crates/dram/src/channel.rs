@@ -300,6 +300,18 @@ impl DramChannel {
     pub fn rank_blocked_until(&self, rank: u8) -> Cycle {
         self.ranks[rank as usize].blocked_until
     }
+
+    /// First cycle at which every rank a reset sweep of `scope` would touch
+    /// is unblocked — i.e. the earliest cycle the sweep could start. Used
+    /// by the time-skipping engine to jump over long REF/sweep blocks.
+    pub fn scope_unblocked_at(&self, scope: ResetScope) -> Cycle {
+        match scope {
+            ResetScope::Rank { rank, .. } => self.rank_blocked_until(rank),
+            ResetScope::Channel { .. } => {
+                self.ranks.iter().map(|r| r.blocked_until).max().unwrap_or(0)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -437,6 +449,15 @@ mod tests {
         assert!(!c.rank_blocked(1, 10), "other rank untouched");
         let (.., sweep_rows) = c.energy.counts();
         assert_eq!(sweep_rows, Geometry::paper_baseline().rows_per_rank());
+    }
+
+    #[test]
+    fn scope_unblock_covers_every_rank_in_scope() {
+        let mut c = ch();
+        let until = c.issue_ref(1, 100);
+        assert_eq!(c.scope_unblocked_at(ResetScope::Rank { channel: 0, rank: 0 }), 0);
+        assert_eq!(c.scope_unblocked_at(ResetScope::Rank { channel: 0, rank: 1 }), until);
+        assert_eq!(c.scope_unblocked_at(ResetScope::Channel { channel: 0 }), until);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use sim_core::addr::DramAddr;
 use sim_core::config::MitigationKind;
 use sim_core::events::MemEvent;
 use sim_core::req::{AccessKind, MemRequest};
+use sim_core::sched;
 use sim_core::stats::MemStats;
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, ResetScope, RowHammerTracker, TrackerAction};
@@ -250,9 +251,12 @@ impl ChannelController {
     }
 
     fn do_refresh(&mut self, now: Cycle) {
+        // Catch-up loop: `now` may jump several tREFI at once (time-skipping
+        // engine, or dense ticking resuming after a long sweep block), and
+        // every owed REF boundary must be processed, not just the first.
         let trefi = self.dram.timing().t_refi;
         for rank in 0..self.next_ref.len() {
-            if now >= self.next_ref[rank] {
+            while now >= self.next_ref[rank] {
                 let blocked_until = self.dram.rank_blocked_until(rank as u8);
                 if blocked_until > now + 8 * trefi {
                     // The rank is mid reset-sweep, which refreshes every row
@@ -269,13 +273,15 @@ impl ChannelController {
     }
 
     fn run_tracker_hooks(&mut self, now: Cycle) {
+        // Catch-up loops, for the same reason as in `do_refresh`: a jump
+        // across k boundaries owes the tracker k hook invocations.
         let t = *self.dram.timing();
-        if now >= self.next_trefi_hook {
+        while now >= self.next_trefi_hook {
             self.tracker.on_trefi(now, &mut self.actions);
             self.next_trefi_hook += t.t_refi;
             self.drain_actions(now);
         }
-        if now >= self.next_trefw {
+        while now >= self.next_trefw {
             self.tracker.on_refresh_window(now, &mut self.actions);
             if self.cfg.collect_events {
                 self.events.push(MemEvent::RefreshWindowEnd { cycle: now });
@@ -639,6 +645,71 @@ impl ChannelController {
     pub fn pending_mitigations(&self) -> usize {
         self.mit_q_len + self.sweep_q.len()
     }
+
+    /// Lower bound on the next cycle at which [`ChannelController::tick`]
+    /// could have any observable effect (see [`sim_core::sched::NextEvent`]).
+    ///
+    /// Contributors, mirroring what `tick` does:
+    ///
+    /// * the per-rank REF deadlines and the tREFI / tREFW tracker hooks,
+    /// * the earliest queued completion,
+    /// * queued demand/metadata requests — a request cannot act before its
+    ///   throttle release (`not_before`) nor before the DRAM timing gate of
+    ///   the command it needs next (column for a pending row hit, ACT for
+    ///   a closed bank, PRE for a row conflict; each of these folds in the
+    ///   rank's REF/sweep block), so tRCD/CAS waits and multi-millisecond
+    ///   sweep blocks are skipped alike; any request that might issue
+    ///   sooner forces the dense answer `now + 1`,
+    /// * a pending reset sweep: its scope's unblock cycle,
+    /// * any victim-row mitigation backlog: always dense (`now + 1`),
+    ///   because the round-robin cursor advances every tick it is non-empty.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let dense = sched::at_least_next_cycle(0, now);
+        let mut t = sched::earliest([self.next_trefi_hook, self.next_trefw]);
+        for &r in &self.next_ref {
+            t = t.min(r);
+        }
+        if let Some(&Reverse((c, _))) = self.completions.peek() {
+            t = t.min(c);
+        }
+        if self.mit_q_len > 0 {
+            return dense;
+        }
+        if let Some(&scope) = self.sweep_q.front() {
+            let start = self.dram.scope_unblocked_at(scope);
+            if start <= now {
+                return dense;
+            }
+            t = t.min(start);
+        }
+        for q in self.reads.iter().chain(self.writes.iter()).chain(self.counter_q.iter()) {
+            let a = &q.req.dram;
+            // Earliest cycle the command this request needs next could
+            // legally issue (a lower bound: scheduler-side vetoes like
+            // mitigation-busy banks or metadata backpressure only push the
+            // real issue later, which merely costs a dense probe then).
+            let timing_gate = if self.dram.is_row_hit(a) {
+                self.dram.earliest_col(a, now)
+            } else if self.dram.is_bank_closed(a) {
+                self.dram.earliest_act(a, now)
+            } else {
+                self.dram.earliest_pre(a, now)
+            };
+            let gate = q.not_before.max(timing_gate);
+            if gate <= now {
+                // Might be schedulable this very cycle — stay dense.
+                return dense;
+            }
+            t = t.min(gate);
+        }
+        sched::at_least_next_cycle(t, now)
+    }
+}
+
+impl sched::NextEvent for ChannelController {
+    fn next_event(&self, now: Cycle) -> Cycle {
+        ChannelController::next_event(self, now)
+    }
 }
 
 #[cfg(test)]
@@ -863,6 +934,104 @@ mod tests {
         }
         assert_eq!(df.len(), 1);
         assert_eq!(ds.len(), 1);
+    }
+
+    /// Counts every hook invocation through shared cells so the test can
+    /// read them after the tracker moves into the controller.
+    struct HookCounter {
+        trefi: std::rc::Rc<std::cell::Cell<u64>>,
+        trefw: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+    impl RowHammerTracker for HookCounter {
+        fn name(&self) -> &'static str {
+            "hook-counter"
+        }
+        fn on_activation(&mut self, _: Activation, _: &mut Vec<TrackerAction>) {}
+        fn on_trefi(&mut self, _c: Cycle, _a: &mut Vec<TrackerAction>) {
+            self.trefi.set(self.trefi.get() + 1);
+        }
+        fn on_refresh_window(&mut self, _c: Cycle, _a: &mut Vec<TrackerAction>) {
+            self.trefw.set(self.trefw.get() + 1);
+        }
+        fn storage_overhead(&self) -> StorageOverhead {
+            StorageOverhead::default()
+        }
+    }
+
+    #[test]
+    fn time_jump_owes_every_hook_boundary() {
+        // A tick landing several tREFI/tREFW past the deadlines must fire
+        // one hook per owed boundary, not one per call.
+        let trefi_count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let trefw_count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let tracker = HookCounter {
+            trefi: std::rc::Rc::clone(&trefi_count),
+            trefw: std::rc::Rc::clone(&trefw_count),
+        };
+        let mut c = mk(Box::new(tracker), false);
+        let trefi = c.dram().timing().t_refi;
+        let trefw = c.dram().timing().t_refw;
+        c.tick(0);
+        assert_eq!(trefi_count.get(), 0, "no boundary owed at cycle 0");
+        // Jump straight past 5 tREFI boundaries in one call.
+        c.tick(5 * trefi + 1);
+        assert_eq!(trefi_count.get(), 5, "every owed tREFI hook must fire");
+        // Jump past 3 tREFW boundaries; tREFI hooks catch up alongside.
+        c.tick(3 * trefw + 1);
+        assert_eq!(trefw_count.get(), 3, "every owed tREFW hook must fire");
+        assert_eq!(trefi_count.get(), (3 * trefw + 1) / trefi, "tREFI hooks catch up too");
+        // REF boundaries also catch up. A full back-payment is not owed —
+        // once the pile of instantaneous REFs blocks the rank further than
+        // 8 tREFI out, the catch-up loop deliberately skips the rest (the
+        // same guard the reset-sweep path uses) — but the pre-fix behaviour
+        // of one REF per rank per `tick` call (≤ 6 here) must be far
+        // exceeded, and no deadline may be left in the past.
+        assert!(
+            c.stats.refreshes > 100,
+            "REF catch-up still pays one boundary per call: {}",
+            c.stats.refreshes
+        );
+        let t_end = 3 * trefw + 1;
+        assert!(c.next_ref.iter().all(|&r| r > t_end), "stale REF deadline survived the jump");
+    }
+
+    #[test]
+    fn next_event_is_a_sound_lower_bound() {
+        // Idle controller: the bound is the first REF/hook deadline, and no
+        // observable state changes while ticking densely up to (but not
+        // including) that cycle.
+        let mut c = mk(Box::new(NullTracker), false);
+        let bound = c.next_event(0);
+        assert!(bound > 1, "idle controller must allow skipping");
+        let before = c.stats;
+        for now in 0..bound {
+            c.tick(now);
+        }
+        assert_eq!(c.stats, before, "tick acted before the reported bound");
+        c.tick(bound);
+        assert!(c.stats.refreshes > 0, "bound cycle itself performs the REF");
+
+        // A queued request forces the dense answer.
+        let mut c = mk(Box::new(NullTracker), false);
+        assert!(c.enqueue(rd(1, 0, 0, 10, 2, 0)));
+        assert_eq!(c.next_event(0), 1, "ready request must force dense ticking");
+
+        // A rank-wide sweep block lets the controller skip ahead even with
+        // a queued request behind it.
+        let mut c = mk(Box::new(SweepOnce { fired: false }), false);
+        let trefi = c.dram().timing().t_refi;
+        let mut done = Vec::new();
+        run(&mut c, 0, trefi + 2000, &mut done);
+        assert_eq!(c.stats.reset_sweeps, 1);
+        assert!(c.enqueue(rd(7, 0, 0, 5, 0, trefi + 2000)));
+        let now = trefi + 2000;
+        let bound = c.next_event(now);
+        let unblock = c.dram().rank_blocked_until(0);
+        assert!(unblock > now + 1000, "sweep must block the rank for a while");
+        let refresh_floor =
+            c.next_ref.iter().copied().min().unwrap().min(c.next_trefi_hook).min(c.next_trefw);
+        assert_eq!(bound, unblock.min(refresh_floor), "skip to unblock or next REF deadline");
+        assert!(bound > now + 1, "blocked backlog must not force dense ticking");
     }
 
     #[test]

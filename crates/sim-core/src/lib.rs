@@ -10,6 +10,8 @@
 //!   through which the memory controller consults a mitigation,
 //! * [`req`] — memory requests exchanged by cores, caches, and controllers,
 //! * [`rng`] — small deterministic PRNGs used in simulation hot paths,
+//! * [`sched`] — the [`NextEvent`](sched::NextEvent) contract components
+//!   implement so the time-skipping engine can jump quiet stretches,
 //! * [`stats`] — counters and summary statistics.
 //!
 //! # Example
@@ -32,6 +34,7 @@ pub mod config;
 pub mod events;
 pub mod req;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod tracker;
@@ -40,5 +43,6 @@ pub use addr::{DramAddr, Geometry, PhysAddr};
 pub use config::SystemConfig;
 pub use events::MemEvent;
 pub use req::{AccessKind, MemRequest, SourceId};
+pub use sched::NextEvent;
 pub use time::Cycle;
 pub use tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};

@@ -1,0 +1,62 @@
+//! Event-driven scheduling vocabulary.
+//!
+//! The simulator's time-skipping engine asks each component when it next
+//! has something to do and advances the clock straight to the earliest such
+//! cycle instead of ticking every bus cycle. [`NextEvent`] is the contract
+//! a component must uphold to participate:
+//!
+//! * `next_event(now)` returns a **lower bound** on the first cycle
+//!   `> now` at which ticking the component could have any observable
+//!   effect (issue a command, surface a completion, fire a refresh or
+//!   tracker hook, mutate statistics, consult the tracker, ...).
+//! * Returning a bound that is *too small* merely costs a wasted dense
+//!   tick; returning a bound that is *too large* skips real work and
+//!   breaks bit-exact equivalence with the dense engine. When in doubt a
+//!   component must answer `now + 1` (dense fallback).
+//! * The bound is computed against current state only; it must not mutate
+//!   the component.
+//!
+//! [`NEVER`] is the answer for "no pending work at all"; callers clamp it
+//! against their own horizon (simulation window end).
+
+use crate::time::Cycle;
+
+/// "No event pending": the maximal cycle, to be clamped by the caller.
+pub const NEVER: Cycle = Cycle::MAX;
+
+/// A component that can report when it next needs to be ticked.
+pub trait NextEvent {
+    /// Lower bound (`> now`) on the next cycle at which ticking this
+    /// component could have an observable effect. See the module docs for
+    /// the exact contract.
+    fn next_event(&self, now: Cycle) -> Cycle;
+}
+
+/// Clamps a candidate event time into the caller's valid range: at least
+/// `now + 1` (an event can never be due in the past) and at most `NEVER`.
+pub fn at_least_next_cycle(t: Cycle, now: Cycle) -> Cycle {
+    t.max(now.saturating_add(1))
+}
+
+/// Earliest of a set of candidate event times; [`NEVER`] for an empty set.
+pub fn earliest<I: IntoIterator<Item = Cycle>>(times: I) -> Cycle {
+    times.into_iter().min().unwrap_or(NEVER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_is_strictly_in_the_future() {
+        assert_eq!(at_least_next_cycle(0, 10), 11);
+        assert_eq!(at_least_next_cycle(15, 10), 15);
+        assert_eq!(at_least_next_cycle(NEVER, NEVER), NEVER, "no overflow at the horizon");
+    }
+
+    #[test]
+    fn earliest_handles_empty_and_min() {
+        assert_eq!(earliest([]), NEVER);
+        assert_eq!(earliest([5, 3, 9]), 3);
+    }
+}

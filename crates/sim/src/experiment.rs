@@ -10,7 +10,7 @@ use trackers::{Abacus, BlockHammer, Comet, Hydra, Para, Prac, Pride, Start, Trac
 use workloads::{spec_by_name, Attack, SyntheticTrace};
 
 use crate::metrics::{normalized_performance, RunStats};
-use crate::system::System;
+use crate::system::{Engine, System};
 use std::sync::Arc;
 
 /// Which RowHammer defense guards the memory controller.
@@ -241,6 +241,10 @@ pub struct Experiment {
     /// 16, 17); the motivation figures (1, 3-5) compare against the
     /// attack-free baseline.
     pub isolate_tracker_overhead: bool,
+    /// Simulation loop for both the run and its reference. The engines are
+    /// bit-identical in results; [`Engine::EventDriven`] (default) is
+    /// faster on quiet workloads.
+    pub engine: Engine,
 }
 
 /// Outcome of [`Experiment::run`].
@@ -271,6 +275,7 @@ impl Experiment {
             cfg: SystemConfig::paper_baseline().with_window(us_to_cycles(2_000.0)),
             collect_events: false,
             isolate_tracker_overhead: false,
+            engine: Engine::default(),
         }
     }
 
@@ -350,6 +355,12 @@ impl Experiment {
         self
     }
 
+    /// Selects the simulation engine (default: [`Engine::EventDriven`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     fn build_traces(
         &self,
         attack: Option<Attack>,
@@ -415,14 +426,14 @@ impl Experiment {
     /// Runs the experiment and its reference, returning normalized
     /// performance (the paper's metric).
     pub fn run(self) -> ExperimentResult {
-        let reference = self.build_system(true).run();
+        let reference = self.build_system(true).run_engine(self.engine);
         self.run_against(&reference)
     }
 
     /// Runs only the system under test, normalizing against a pre-computed
     /// reference (sweeps share one reference per workload).
     pub fn run_against(self, reference: &RunStats) -> ExperimentResult {
-        let run = self.build_system(false).run();
+        let run = self.build_system(false).run_engine(self.engine);
         let benign = self.benign_cores();
         let attack_name = match (&self.custom_attack, self.attack.resolve(self.tracker)) {
             (Some(c), _) => c.name().to_string(),

@@ -32,4 +32,4 @@ pub mod system;
 pub use experiment::{AttackChoice, CustomAttack, Experiment, ExperimentResult, TrackerChoice};
 pub use metrics::RunStats;
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
-pub use system::System;
+pub use system::{Engine, System};

@@ -5,7 +5,11 @@ use sim_core::stats::MemStats;
 use sim_core::time::Cycle;
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field exactly (including the float-valued
+/// ones): the dense and event-driven engines are required to agree
+/// bit-for-bit, and the equivalence suite leans on this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Tracker under test.
     pub tracker: String,
@@ -48,18 +52,26 @@ impl RunStats {
 /// Normalized performance: mean over `benign` of IPC ratio vs. a reference
 /// run (the paper's metric — performance of benign applications normalized
 /// to the insecure baseline).
+///
+/// Cores whose reference IPC is zero carry no signal (the ratio is
+/// undefined), so they are excluded from **both** the numerator and the
+/// denominator; counting them only in the denominator would silently
+/// deflate the metric. Returns 0.0 when no core has a usable reference.
 pub fn normalized_performance(run: &RunStats, reference: &RunStats, benign: &[usize]) -> f64 {
-    if benign.is_empty() {
-        return 0.0;
-    }
     let mut sum = 0.0;
+    let mut counted = 0u32;
     for &i in benign {
         let r = reference.ipc(i);
         if r > 0.0 {
             sum += run.ipc(i) / r;
+            counted += 1;
         }
     }
-    sum / benign.len() as f64
+    if counted == 0 {
+        0.0
+    } else {
+        sum / f64::from(counted)
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +104,20 @@ mod tests {
     fn empty_benign_set_is_zero() {
         let run = stats(vec![1], vec![1]);
         assert_eq!(normalized_performance(&run, &run, &[]), 0.0);
+    }
+
+    #[test]
+    fn zero_reference_ipc_cores_are_excluded_from_both_sides() {
+        // Core 1 never retired in the reference: its ratio is undefined and
+        // must not deflate the mean (regression: it used to stay in the
+        // denominator while being skipped in the numerator).
+        let run = stats(vec![500, 999], vec![1000, 1000]);
+        let reference = stats(vec![1000, 0], vec![1000, 1000]);
+        let norm = normalized_performance(&run, &reference, &[0, 1]);
+        assert!((norm - 0.5).abs() < 1e-12, "got {norm}, want core 0's ratio alone");
+        // All-zero reference: no usable core at all.
+        let dead = stats(vec![0, 0], vec![1000, 1000]);
+        assert_eq!(normalized_performance(&run, &dead, &[0, 1]), 0.0);
     }
 
     #[test]

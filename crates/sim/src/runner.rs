@@ -36,14 +36,49 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Stringifies a panic payload for [`SweepError`].
+///
+/// `panic!`/`expect` payloads are `&str`/`String` and pass through as-is.
+/// `panic_any` payloads of common scalar types are rendered by value;
+/// anything else reports its `TypeId` (the concrete type *name* is erased
+/// by `Box<dyn Any>`, but a stable id still distinguishes payload kinds
+/// across a sweep), so failures never collapse into one opaque label.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+    macro_rules! try_display {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                if let Some(v) = payload.downcast_ref::<$ty>() {
+                    return format!("{v:?} ({})", stringify!($ty));
+                }
+            )+
+        };
     }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    try_display!(
+        std::borrow::Cow<'static, str>,
+        i8,
+        i16,
+        i32,
+        i64,
+        i128,
+        isize,
+        u8,
+        u16,
+        u32,
+        u64,
+        u128,
+        usize,
+        f32,
+        f64,
+        bool,
+        char,
+    );
+    format!("non-string panic payload ({:?})", (*payload).type_id())
 }
 
 /// Applies `f` to every item across all available cores, preserving input
@@ -159,5 +194,38 @@ mod tests {
         for (i, r) in out.iter().enumerate() {
             assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn non_string_panic_payloads_stay_diagnosable() {
+        struct Opaque;
+        // Scalar payloads render by value; opaque ones report a type id
+        // rather than collapsing into one indistinct label.
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("kaboom"))), "kaboom");
+        assert_eq!(panic_message(Box::new(42i32)), "42 (i32)");
+        assert_eq!(panic_message(Box::new(7u64)), "7 (u64)");
+        assert_eq!(panic_message(Box::new(2.5f64)), "2.5 (f64)");
+        let opaque = panic_message(Box::new(Opaque));
+        assert!(opaque.contains("TypeId"), "{opaque}");
+        let other = panic_message(Box::new(vec![1u8]));
+        assert_ne!(opaque, other, "distinct payload types must stay distinguishable");
+    }
+
+    #[test]
+    fn sweep_error_carries_payload_value() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = parallel_map(vec![1u32, 2, 3], |x| {
+            if x == 2 {
+                std::panic::panic_any(x * 10);
+            }
+            x
+        });
+        std::panic::set_hook(prev);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        let err = out[1].as_ref().expect_err("job 1 panicked");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.message, "20 (u32)");
     }
 }

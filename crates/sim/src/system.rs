@@ -1,17 +1,49 @@
 //! The assembled system: cores + LLC + controllers + tracker + oracle.
+//!
+//! Two execution engines share the same component models:
+//!
+//! * [`Engine::Dense`] ticks every component on every bus cycle — the
+//!   reference semantics.
+//! * [`Engine::EventDriven`] (the default) advances time straight to the
+//!   next *interesting* cycle whenever it can prove the jump is exact:
+//!   every controller reports a lower bound on its next actionable cycle
+//!   through [`sim_core::sched::NextEvent`], and every core reports how far
+//!   it can be fast-forwarded in closed form ([`cpu::Quiescence`]). The two
+//!   engines produce **bit-identical** [`RunStats`] by construction; the
+//!   cross-engine equivalence suite (`tests/engine_equivalence.rs`) holds
+//!   that line.
 
 use analysis::Oracle;
-use cpu::{ClockRatio, Core, MemoryPort, PortResponse, TraceSource};
+use cpu::{ClockRatio, Core, MemoryPort, PortResponse, Quiescence, TraceSource};
 use dram::{DramChannel, TimingParams};
 use llcache::{Llc, LookupResult};
 use memctrl::{ChannelController, CtrlConfig};
 use sim_core::addr::PhysAddr;
 use sim_core::config::SystemConfig;
 use sim_core::req::{AccessKind, MemRequest, SourceId};
+use sim_core::sched::NextEvent;
 use sim_core::time::Cycle;
 use sim_core::tracker::RowHammerTracker;
 
 use crate::metrics::RunStats;
+
+/// Which simulation loop drives the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Tick every component on every bus cycle (reference semantics).
+    Dense,
+    /// Skip quiet stretches; falls back to dense ticking whenever any
+    /// component might act. Bit-identical results, multi-x faster on
+    /// idle-heavy workloads.
+    #[default]
+    EventDriven,
+}
+
+/// Maximum dense steps between failed skip attempts (exponential backoff
+/// cap): bounds the overhead of probing for skips on saturated workloads
+/// while keeping reaction to reopening quiet windows prompt (a DRAM miss
+/// keeps the bus busy for some tens of cycles; the cap must not dwarf it).
+const MAX_SKIP_BACKOFF: u32 = 16;
 
 /// LLC hit latency in core cycles (tag + data array of a large shared LLC).
 const LLC_HIT_LATENCY: u32 = 30;
@@ -112,10 +144,25 @@ pub struct System {
     hierarchy: Hierarchy,
     ratio: ClockRatio,
     oracles: Option<Vec<Oracle>>,
-    /// Which request ids belong to which core is implicit: ids are globally
-    /// unique and each core records its own pending set.
     completions_buf: Vec<u64>,
-    core_of_req: std::collections::HashMap<u64, usize>,
+    /// Issuing core per request id, indexed by `id - 1`: demand ids are
+    /// allocated densely from 1 by `Hierarchy::enqueue_dram`, so a flat
+    /// slab replaces the former per-request HashMap on the hot path
+    /// (tracker metadata ids live in a disjoint high range and never
+    /// complete back to a core).
+    core_of_req: Vec<u8>,
+    /// Dense steps to run before the next skip attempt (failed-probe
+    /// backoff; purely a performance heuristic, never affects results).
+    skip_cooldown: u32,
+    /// Current backoff width, doubled on each failed probe up to
+    /// [`MAX_SKIP_BACKOFF`], reset by a successful skip.
+    skip_backoff: u32,
+    /// Bus cycles executed densely (diagnostics).
+    dense_steps: u64,
+    /// Bus cycles elided by skips (diagnostics).
+    skipped_cycles: u64,
+    /// Number of successful skips (diagnostics).
+    skips: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -183,7 +230,12 @@ impl System {
             ratio: ClockRatio::core_over_bus(),
             oracles,
             completions_buf: Vec::new(),
-            core_of_req: std::collections::HashMap::new(),
+            core_of_req: Vec::new(),
+            skip_cooldown: 0,
+            skip_backoff: 1,
+            dense_steps: 0,
+            skipped_cycles: 0,
+            skips: 0,
         }
     }
 
@@ -202,9 +254,8 @@ impl System {
             self.completions_buf.clear();
             ctrl.pop_completions(now, &mut self.completions_buf);
             for &id in &self.completions_buf {
-                if let Some(core) = self.core_of_req.remove(&id) {
-                    self.cores[core].complete(id);
-                }
+                let core = self.core_of_req[(id - 1) as usize] as usize;
+                self.cores[core].complete(id);
             }
         }
 
@@ -223,9 +274,11 @@ impl System {
             for core in &mut self.cores {
                 let before = self.hierarchy.next_req;
                 core.cycle(&mut self.hierarchy);
-                // Register any requests this core just issued.
-                for id in before..self.hierarchy.next_req {
-                    self.core_of_req.insert(id, core.id().0 as usize);
+                // Register any requests this core just issued. Ids are
+                // allocated densely, so the slab stays push-only.
+                debug_assert_eq!(self.core_of_req.len() as u64, before - 1);
+                for _ in before..self.hierarchy.next_req {
+                    self.core_of_req.push(core.id().0);
                 }
             }
         }
@@ -233,17 +286,106 @@ impl System {
         self.hierarchy.now += 1;
     }
 
-    /// Runs until the window closes or every core reaches `max_instructions`.
+    /// Runs until the window closes or every core reaches `max_instructions`,
+    /// using the default [`Engine::EventDriven`] loop.
     pub fn run(&mut self) -> RunStats {
+        self.run_engine(Engine::EventDriven)
+    }
+
+    /// Runs with the reference dense-tick loop (one [`System::step`] per bus
+    /// cycle). Kept as the semantic baseline for the equivalence suite.
+    pub fn run_dense(&mut self) -> RunStats {
+        self.run_engine(Engine::Dense)
+    }
+
+    /// Runs under the chosen engine.
+    pub fn run_engine(&mut self, engine: Engine) -> RunStats {
         let window = self.hierarchy.cfg.window_cycles;
         let max_inst = self.hierarchy.cfg.max_instructions;
         while self.hierarchy.now < window {
-            self.step();
+            if engine == Engine::Dense || !self.try_skip() {
+                self.step();
+                self.dense_steps += 1;
+            }
             if max_inst != u64::MAX && self.cores.iter().all(|c| c.retired() >= max_inst) {
                 break;
             }
         }
         self.stats()
+    }
+
+    /// `(dense bus cycles, skipped bus cycles, skips)` executed so far —
+    /// how much of the simulated time the event engine actually elided and
+    /// in how many jumps.
+    pub fn engine_stats(&self) -> (u64, u64, u64) {
+        (self.dense_steps, self.skipped_cycles, self.skips)
+    }
+
+    /// Attempts one exact time skip; returns false when any component might
+    /// act within the next bus cycle (the caller then steps densely).
+    ///
+    /// A skip of `k` bus cycles is performed only when:
+    ///
+    /// * no controller reports an event before `now + k` (REF/hook
+    ///   deadlines, completions, schedulable requests — see
+    ///   [`memctrl::ChannelController::next_event`]), and
+    /// * every core can be advanced the corresponding core-cycle total in
+    ///   closed form ([`cpu::Quiescence`]), without crossing the
+    ///   instruction budget of a still-running core.
+    ///
+    /// Under those conditions the skipped cycles are provably no-ops for
+    /// the memory system and exactly summarizable for the cores, so dense
+    /// and skipped execution produce identical [`RunStats`].
+    fn try_skip(&mut self) -> bool {
+        if self.skip_cooldown > 0 {
+            self.skip_cooldown -= 1;
+            return false;
+        }
+        let now = self.hierarchy.now;
+        let mut horizon = self.hierarchy.cfg.window_cycles;
+        for ctrl in &self.hierarchy.ctrls {
+            horizon = horizon.min(NextEvent::next_event(ctrl, now));
+            if horizon <= now + 1 {
+                return self.skip_failed();
+            }
+        }
+        // Core-side budget, in core cycles.
+        let max_inst = self.hierarchy.cfg.max_instructions;
+        let mut budget = u64::MAX;
+        for core in &self.cores {
+            match core.quiescence() {
+                Quiescence::Busy => return self.skip_failed(),
+                Quiescence::Stalled => {}
+                Quiescence::Streaming { cycles } => budget = budget.min(cycles),
+            }
+            if max_inst != u64::MAX && core.retired() < max_inst {
+                // Stop the skip no later than the first cycle this core
+                // could cross its instruction budget (retire rate is at
+                // most `width` per core cycle), so the run-loop break
+                // fires on the same step as under dense execution.
+                let width = self.hierarchy.cfg.cpu.width as u64;
+                budget = budget.min((max_inst - core.retired()).div_ceil(width));
+            }
+        }
+        let k = self.ratio.max_bus_cycles_within(budget).min(horizon - now);
+        if k < 2 {
+            return self.skip_failed();
+        }
+        let core_cycles = self.ratio.advance_bus_cycles(k);
+        for core in &mut self.cores {
+            core.fast_forward(core_cycles);
+        }
+        self.hierarchy.now += k;
+        self.skipped_cycles += k;
+        self.skips += 1;
+        self.skip_backoff = 1;
+        true
+    }
+
+    fn skip_failed(&mut self) -> bool {
+        self.skip_cooldown = self.skip_backoff;
+        self.skip_backoff = (self.skip_backoff * 2).min(MAX_SKIP_BACKOFF);
+        false
     }
 
     /// Snapshot of the metrics so far.
@@ -365,6 +507,40 @@ mod tests {
         for i in 0..4 {
             assert!(stats.retired[i] >= 5_000);
         }
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit_on_strided_traffic() {
+        for bubbles in [0, 10, 500, 40_000] {
+            let dense = build(small_cfg(), bubbles, true).run_dense();
+            let event = build(small_cfg(), bubbles, true).run();
+            assert_eq!(dense, event, "bubbles={bubbles}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_instruction_budget() {
+        let mut cfg = small_cfg();
+        cfg.window_cycles = 10_000_000;
+        cfg.max_instructions = 50_000;
+        let dense = build(cfg.clone(), 200, false).run_dense();
+        let event = build(cfg, 200, false).run();
+        assert_eq!(dense, event, "early-stop cycle must match exactly");
+        assert!(dense.cycles < 10_000_000);
+    }
+
+    #[test]
+    fn idle_workload_actually_skips() {
+        // Bubble-heavy cores leave the bus idle almost always; the event
+        // engine must do far fewer dense steps than there are bus cycles.
+        // (Indirect check: the run completes with identical stats; the
+        // wall-clock benefit is measured in crates/bench.)
+        let mut cfg = small_cfg();
+        cfg.window_cycles = 200_000;
+        let dense = build(cfg.clone(), 20_000, false).run_dense();
+        let event = build(cfg, 20_000, false).run();
+        assert_eq!(dense, event);
+        assert_eq!(event.cycles, 200_000);
     }
 
     #[test]

@@ -21,5 +21,5 @@ pub mod catalog;
 pub mod synth;
 
 pub use attacks::{Attack, AttackTrace};
-pub use catalog::{catalog, spec_by_name, Suite, WorkloadSpec};
+pub use catalog::{catalog, quick_subset, spec_by_name, Suite, WorkloadSpec};
 pub use synth::SyntheticTrace;

@@ -1,0 +1,39 @@
+//! Quick diagnostic: how much of the window the event engine elides.
+use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::Engine;
+
+fn main() {
+    let cases: Vec<(&str, Experiment)> = vec![
+        (
+            "povray/dapper-h",
+            Experiment::new("povray_like").tracker(TrackerChoice::DapperH).window_us(500.0),
+        ),
+        (
+            "povray/none",
+            Experiment::new("povray_like").tracker(TrackerChoice::None).window_us(500.0),
+        ),
+        ("namd/none", Experiment::new("namd_like").tracker(TrackerChoice::None).window_us(500.0)),
+        (
+            "gcc/hydra+att",
+            Experiment::new("gcc_like")
+                .tracker(TrackerChoice::Hydra)
+                .attack(AttackChoice::Tailored)
+                .window_us(500.0),
+        ),
+    ];
+    for (name, e) in cases {
+        let mut sys = e.build_system(false);
+        let t = std::time::Instant::now();
+        let stats = sys.run_engine(Engine::EventDriven);
+        let dt = t.elapsed().as_secs_f64();
+        let (dense, skipped, skips) = sys.engine_stats();
+        println!(
+            "{name:<16} cycles {:>9}  dense {:>9} ({:>5.1}%)  skipped {:>9} in {:>7} jumps (avg {:>6.1})  {:>6.1} Mc/s",
+            stats.cycles, dense,
+            100.0 * dense as f64 / stats.cycles as f64,
+            skipped, skips,
+            skipped as f64 / skips.max(1) as f64,
+            stats.cycles as f64 / dt / 1e6,
+        );
+    }
+}

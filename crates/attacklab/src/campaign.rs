@@ -11,14 +11,15 @@ use crate::scenario::ScenarioSpec;
 use crate::search::{
     evaluate_specs, reference_run, search_against, EvalRecord, SearchConfig, SearchReport,
 };
-use sim::experiment::TrackerChoice;
+use sim::experiment::TrackerSel;
 use workloads::Attack;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
-    /// Trackers under test.
-    pub trackers: Vec<TrackerChoice>,
+    /// Trackers under test (registry selections, parameter overrides
+    /// included).
+    pub trackers: Vec<TrackerSel>,
     /// Benign workload sharing the machine.
     pub workload: String,
     /// Fixed scenarios evaluated for every tracker.
@@ -36,7 +37,7 @@ pub struct CampaignConfig {
 impl CampaignConfig {
     /// A campaign over the given trackers with the paper's seven attack
     /// patterns as the fixed matrix and a 50-evaluation search per tracker.
-    pub fn new(trackers: Vec<TrackerChoice>, workload: &str) -> Self {
+    pub fn new(trackers: Vec<TrackerSel>, workload: &str) -> Self {
         Self {
             trackers,
             workload: workload.to_string(),
@@ -48,8 +49,8 @@ impl CampaignConfig {
         }
     }
 
-    fn search_config(&self, tracker: TrackerChoice) -> SearchConfig {
-        let mut cfg = SearchConfig::new(tracker, &self.workload);
+    fn search_config(&self, tracker: &TrackerSel) -> SearchConfig {
+        let mut cfg = SearchConfig::new(tracker.clone(), &self.workload);
         cfg.window_us = self.window_us;
         cfg.nrh = self.nrh;
         cfg.seed = self.seed;
@@ -61,8 +62,10 @@ impl CampaignConfig {
 /// One evaluated (tracker, scenario) cell.
 #[derive(Debug, Clone)]
 pub struct CampaignRow {
-    /// Tracker display name.
-    pub tracker: &'static str,
+    /// Tracker label ([`TrackerSel::label`]: display name plus any
+    /// parameter overrides, so two parameterizations of one scheme stay
+    /// distinguishable in rows, leaderboards, and exports).
+    pub tracker: String,
     /// "fixed" for matrix scenarios, "search" for search discoveries.
     pub origin: &'static str,
     /// The evaluation.
@@ -91,17 +94,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let reference = cfg
         .trackers
         .first()
-        .map(|&t| reference_run(&cfg.search_config(t)))
+        .map(|t| reference_run(&cfg.search_config(t)))
         .expect("campaign needs at least one tracker");
-    for &tracker in &cfg.trackers {
+    for tracker in &cfg.trackers {
         let scfg = cfg.search_config(tracker);
         for record in evaluate_specs(&scfg, &reference, cfg.scenarios.clone()) {
-            rows.push(CampaignRow { tracker: tracker.name(), origin: "fixed", record });
+            rows.push(CampaignRow { tracker: tracker.label(), origin: "fixed", record });
         }
         if cfg.search_budget > 0 {
             let report = search_against(&scfg, &reference);
             rows.push(CampaignRow {
-                tracker: tracker.name(),
+                tracker: tracker.label(),
                 origin: "search",
                 record: report.best.clone(),
             });
@@ -116,8 +119,8 @@ impl CampaignReport {
     /// first.
     pub fn leaderboard(&self) -> Vec<&CampaignRow> {
         let mut worst: Vec<&CampaignRow> = Vec::new();
-        for &tracker in &self.config.trackers {
-            let name = tracker.name();
+        for tracker in &self.config.trackers {
+            let name = tracker.label();
             if let Some(row) = self
                 .rows
                 .iter()
@@ -168,7 +171,7 @@ impl CampaignReport {
         let row_json = |row: &CampaignRow| {
             let r = &row.record;
             Json::obj([
-                ("tracker", Json::str(row.tracker)),
+                ("tracker", Json::str(&row.tracker)),
                 ("origin", Json::str(row.origin)),
                 ("scenario", Json::str(&r.name)),
                 ("spec", r.spec.to_json()),
@@ -185,7 +188,7 @@ impl CampaignReport {
             .iter()
             .map(|s| {
                 Json::obj([
-                    ("tracker", Json::str(s.tracker)),
+                    ("tracker", Json::str(&s.tracker)),
                     ("seed", Json::hex(s.seed)),
                     ("evaluations", Json::count(s.evaluations as u64)),
                     ("best_slowdown", Json::num(s.best.slowdown)),
@@ -239,7 +242,7 @@ impl CampaignReport {
             let r = &row.record;
             out.push_str(&format!(
                 "{},{},{},{:.6},{:.6},{},{},{},{:.4}\n",
-                csv_field(row.tracker),
+                csv_field(&row.tracker),
                 row.origin,
                 csv_field(&r.name),
                 r.slowdown,
@@ -258,9 +261,12 @@ impl CampaignReport {
 mod tests {
     use super::*;
 
+    fn trackers(keys: &[&str]) -> Vec<TrackerSel> {
+        keys.iter().map(|k| TrackerSel::by_key(k).unwrap()).collect()
+    }
+
     fn tiny() -> CampaignConfig {
-        let mut cfg =
-            CampaignConfig::new(vec![TrackerChoice::Hydra, TrackerChoice::DapperH], "povray_like");
+        let mut cfg = CampaignConfig::new(trackers(&["hydra", "dapper-h"]), "povray_like");
         cfg.window_us = 60.0;
         cfg.scenarios = vec![
             ScenarioSpec::baseline(Attack::Streaming),
@@ -281,6 +287,26 @@ mod tests {
             board[0].record.slowdown <= board[1].record.slowdown,
             "leaderboard sorts most-resilient first"
         );
+    }
+
+    #[test]
+    fn parameterized_variants_of_one_tracker_stay_distinguishable() {
+        // Two Hydra configurations differing only in RCC size — the
+        // sensitivity-sweep shape this registry unlocks — must keep
+        // separate rows, leaderboard entries, and export labels.
+        let baseline = TrackerSel::by_key("hydra").unwrap();
+        let small = baseline.clone().with_param("rcc_entries", 512).unwrap();
+        let mut cfg = CampaignConfig::new(vec![baseline, small], "povray_like");
+        cfg.window_us = 60.0;
+        cfg.scenarios = vec![ScenarioSpec::baseline(Attack::Streaming)];
+        cfg.search_budget = 0;
+        let report = run_campaign(&cfg);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].tracker, "Hydra");
+        assert_eq!(report.rows[1].tracker, "Hydra{rcc_entries=512}");
+        let board = report.leaderboard();
+        assert_eq!(board.len(), 2, "one leaderboard entry per parameterization");
+        assert!(report.to_csv().contains("Hydra{rcc_entries=512}"));
     }
 
     #[test]

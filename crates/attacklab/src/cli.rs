@@ -10,7 +10,7 @@
 //! the full structured results as JSON (and optionally CSV).
 
 use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
-use sim::experiment::TrackerChoice;
+use sim::experiment::TrackerSel;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -38,8 +38,12 @@ USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
   --window-us  simulated window per evaluation in microseconds (default 250)
   --nrh        RowHammer threshold (default 500)
   --seed       seed for simulation and search (default 0xDA99E5 as decimal)
-  --out        JSON results path (default redteam_results.json)
+  --out        JSON results path (default out/redteam_results.json)
   --csv        also write rows as CSV to this path
+
+Tracker names resolve through the open registry: any key, display name,
+or alias works, case- and separator-insensitively (dapper-h, DAPPER_H,
+DapperH). Parent directories of --out/--csv are created as needed.
 ";
 
 /// Parses CLI arguments. Returns `Err` with a usage/diagnostic string on
@@ -84,14 +88,10 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
         }
     };
     let tracker_list = get("--trackers").map(String::as_str).unwrap_or(DEFAULT_TRACKERS);
-    let mut trackers = Vec::new();
+    let mut trackers: Vec<TrackerSel> = Vec::new();
     for name in tracker_list.split(',').filter(|s| !s.is_empty()) {
-        let t = TrackerChoice::parse(name).ok_or_else(|| {
-            format!(
-                "unknown tracker '{name}'; known: {}",
-                TrackerChoice::all().map(|t| t.name()).join(", ")
-            )
-        })?;
+        // One lookup path for every spelling and alias: the registry.
+        let t = TrackerSel::by_key(name).map_err(|e| e.to_string())?;
         if !trackers.contains(&t) {
             trackers.push(t);
         }
@@ -113,9 +113,19 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
     };
     Ok(RedteamOpts {
         campaign,
-        out: get("--out").cloned().unwrap_or_else(|| "redteam_results.json".to_string()),
+        out: get("--out").cloned().unwrap_or_else(|| "out/redteam_results.json".to_string()),
         csv: get("--csv").cloned(),
     })
+}
+
+/// Writes `content` to `path`, creating parent directories first.
+fn write_artifact(path: &str, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, content)
 }
 
 fn print_report(report: &CampaignReport) {
@@ -160,13 +170,15 @@ pub fn main_with_args(args: &[String]) -> i32 {
     let report = run_campaign(&opts.campaign);
     print_report(&report);
     let json = report.to_json().render();
-    if let Err(e) = std::fs::write(&opts.out, &json) {
+    // Campaign artifacts live under a dedicated output directory (the
+    // default is out/), never the repo root.
+    if let Err(e) = write_artifact(&opts.out, &json) {
         eprintln!("cannot write {}: {e}", opts.out);
         return 1;
     }
     println!("\nresults written to {}", opts.out);
     if let Some(csv_path) = &opts.csv {
-        if let Err(e) = std::fs::write(csv_path, report.to_csv()) {
+        if let Err(e) = write_artifact(csv_path, &report.to_csv()) {
             eprintln!("cannot write {csv_path}: {e}");
             return 1;
         }
@@ -187,18 +199,18 @@ mod tests {
     fn parses_the_acceptance_command_line() {
         let opts =
             parse_args(&argv("--trackers dapper-h,hydra,comet --budget 50")).expect("parses");
-        assert_eq!(
-            opts.campaign.trackers,
-            vec![TrackerChoice::DapperH, TrackerChoice::Hydra, TrackerChoice::Comet]
-        );
+        let keys: Vec<&str> = opts.campaign.trackers.iter().map(|t| t.key()).collect();
+        assert_eq!(keys, vec!["dapper-h", "hydra", "comet"]);
         assert_eq!(opts.campaign.search_budget, 50);
-        assert_eq!(opts.out, "redteam_results.json");
+        assert_eq!(opts.out, "out/redteam_results.json");
         assert_eq!(opts.campaign.workload, "libquantum_like");
     }
 
     #[test]
     fn rejects_unknown_trackers_and_workloads() {
-        assert!(parse_args(&argv("--trackers nonsense")).is_err());
+        let err = parse_args(&argv("--trackers nonsense")).expect_err("unknown tracker");
+        assert!(err.contains("unknown tracker 'nonsense'"), "{err}");
+        assert!(err.contains("dapper-h"), "error must list known keys: {err}");
         assert!(parse_args(&argv("--workload nonsense")).is_err());
         assert!(parse_args(&argv("--help")).is_err());
     }
@@ -223,6 +235,10 @@ mod tests {
     fn defaults_cover_the_shared_structure_baselines() {
         let opts = parse_args(&[]).expect("defaults parse");
         assert_eq!(opts.campaign.trackers.len(), 6);
+        // Aliases and variant spellings dedupe through the registry.
+        let opts2 = parse_args(&argv("--trackers dapper,DAPPER_H,dapper-h")).expect("parses");
+        assert_eq!(opts2.campaign.trackers.len(), 1);
+        assert_eq!(opts2.campaign.trackers[0].key(), "dapper-h");
         assert_eq!(opts.campaign.window_us, 250.0);
         assert!(opts.csv.is_none());
     }

@@ -1,155 +1,7 @@
-//! A minimal JSON document builder.
+//! JSON/CSV helpers for campaign exports.
 //!
-//! The workspace's `serde` is an offline marker-trait shim (see
-//! `crates/shims/serde`), so campaign results are serialized by hand. This
-//! covers exactly what the red-team reports need: objects, arrays, strings,
-//! numbers, and booleans, rendered with stable key order.
+//! The implementation moved to [`sim_core::json`] so the experiment-spec
+//! layer and the red-team reports share one builder/parser; this module
+//! re-exports it for existing `attacklab::json` users.
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values render as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Builds a number value.
-    pub fn num(n: impl Into<f64>) -> Json {
-        Json::Num(n.into())
-    }
-
-    /// Builds a number from a `u64` counter (exact for counts < 2^53;
-    /// larger values — e.g. seeds — should use [`Json::hex`]).
-    pub fn count(n: u64) -> Json {
-        Json::Num(n as f64)
-    }
-
-    /// Renders a `u64` as a hex string, for values (seeds, addresses) that
-    /// must survive the round-trip exactly.
-    pub fn hex(n: u64) -> Json {
-        Json::Str(format!("{n:#x}"))
-    }
-
-    /// Builds an object from key/value pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Serializes the value as compact JSON.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    out.push_str(&format!("{n}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, v) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    v.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Escapes one CSV field (quotes it when it contains separators).
-pub fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_documents() {
-        let doc = Json::obj([
-            ("name", Json::str("redteam")),
-            ("seed", Json::hex(0xDA99E5)),
-            ("ok", Json::Bool(true)),
-            ("rows", Json::Arr(vec![Json::num(1.5), Json::count(3), Json::Null])),
-        ]);
-        assert_eq!(
-            doc.render(),
-            r#"{"name":"redteam","seed":"0xda99e5","ok":true,"rows":[1.5,3,null]}"#
-        );
-    }
-
-    #[test]
-    fn escapes_strings() {
-        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
-    }
-
-    #[test]
-    fn non_finite_numbers_render_null() {
-        assert_eq!(Json::num(f64::INFINITY).render(), "null");
-    }
-
-    #[test]
-    fn csv_fields_quote_when_needed() {
-        assert_eq!(csv_field("plain"), "plain");
-        assert_eq!(csv_field("a,b"), "\"a,b\"");
-        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
-    }
-}
+pub use sim_core::json::{csv_field, Json, JsonError};

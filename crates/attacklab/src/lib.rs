@@ -14,7 +14,7 @@
 //!   composition, keeping the `Attack` enum a thin facade;
 //! * [`scenario`] — the [`scenario::ScenarioSpec`] genome that expands into
 //!   pattern compositions and supports one-gene mutation;
-//! * [`search`] — hill-climbing worst-case search on normalized slowdown,
+//! * [`search`](mod@search) — hill-climbing worst-case search on normalized slowdown,
 //!   seeded with the paper's tailored attacks so it can only match or beat
 //!   them, reporting the seed that reproduces its best find;
 //! * [`campaign`] — scenario × tracker matrices over the parallel sweep
@@ -25,9 +25,7 @@
 //!
 //! ```no_run
 //! use attacklab::search::{search, SearchConfig};
-//! use sim::experiment::TrackerChoice;
-//!
-//! let mut cfg = SearchConfig::new(TrackerChoice::Hydra, "libquantum_like");
+//! let mut cfg = SearchConfig::new("hydra", "libquantum_like");
 //! cfg.budget = 20;
 //! let report = search(&cfg);
 //! println!(

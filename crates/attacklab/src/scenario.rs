@@ -1,10 +1,10 @@
 //! Scenario specifications: the mutable genome of an attack.
 //!
 //! A [`ScenarioSpec`] is a small, plain-data parameter record that
-//! deterministically expands into a [`PatternGen`] composition. The
+//! deterministically expands into a [`PatternGen`](crate::pattern::PatternGen) composition. The
 //! mutation operator perturbs one gene at a time (row-set size, bank
 //! spread, burst length, decoy fraction, feint phases, pacing bubbles),
-//! which is what [`crate::search`] hill-climbs over. Parameters are clamped
+//! which is what [`crate::search`](mod@crate::search) hill-climbs over. Parameters are clamped
 //! to the geometry at build time, so any mutant is buildable.
 
 use crate::compat::attack_pattern;

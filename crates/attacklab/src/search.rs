@@ -10,7 +10,7 @@
 //! reproduces its best scenario.
 
 use crate::scenario::ScenarioSpec;
-use sim::experiment::{CustomAttack, Experiment, TrackerChoice};
+use sim::experiment::{CustomAttack, Experiment, TrackerSel};
 use sim::metrics::RunStats;
 use sim::runner::parallel_map;
 use sim_core::rng::Xoshiro256;
@@ -20,8 +20,9 @@ use crate::pattern::PatternTrace;
 /// Search configuration.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
-    /// Tracker under attack.
-    pub tracker: TrackerChoice,
+    /// Tracker under attack (a registry selection, parameter overrides
+    /// included).
+    pub tracker: TrackerSel,
     /// Benign workload sharing the machine.
     pub workload: String,
     /// Simulation window per evaluation, microseconds.
@@ -40,9 +41,9 @@ pub struct SearchConfig {
 impl SearchConfig {
     /// Defaults: 250 µs window, N_RH 500, paper seed, 50 evaluations in
     /// batches of 8.
-    pub fn new(tracker: TrackerChoice, workload: &str) -> Self {
+    pub fn new(tracker: impl Into<TrackerSel>, workload: &str) -> Self {
         Self {
-            tracker,
+            tracker: tracker.into(),
             workload: workload.to_string(),
             window_us: 250.0,
             nrh: 500,
@@ -78,8 +79,8 @@ pub struct EvalRecord {
 /// Outcome of one search run.
 #[derive(Debug, Clone)]
 pub struct SearchReport {
-    /// Tracker display name.
-    pub tracker: &'static str,
+    /// Tracker label (display name plus any parameter overrides).
+    pub tracker: String,
     /// Seed reproducing this exact search.
     pub seed: u64,
     /// Evaluations actually spent.
@@ -114,7 +115,7 @@ pub fn experiment_for(cfg: &SearchConfig, spec: &ScenarioSpec) -> Experiment {
         Box::new(PatternTrace(spec_for_factory.build(geom, seed)))
     });
     Experiment::new(&cfg.workload)
-        .tracker(cfg.tracker)
+        .tracker(cfg.tracker.clone())
         .custom(custom)
         .window_us(cfg.window_us)
         .nrh(cfg.nrh)
@@ -258,7 +259,7 @@ pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport 
     }
 
     SearchReport {
-        tracker: cfg.tracker.name(),
+        tracker: cfg.tracker.label(),
         seed: cfg.seed,
         evaluations,
         best,
@@ -271,7 +272,7 @@ pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport 
 mod tests {
     use super::*;
 
-    fn tiny(tracker: TrackerChoice) -> SearchConfig {
+    fn tiny(tracker: &str) -> SearchConfig {
         let mut cfg = SearchConfig::new(tracker, "povray_like");
         cfg.window_us = 60.0;
         cfg.budget = 6;
@@ -282,7 +283,7 @@ mod tests {
 
     #[test]
     fn search_never_reports_worse_than_the_tailored_attack() {
-        let report = search(&tiny(TrackerChoice::Hydra));
+        let report = search(&tiny("hydra"));
         assert!(report.rediscovered_tailored(), "slack {}", report.slack());
         assert_eq!(report.evaluations, 6);
         assert_eq!(report.tracker, "Hydra");
@@ -291,8 +292,8 @@ mod tests {
 
     #[test]
     fn search_is_deterministic_in_its_seed() {
-        let a = search(&tiny(TrackerChoice::Comet));
-        let b = search(&tiny(TrackerChoice::Comet));
+        let a = search(&tiny("comet"));
+        let b = search(&tiny("comet"));
         assert_eq!(a.best.spec, b.best.spec);
         assert!((a.best.slowdown - b.best.slowdown).abs() < 1e-12);
         assert_eq!(a.history, b.history);
@@ -300,7 +301,7 @@ mod tests {
 
     #[test]
     fn shared_reference_matches_per_run_normalization() {
-        let cfg = tiny(TrackerChoice::Para);
+        let cfg = tiny("para");
         let spec = ScenarioSpec::baseline(workloads::Attack::Streaming);
         let reference = reference_run(&cfg);
         let via_shared = experiment_for(&cfg, &spec).run_against(&reference);

@@ -4,7 +4,7 @@
 //! engine (see `bench_snapshot` for the machine-readable JSON trajectory).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim::Engine;
 
 fn run(e: &Experiment, engine: Engine) -> u64 {
@@ -14,19 +14,19 @@ fn run(e: &Experiment, engine: Engine) -> u64 {
 fn bench_system(c: &mut Criterion) {
     let mut group = c.benchmark_group("system");
     group.sample_size(10);
-    let benign = Experiment::new("gcc_like").tracker(TrackerChoice::DapperH).window_us(100.0);
+    let benign = Experiment::new("gcc_like").tracker("dapper-h").window_us(100.0);
     group.bench_function("benign_100us_dapper_h", |b| {
         b.iter(|| black_box(run(&benign, Engine::EventDriven)));
     });
     let refresh = Experiment::new("gcc_like")
-        .tracker(TrackerChoice::DapperH)
+        .tracker("dapper-h")
         .attack(AttackChoice::Specific(workloads::Attack::RefreshAttack))
         .window_us(100.0);
     group.bench_function("refresh_attack_100us_dapper_h", |b| {
         b.iter(|| black_box(run(&refresh, Engine::EventDriven)));
     });
     let tailored = Experiment::new("gcc_like")
-        .tracker(TrackerChoice::Hydra)
+        .tracker("hydra")
         .attack(AttackChoice::Tailored)
         .window_us(100.0);
     group.bench_function("tailored_attack_100us_hydra", |b| {
@@ -40,14 +40,14 @@ fn bench_system(c: &mut Criterion) {
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
     group.sample_size(10);
-    let idle = Experiment::new("povray_like").tracker(TrackerChoice::DapperH).window_us(500.0);
+    let idle = Experiment::new("povray_like").tracker("dapper-h").window_us(500.0);
     group.bench_function("idle_povray_500us_dense", |b| {
         b.iter(|| black_box(run(&idle, Engine::Dense)));
     });
     group.bench_function("idle_povray_500us_event", |b| {
         b.iter(|| black_box(run(&idle, Engine::EventDriven)));
     });
-    let saturated = Experiment::new("mcf_like").tracker(TrackerChoice::DapperH).window_us(100.0);
+    let saturated = Experiment::new("mcf_like").tracker("dapper-h").window_us(100.0);
     group.bench_function("saturated_mcf_100us_dense", |b| {
         b.iter(|| black_box(run(&saturated, Engine::Dense)));
     });

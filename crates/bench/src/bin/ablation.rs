@@ -3,7 +3,7 @@
 
 use bench::{header, mean_norm, run_all, BenchOpts};
 use dapper::{DapperConfig, DapperH, DapperS};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim_core::tracker::RowHammerTracker;
 use workloads::Attack;
 
@@ -13,7 +13,7 @@ fn main() {
     let workload_set = opts.workloads();
 
     println!("-- single hash (DAPPER-S) vs double hash (DAPPER-H), refresh attack --");
-    for (label, t) in [("DAPPER-S", TrackerChoice::DapperS), ("DAPPER-H", TrackerChoice::DapperH)] {
+    for (label, t) in [("DAPPER-S", "dapper-s"), ("DAPPER-H", "dapper-h")] {
         let jobs: Vec<Experiment> = workload_set
             .iter()
             .map(|w| {

@@ -15,7 +15,7 @@
 //! wall-clock improvement there. Saturated scenarios are included to track
 //! that the skip probing does not regress dense-bound workloads.
 
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim::{Engine, RunStats};
 use std::time::Instant;
 
@@ -27,22 +27,19 @@ struct Scenario {
 }
 
 fn idle_povray(window_us: f64) -> Experiment {
-    Experiment::new("povray_like").tracker(TrackerChoice::DapperH).window_us(window_us)
+    Experiment::new("povray_like").tracker("dapper-h").window_us(window_us)
 }
 
 fn idle_namd(window_us: f64) -> Experiment {
-    Experiment::new("namd_like").tracker(TrackerChoice::None).window_us(window_us)
+    Experiment::new("namd_like").tracker("none").window_us(window_us)
 }
 
 fn saturated_mcf(window_us: f64) -> Experiment {
-    Experiment::new("mcf_like").tracker(TrackerChoice::DapperH).window_us(window_us)
+    Experiment::new("mcf_like").tracker("dapper-h").window_us(window_us)
 }
 
 fn attacked_gcc(window_us: f64) -> Experiment {
-    Experiment::new("gcc_like")
-        .tracker(TrackerChoice::Hydra)
-        .attack(AttackChoice::Tailored)
-        .window_us(window_us)
+    Experiment::new("gcc_like").tracker("hydra").attack(AttackChoice::Tailored).window_us(window_us)
 }
 
 const SCENARIOS: &[Scenario] = &[

@@ -2,7 +2,7 @@
 //! tracker/attack combinations so model constants can be sanity-checked
 //! against the paper's headline numbers.
 
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use std::time::Instant;
 use workloads::Attack;
 
@@ -12,69 +12,41 @@ fn main() {
     let wl = args.get(2).map(|s| s.as_str()).unwrap_or("milc_like").to_string();
     println!("workload={wl} window={window_us}us  (paper targets in parens)");
 
-    let base = |t: TrackerChoice| Experiment::new(&wl).tracker(t).window_us(window_us);
+    let base = |t: &str| Experiment::new(&wl).tracker(t).window_us(window_us);
 
     let cases: Vec<(&str, Experiment, &str)> = vec![
-        ("Hydra   benign        ", base(TrackerChoice::Hydra), "(~1.0)"),
-        (
-            "Hydra   tailored      ",
-            base(TrackerChoice::Hydra).attack(AttackChoice::Tailored),
-            "(~0.39)",
-        ),
-        (
-            "Hydra   cache-thrash  ",
-            base(TrackerChoice::Hydra).attack(AttackChoice::CacheThrash),
-            "(~0.6)",
-        ),
-        (
-            "START   tailored      ",
-            base(TrackerChoice::Start).attack(AttackChoice::Tailored),
-            "(~0.35)",
-        ),
-        (
-            "CoMeT   tailored      ",
-            base(TrackerChoice::Comet).attack(AttackChoice::Tailored),
-            "(~0.10)",
-        ),
-        (
-            "ABACUS  tailored      ",
-            base(TrackerChoice::Abacus).attack(AttackChoice::Tailored),
-            "(~0.28)",
-        ),
-        ("DAPPER-S benign       ", base(TrackerChoice::DapperS), "(~1.0)"),
+        ("Hydra   benign        ", base("hydra"), "(~1.0)"),
+        ("Hydra   tailored      ", base("hydra").attack(AttackChoice::Tailored), "(~0.39)"),
+        ("Hydra   cache-thrash  ", base("hydra").attack(AttackChoice::CacheThrash), "(~0.6)"),
+        ("START   tailored      ", base("start").attack(AttackChoice::Tailored), "(~0.35)"),
+        ("CoMeT   tailored      ", base("comet").attack(AttackChoice::Tailored), "(~0.10)"),
+        ("ABACUS  tailored      ", base("abacus").attack(AttackChoice::Tailored), "(~0.28)"),
+        ("DAPPER-S benign       ", base("dapper-s"), "(~1.0)"),
         (
             "DAPPER-S streaming    ",
-            base(TrackerChoice::DapperS)
-                .attack(AttackChoice::Specific(Attack::Streaming))
-                .isolating(),
+            base("dapper-s").attack(AttackChoice::Specific(Attack::Streaming)).isolating(),
             "(~0.87)",
         ),
         (
             "DAPPER-S refresh      ",
-            base(TrackerChoice::DapperS)
-                .attack(AttackChoice::Specific(Attack::RefreshAttack))
-                .isolating(),
+            base("dapper-s").attack(AttackChoice::Specific(Attack::RefreshAttack)).isolating(),
             "(~0.80)",
         ),
-        ("DAPPER-H benign       ", base(TrackerChoice::DapperH), "(~0.999)"),
+        ("DAPPER-H benign       ", base("dapper-h"), "(~0.999)"),
         (
             "DAPPER-H streaming    ",
-            base(TrackerChoice::DapperH)
-                .attack(AttackChoice::Specific(Attack::Streaming))
-                .isolating(),
+            base("dapper-h").attack(AttackChoice::Specific(Attack::Streaming)).isolating(),
             "(~0.998)",
         ),
         (
             "DAPPER-H refresh      ",
-            base(TrackerChoice::DapperH)
-                .attack(AttackChoice::Specific(Attack::RefreshAttack))
-                .isolating(),
+            base("dapper-h").attack(AttackChoice::Specific(Attack::RefreshAttack)).isolating(),
             "(~0.99)",
         ),
-        ("BlockHammer benign    ", base(TrackerChoice::BlockHammer), "(~0.75)"),
-        ("PARA    benign        ", base(TrackerChoice::Para), "(~0.97)"),
-        ("PrIDE   benign        ", base(TrackerChoice::Pride), "(~0.93)"),
-        ("PRAC    benign        ", base(TrackerChoice::Prac), "(~0.93)"),
+        ("BlockHammer benign    ", base("blockhammer"), "(~0.75)"),
+        ("PARA    benign        ", base("para"), "(~0.97)"),
+        ("PrIDE   benign        ", base("pride"), "(~0.93)"),
+        ("PRAC    benign        ", base("prac"), "(~0.93)"),
     ];
 
     for (name, e, target) in cases {

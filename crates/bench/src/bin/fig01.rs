@@ -3,7 +3,7 @@
 //! grouped by benchmark suite.
 
 use bench::{header, print_suite_table, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -16,21 +16,20 @@ fn main() {
     let thrash: Vec<Experiment> = workload_set
         .iter()
         .map(|w| {
-            opts.apply(
-                Experiment::new(w.name)
-                    .tracker(TrackerChoice::None)
-                    .attack(AttackChoice::CacheThrash),
-            )
+            opts.apply(Experiment::new(w.name).tracker("none").attack(AttackChoice::CacheThrash))
         })
         .collect();
     series.push(("CacheThrash".to_string(), run_all(thrash)));
 
-    for t in TrackerChoice::scalable_baselines() {
+    for t in sim::registry::SCALABLE_BASELINES {
         let jobs: Vec<Experiment> = workload_set
             .iter()
             .map(|w| opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored)))
             .collect();
-        series.push((t.name().to_string(), run_all(jobs)));
+        series.push((
+            sim::registry::resolve(t).expect("baseline key").display_name().to_string(),
+            run_all(jobs),
+        ));
     }
 
     let labeled: Vec<(&str, _)> = series.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();

@@ -3,7 +3,7 @@
 //! Two panels: memory-intensive workloads (>= 2 RBMPKI) and all workloads.
 
 use bench::{header, print_workload_table, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -14,20 +14,19 @@ fn main() {
     let thrash: Vec<Experiment> = workload_set
         .iter()
         .map(|w| {
-            opts.apply(
-                Experiment::new(w.name)
-                    .tracker(TrackerChoice::None)
-                    .attack(AttackChoice::CacheThrash),
-            )
+            opts.apply(Experiment::new(w.name).tracker("none").attack(AttackChoice::CacheThrash))
         })
         .collect();
     series.push(("thrash".to_string(), run_all(thrash)));
-    for t in TrackerChoice::scalable_baselines() {
+    for t in sim::registry::SCALABLE_BASELINES {
         let jobs: Vec<Experiment> = workload_set
             .iter()
             .map(|w| opts.apply(Experiment::new(w.name).tracker(t).attack(AttackChoice::Tailored)))
             .collect();
-        series.push((t.name().to_string(), run_all(jobs)));
+        series.push((
+            sim::registry::resolve(t).expect("baseline key").display_name().to_string(),
+            run_all(jobs),
+        ));
     }
     let labeled: Vec<(&str, _)> = series.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();
 

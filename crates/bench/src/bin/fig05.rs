@@ -2,7 +2,7 @@
 //! eight-channel system (N_RH = 500).
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -19,16 +19,14 @@ fn main() {
             .iter()
             .map(|w| {
                 opts.apply(
-                    Experiment::new(w.name)
-                        .tracker(TrackerChoice::None)
-                        .attack(AttackChoice::CacheThrash),
+                    Experiment::new(w.name).tracker("none").attack(AttackChoice::CacheThrash),
                 )
                 .eight_channel(mib)
             })
             .collect();
         let r = run_all(thrash);
         row.push(format!("{:>14.3}", mean_norm(&r.iter().collect::<Vec<_>>())));
-        for t in TrackerChoice::scalable_baselines() {
+        for t in sim::registry::SCALABLE_BASELINES {
             let jobs: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| {

@@ -2,7 +2,7 @@
 //! (streaming, refresh) on DAPPER-S, per suite (N_RH = 500).
 
 use bench::{header, print_suite_table, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use workloads::Attack;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
             .map(|w| {
                 opts.apply(
                     Experiment::new(w.name)
-                        .tracker(TrackerChoice::DapperS)
+                        .tracker("dapper-s")
                         .attack(AttackChoice::Specific(atk))
                         .isolating(),
                 )

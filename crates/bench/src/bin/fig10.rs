@@ -2,7 +2,7 @@
 //! workload (N_RH = 500). Two panels like the paper.
 
 use bench::{header, mean_norm, print_workload_table, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use workloads::Attack;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
             .map(|w| {
                 opts.apply(
                     Experiment::new(w.name)
-                        .tracker(TrackerChoice::DapperH)
+                        .tracker("dapper-h")
                         .attack(AttackChoice::Specific(atk))
                         .isolating(),
                 )

@@ -1,7 +1,7 @@
 //! Figure 11: DAPPER-H on benign applications (N_RH = 500), per workload.
 
 use bench::{header, mean_norm, print_workload_table, run_all, BenchOpts};
-use sim::experiment::{Experiment, TrackerChoice};
+use sim::experiment::Experiment;
 
 fn main() {
     let opts = BenchOpts::from_args();
@@ -10,7 +10,7 @@ fn main() {
 
     let jobs: Vec<Experiment> = workload_set
         .iter()
-        .map(|w| opts.apply(Experiment::new(w.name).tracker(TrackerChoice::DapperH)))
+        .map(|w| opts.apply(Experiment::new(w.name).tracker("dapper-h")))
         .collect();
     let results = run_all(jobs);
     let series = [("DAPPER-H", results)];

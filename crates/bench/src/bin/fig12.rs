@@ -2,7 +2,7 @@
 //! and under the two mapping-agnostic attacks.
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use workloads::Attack;
 
 fn main() {
@@ -22,10 +22,7 @@ fn main() {
                 .iter()
                 .map(|w| {
                     opts.apply(
-                        Experiment::new(w.name)
-                            .tracker(TrackerChoice::DapperH)
-                            .attack(attack)
-                            .isolating(),
+                        Experiment::new(w.name).tracker("dapper-h").attack(attack).isolating(),
                     )
                     .nrh(nrh)
                 })

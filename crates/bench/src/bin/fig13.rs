@@ -2,7 +2,7 @@
 //! refresh attack, vs N_RH.
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim_core::config::MitigationKind;
 use workloads::Attack;
 
@@ -29,7 +29,7 @@ fn main() {
                     .map(|w| {
                         opts.apply(
                             Experiment::new(w.name)
-                                .tracker(TrackerChoice::DapperH)
+                                .tracker("dapper-h")
                                 .attack(attack)
                                 .blast_radius(br)
                                 .mitigation(kind)

@@ -2,7 +2,7 @@
 //! applications as N_RH varies.
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{Experiment, TrackerChoice};
+use sim::experiment::Experiment;
 use sim_core::config::MitigationKind;
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
 
     println!("{:<8} {:>14} {:>10} {:>16}", "N_RH", "BlockHammer", "DAPPER-H", "DAPPER-H-DRFMsb");
     for nrh in opts.nrh_sweep() {
-        let mk = |t: TrackerChoice, kind: MitigationKind| -> f64 {
+        let mk = |t: &str, kind: MitigationKind| -> f64 {
             let jobs: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| opts.apply(Experiment::new(w.name).tracker(t).mitigation(kind)).nrh(nrh))
@@ -23,9 +23,9 @@ fn main() {
         println!(
             "{:<8} {:>14.3} {:>10.4} {:>16.4}",
             nrh,
-            mk(TrackerChoice::BlockHammer, MitigationKind::Vrr),
-            mk(TrackerChoice::DapperH, MitigationKind::Vrr),
-            mk(TrackerChoice::DapperH, MitigationKind::DrfmSb),
+            mk("blockhammer", MitigationKind::Vrr),
+            mk("dapper-h", MitigationKind::Vrr),
+            mk("dapper-h", MitigationKind::DrfmSb),
         );
     }
     println!("\npaper: BlockHammer 25% @500, 46.4% @250, 66% @125; DAPPER-H <1% @500");

@@ -2,7 +2,7 @@
 //! varies, with per-bank (VRR) and same-bank (DRFMsb / RFMsb) mitigations.
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{Experiment, TrackerChoice};
+use sim::experiment::Experiment;
 use sim_core::config::MitigationKind;
 
 fn main() {
@@ -10,13 +10,13 @@ fn main() {
     header("Fig. 15", "probabilistic mitigations, benign", &opts);
     let workload_set = opts.workloads();
 
-    let variants: [(&str, TrackerChoice, MitigationKind); 6] = [
-        ("PARA", TrackerChoice::Para, MitigationKind::Vrr),
-        ("PARA-DRFMsb", TrackerChoice::Para, MitigationKind::DrfmSb),
-        ("PrIDE", TrackerChoice::Pride, MitigationKind::Vrr),
-        ("PrIDE-RFMsb", TrackerChoice::Pride, MitigationKind::RfmSb),
-        ("DAPPER-H", TrackerChoice::DapperH, MitigationKind::Vrr),
-        ("DAPPER-H-DRFMsb", TrackerChoice::DapperH, MitigationKind::DrfmSb),
+    let variants: [(&str, &str, MitigationKind); 6] = [
+        ("PARA", "para", MitigationKind::Vrr),
+        ("PARA-DRFMsb", "para", MitigationKind::DrfmSb),
+        ("PrIDE", "pride", MitigationKind::Vrr),
+        ("PrIDE-RFMsb", "pride", MitigationKind::RfmSb),
+        ("DAPPER-H", "dapper-h", MitigationKind::Vrr),
+        ("DAPPER-H-DRFMsb", "dapper-h", MitigationKind::DrfmSb),
     ];
     print!("{:<8}", "N_RH");
     for (name, _, _) in &variants {

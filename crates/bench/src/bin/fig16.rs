@@ -3,7 +3,7 @@
 //! pattern for all three defenses).
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim_core::config::MitigationKind;
 use workloads::Attack;
 
@@ -12,13 +12,13 @@ fn main() {
     header("Fig. 16", "probabilistic mitigations under Perf-Attacks", &opts);
     let workload_set = opts.workloads();
 
-    let variants: [(&str, TrackerChoice, MitigationKind); 6] = [
-        ("PARA", TrackerChoice::Para, MitigationKind::Vrr),
-        ("PARA-DRFMsb", TrackerChoice::Para, MitigationKind::DrfmSb),
-        ("PrIDE", TrackerChoice::Pride, MitigationKind::Vrr),
-        ("PrIDE-RFMsb", TrackerChoice::Pride, MitigationKind::RfmSb),
-        ("DAPPER-H", TrackerChoice::DapperH, MitigationKind::Vrr),
-        ("DAPPER-H-DRFMsb", TrackerChoice::DapperH, MitigationKind::DrfmSb),
+    let variants: [(&str, &str, MitigationKind); 6] = [
+        ("PARA", "para", MitigationKind::Vrr),
+        ("PARA-DRFMsb", "para", MitigationKind::DrfmSb),
+        ("PrIDE", "pride", MitigationKind::Vrr),
+        ("PrIDE-RFMsb", "pride", MitigationKind::RfmSb),
+        ("DAPPER-H", "dapper-h", MitigationKind::Vrr),
+        ("DAPPER-H-DRFMsb", "dapper-h", MitigationKind::DrfmSb),
     ];
     print!("{:<8}", "N_RH");
     for (name, _, _) in &variants {

@@ -1,7 +1,7 @@
 //! Figure 17: PRAC vs DAPPER-H, benign and under Perf-Attacks, vs N_RH.
 
 use bench::{header, mean_norm, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim_core::config::MitigationKind;
 use workloads::Attack;
 
@@ -21,7 +21,7 @@ fn main() {
         "DAPPER-H-DRFM-Refr"
     );
     for nrh in opts.nrh_sweep() {
-        let mk = |t: TrackerChoice, kind: MitigationKind, attack: AttackChoice| -> f64 {
+        let mk = |t: &str, kind: MitigationKind, attack: AttackChoice| -> f64 {
             let jobs: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| {
@@ -42,12 +42,12 @@ fn main() {
         println!(
             "{:<8} {:>8.4} {:>10.4} {:>10.4} {:>16.4} {:>14.4} {:>18.4}",
             nrh,
-            mk(TrackerChoice::Prac, MitigationKind::Vrr, AttackChoice::None),
-            mk(TrackerChoice::Prac, MitigationKind::Vrr, refresh),
-            mk(TrackerChoice::DapperH, MitigationKind::Vrr, AttackChoice::None),
-            mk(TrackerChoice::DapperH, MitigationKind::DrfmSb, AttackChoice::None),
-            mk(TrackerChoice::DapperH, MitigationKind::Vrr, refresh),
-            mk(TrackerChoice::DapperH, MitigationKind::DrfmSb, refresh),
+            mk("prac", MitigationKind::Vrr, AttackChoice::None),
+            mk("prac", MitigationKind::Vrr, refresh),
+            mk("dapper-h", MitigationKind::Vrr, AttackChoice::None),
+            mk("dapper-h", MitigationKind::DrfmSb, AttackChoice::None),
+            mk("dapper-h", MitigationKind::Vrr, refresh),
+            mk("dapper-h", MitigationKind::DrfmSb, refresh),
         );
     }
     println!("\npaper: PRAC ~7% benign at every N_RH (up to 20%); DAPPER-H <4% benign");

@@ -6,7 +6,7 @@ use analysis::equations::{dapper_h_success, table_two};
 use analysis::montecarlo::{h_capture_trials, s_capture_trials};
 use bench::BenchOpts;
 use dapper::DapperConfig;
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim_core::addr::Geometry;
 use workloads::Attack;
 
@@ -61,10 +61,10 @@ fn main() {
 
     println!("\n-- Oracle-audited attack simulations (N_RH = {}) --", opts.nrh);
     for (label, tracker, attack) in [
-        ("DAPPER-H vs refresh attack ", TrackerChoice::DapperH, Attack::RefreshAttack),
-        ("DAPPER-H vs streaming      ", TrackerChoice::DapperH, Attack::Streaming),
-        ("DAPPER-S vs refresh attack ", TrackerChoice::DapperS, Attack::RefreshAttack),
-        ("no tracker vs refresh      ", TrackerChoice::None, Attack::RefreshAttack),
+        ("DAPPER-H vs refresh attack ", "dapper-h", Attack::RefreshAttack),
+        ("DAPPER-H vs streaming      ", "dapper-h", Attack::Streaming),
+        ("DAPPER-S vs refresh attack ", "dapper-s", Attack::RefreshAttack),
+        ("no tracker vs refresh      ", "none", Attack::RefreshAttack),
     ] {
         let r = opts
             .apply(

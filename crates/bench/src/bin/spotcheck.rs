@@ -1,6 +1,6 @@
 //! Spot-check binary for calibration of specific cases (not a paper figure).
 
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use std::time::Instant;
 use workloads::Attack;
 
@@ -9,21 +9,21 @@ fn main() {
         (
             "START  tailored 3ms  (~0.35)",
             Experiment::new("milc_like")
-                .tracker(TrackerChoice::Start)
+                .tracker("start")
                 .attack(AttackChoice::Tailored)
                 .window_us(3000.0),
         ),
         (
             "ABACUS tailored 3ms  (~0.28)",
             Experiment::new("milc_like")
-                .tracker(TrackerChoice::Abacus)
+                .tracker("abacus")
                 .attack(AttackChoice::Tailored)
                 .window_us(3000.0),
         ),
         (
             "DAPPER-S stream 8ms  (~0.87)",
             Experiment::new("milc_like")
-                .tracker(TrackerChoice::DapperS)
+                .tracker("dapper-s")
                 .attack(AttackChoice::Specific(Attack::Streaming))
                 .isolating()
                 .window_us(8000.0),
@@ -31,28 +31,22 @@ fn main() {
         (
             "DAPPER-H stream 8ms  (~0.998)",
             Experiment::new("milc_like")
-                .tracker(TrackerChoice::DapperH)
+                .tracker("dapper-h")
                 .attack(AttackChoice::Specific(Attack::Streaming))
                 .isolating()
                 .window_us(8000.0),
         ),
         (
             "BlockHammer@125 2ms  (~0.34)",
-            Experiment::new("milc_like")
-                .tracker(TrackerChoice::BlockHammer)
-                .nrh(125)
-                .window_us(2000.0),
+            Experiment::new("milc_like").tracker("blockhammer").nrh(125).window_us(2000.0),
         ),
         (
             "BlockHammer@500 2ms  (~0.75)",
-            Experiment::new("milc_like")
-                .tracker(TrackerChoice::BlockHammer)
-                .nrh(500)
-                .window_us(2000.0),
+            Experiment::new("milc_like").tracker("blockhammer").nrh(500).window_us(2000.0),
         ),
         (
             "PRAC   benign   2ms  (~0.93)",
-            Experiment::new("milc_like").tracker(TrackerChoice::Prac).window_us(2000.0),
+            Experiment::new("milc_like").tracker("prac").window_us(2000.0),
         ),
     ];
     for (name, e) in cases {

@@ -7,7 +7,7 @@
 //! in the paper).
 
 use bench::{header, run_all, BenchOpts};
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use workloads::Attack;
 
 fn main() {
@@ -27,22 +27,17 @@ fn main() {
             let with: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| {
-                    opts.apply(
-                        Experiment::new(w.name).tracker(TrackerChoice::DapperH).attack(attack),
-                    )
-                    .nrh(nrh)
+                    opts.apply(Experiment::new(w.name).tracker("dapper-h").attack(attack)).nrh(nrh)
                 })
                 .collect();
             // Without tracker, same mix (including the attacker).
             let without: Vec<Experiment> = workload_set
                 .iter()
                 .map(|w| {
-                    opts.apply(Experiment::new(w.name).tracker(TrackerChoice::None).attack(
-                        match attack {
-                            AttackChoice::None => AttackChoice::None,
-                            a => a,
-                        },
-                    ))
+                    opts.apply(Experiment::new(w.name).tracker("none").attack(match attack {
+                        AttackChoice::None => AttackChoice::None,
+                        a => a,
+                    }))
                     .nrh(nrh)
                 })
                 .collect();

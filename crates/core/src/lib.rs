@@ -47,9 +47,11 @@
 mod config;
 mod dapper_h;
 mod dapper_s;
+pub mod registry;
 mod rgc;
 
 pub use config::{DapperConfig, ResetStrategy};
 pub use dapper_h::DapperH;
 pub use dapper_s::DapperS;
+pub use registry::{dapper_h_spec, dapper_s_spec, register_builtin};
 pub use rgc::RgcTable;

@@ -6,11 +6,16 @@
 //! * [`time`] — the global clock domain (DDR5 memory-bus cycles) and unit
 //!   conversions,
 //! * [`config`] — the system configuration mirroring Table I of the paper,
-//! * [`tracker`] — the [`RowHammerTracker`](tracker::RowHammerTracker) trait
+//! * [`tracker`] — the [`RowHammerTracker`] trait
 //!   through which the memory controller consults a mitigation,
+//! * [`registry`] — the open, string-keyed
+//!   [`TrackerRegistry`] through which trackers
+//!   are described, parameterized, and built,
+//! * [`json`] — a dependency-free JSON builder/parser for spec files and
+//!   structured results,
 //! * [`req`] — memory requests exchanged by cores, caches, and controllers,
 //! * [`rng`] — small deterministic PRNGs used in simulation hot paths,
-//! * [`sched`] — the [`NextEvent`](sched::NextEvent) contract components
+//! * [`sched`] — the [`NextEvent`] contract components
 //!   implement so the time-skipping engine can jump quiet stretches,
 //! * [`stats`] — counters and summary statistics.
 //!
@@ -32,6 +37,8 @@
 pub mod addr;
 pub mod config;
 pub mod events;
+pub mod json;
+pub mod registry;
 pub mod req;
 pub mod rng;
 pub mod sched;
@@ -42,6 +49,9 @@ pub mod tracker;
 pub use addr::{DramAddr, Geometry, PhysAddr};
 pub use config::SystemConfig;
 pub use events::MemEvent;
+pub use registry::{
+    ParamSpec, ParamValue, RegistryError, TrackerParams, TrackerRegistry, TrackerSpec,
+};
 pub use req::{AccessKind, MemRequest, SourceId};
 pub use sched::NextEvent;
 pub use time::Cycle;

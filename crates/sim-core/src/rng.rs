@@ -85,7 +85,7 @@ impl Xoshiro256 {
         }
     }
 
-    /// Bernoulli draw: true with probability `p` (clamped to [0,1]).
+    /// Bernoulli draw: true with probability `p` (clamped to `[0,1]`).
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
         if p <= 0.0 {

@@ -1,19 +1,185 @@
 //! Experiment definition: workload x tracker x attack -> normalized perf.
+//!
+//! Trackers are selected through the open registry (see
+//! [`crate::registry`]): a [`TrackerSel`] names a registered tracker by
+//! string key and carries validated parameter overrides, so any registered
+//! scheme — built-in or third-party — drops into an [`Experiment`] with
+//! `.tracker("hydra")` or a full parameter map. The legacy closed
+//! [`TrackerChoice`] enum survives as a deprecated shim that resolves
+//! through the same registry.
 
 use cpu::{TraceEntry, TraceSource};
-use dapper::{DapperConfig, DapperH, DapperS};
 use sim_core::addr::{Geometry, PhysAddr};
 use sim_core::config::{MitigationKind, SystemConfig};
+use sim_core::registry::{ParamValue, RegistryError, TrackerParams, TrackerSpec};
 use sim_core::time::us_to_cycles;
 use sim_core::tracker::{NullTracker, RowHammerTracker};
-use trackers::{Abacus, BlockHammer, Comet, Hydra, Para, Prac, Pride, Start, TrackerParams};
 use workloads::{spec_by_name, Attack, SyntheticTrace};
 
 use crate::metrics::{normalized_performance, RunStats};
 use crate::system::{Engine, System};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// A tracker selection: a resolved registry spec plus validated parameter
+/// overrides. This is how experiments, sweeps, and campaigns name the
+/// defense under test.
+#[derive(Clone)]
+pub struct TrackerSel {
+    spec: Arc<TrackerSpec>,
+    overrides: BTreeMap<String, ParamValue>,
+}
+
+impl TrackerSel {
+    /// Resolves a tracker by key, display name, or alias through the
+    /// global registry.
+    pub fn by_key(name: &str) -> Result<TrackerSel, RegistryError> {
+        Ok(TrackerSel { spec: crate::registry::resolve(name)?, overrides: BTreeMap::new() })
+    }
+
+    /// Wraps an already-resolved spec.
+    pub fn from_spec(spec: Arc<TrackerSpec>) -> TrackerSel {
+        TrackerSel { spec, overrides: BTreeMap::new() }
+    }
+
+    /// Adds one parameter override, validated against the spec's schema
+    /// immediately (unknown keys and out-of-range values fail here, before
+    /// any simulation starts).
+    pub fn with_param(
+        mut self,
+        key: &str,
+        value: impl Into<ParamValue>,
+    ) -> Result<TrackerSel, RegistryError> {
+        let mut probe = self.overrides.clone();
+        probe.insert(key.to_string(), value.into());
+        self.spec.resolve_params(&probe)?;
+        self.overrides = probe;
+        Ok(self)
+    }
+
+    /// Replaces the whole override map (validated against the schema).
+    pub fn with_params(
+        mut self,
+        overrides: BTreeMap<String, ParamValue>,
+    ) -> Result<TrackerSel, RegistryError> {
+        self.spec.resolve_params(&overrides)?;
+        self.overrides = overrides;
+        Ok(self)
+    }
+
+    /// The resolved spec.
+    pub fn spec(&self) -> &Arc<TrackerSpec> {
+        &self.spec
+    }
+
+    /// Canonical registry key.
+    pub fn key(&self) -> &str {
+        self.spec.key()
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &str {
+        self.spec.display_name()
+    }
+
+    /// The parameter overrides riding on this selection.
+    pub fn params(&self) -> &BTreeMap<String, ParamValue> {
+        &self.overrides
+    }
+
+    /// A label distinguishing parameterized selections of the same
+    /// tracker: the display name alone for defaults, the overrides
+    /// appended otherwise (`Hydra{rcc_entries=512}`) — campaign rows and
+    /// leaderboards use this so two variants of one scheme never conflate.
+    pub fn label(&self) -> String {
+        if self.overrides.is_empty() {
+            return self.name().to_string();
+        }
+        let params: Vec<String> = self.overrides.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}{{{}}}", self.name(), params.join(","))
+    }
+
+    /// True if this tracker reserves half the LLC (START).
+    pub fn reserves_llc(&self) -> bool {
+        self.spec.llc_reserved()
+    }
+
+    /// Instantiates the tracker for one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory rejects the parameter combination; individual
+    /// values were already validated when the selection was built, so this
+    /// indicates an invalid combination (the error message names the key).
+    pub fn build(
+        &self,
+        nrh: u32,
+        geometry: Geometry,
+        channel: u8,
+        seed: u64,
+    ) -> Box<dyn RowHammerTracker> {
+        let params =
+            TrackerParams::new(nrh, geometry, channel, seed).with_values(self.overrides.clone());
+        self.spec
+            .build(&params)
+            .unwrap_or_else(|e| panic!("cannot build tracker '{}': {e}", self.key()))
+    }
+}
+
+impl PartialEq for TrackerSel {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec.key() == other.spec.key() && self.overrides == other.overrides
+    }
+}
+
+impl std::fmt::Debug for TrackerSel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackerSel")
+            .field("key", &self.key())
+            .field("params", &self.overrides)
+            .finish()
+    }
+}
+
+/// Panicking conversion used by builder-style call sites
+/// (`.tracker("hydra")`); use [`TrackerSel::by_key`] to handle unknown
+/// names gracefully.
+impl From<&str> for TrackerSel {
+    fn from(name: &str) -> Self {
+        TrackerSel::by_key(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl From<&String> for TrackerSel {
+    fn from(name: &String) -> Self {
+        TrackerSel::from(name.as_str())
+    }
+}
+
+impl From<Arc<TrackerSpec>> for TrackerSel {
+    fn from(spec: Arc<TrackerSpec>) -> Self {
+        TrackerSel::from_spec(spec)
+    }
+}
+
+#[allow(deprecated)]
+impl From<TrackerChoice> for TrackerSel {
+    fn from(choice: TrackerChoice) -> Self {
+        TrackerSel::from(choice.key())
+    }
+}
+
 /// Which RowHammer defense guards the memory controller.
+///
+/// Deprecated shim over the open registry: the closed enum cannot name
+/// third-party trackers or carry parameter overrides. Every method
+/// delegates to the registry, so behaviour is bit-identical to resolving
+/// the same key through [`TrackerSel`].
+#[deprecated(
+    since = "0.2.0",
+    note = "resolve trackers through the registry (`TrackerSel::by_key`, \
+            `Experiment::tracker(\"hydra\")`) instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrackerChoice {
     /// Insecure baseline (no tracker).
@@ -40,8 +206,27 @@ pub enum TrackerChoice {
     DapperH,
 }
 
+#[allow(deprecated)]
 impl TrackerChoice {
-    /// Display name matching the paper's figures.
+    /// The registry key this variant resolves through.
+    pub fn key(self) -> &'static str {
+        match self {
+            TrackerChoice::None => "none",
+            TrackerChoice::Hydra => "hydra",
+            TrackerChoice::Start => "start",
+            TrackerChoice::Comet => "comet",
+            TrackerChoice::Abacus => "abacus",
+            TrackerChoice::BlockHammer => "blockhammer",
+            TrackerChoice::Para => "para",
+            TrackerChoice::Pride => "pride",
+            TrackerChoice::Prac => "prac",
+            TrackerChoice::DapperS => "dapper-s",
+            TrackerChoice::DapperH => "dapper-h",
+        }
+    }
+
+    /// Display name matching the paper's figures (pinned to the
+    /// registry's display names by the registry-equivalence suite).
     pub fn name(self) -> &'static str {
         match self {
             TrackerChoice::None => "none",
@@ -80,31 +265,21 @@ impl TrackerChoice {
         ]
     }
 
-    /// Parses a tracker name, ignoring case and `-`/`_` separators, so CLI
-    /// spellings like `dapper-h`, `DAPPER_H`, and `DapperH` all resolve.
+    /// Parses a tracker name through the registry's single lookup path:
+    /// case and separator insensitive, alias table included — so
+    /// `dapper-h`, `DAPPER_H`, `DapperH`, and the alias `dapper` all
+    /// resolve. Returns `None` for registry keys with no legacy variant.
     pub fn parse(s: &str) -> Option<TrackerChoice> {
-        let key: String = s
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .map(|c| c.to_ascii_lowercase())
-            .collect();
-        TrackerChoice::all().into_iter().find(|t| {
-            let name: String = t
-                .name()
-                .chars()
-                .filter(|c| c.is_ascii_alphanumeric())
-                .map(|c| c.to_ascii_lowercase())
-                .collect();
-            name == key
-        })
+        let spec = crate::registry::resolve(s).ok()?;
+        TrackerChoice::all().into_iter().find(|t| t.key() == spec.key())
     }
 
     /// True if this tracker reserves half the LLC (START).
     pub fn reserves_llc(self) -> bool {
-        self == TrackerChoice::Start
+        TrackerSel::from(self).reserves_llc()
     }
 
-    /// Instantiates the tracker for one channel.
+    /// Instantiates the tracker for one channel through the registry.
     pub fn build(
         self,
         nrh: u32,
@@ -112,21 +287,7 @@ impl TrackerChoice {
         channel: u8,
         seed: u64,
     ) -> Box<dyn RowHammerTracker> {
-        let p = TrackerParams { nrh, geometry, channel, seed };
-        let d = DapperConfig { geometry, ..DapperConfig::baseline(nrh, channel, seed) };
-        match self {
-            TrackerChoice::None => Box::new(NullTracker),
-            TrackerChoice::Hydra => Box::new(Hydra::new(p)),
-            TrackerChoice::Start => Box::new(Start::new(p)),
-            TrackerChoice::Comet => Box::new(Comet::new(p)),
-            TrackerChoice::Abacus => Box::new(Abacus::new(p)),
-            TrackerChoice::BlockHammer => Box::new(BlockHammer::new(p)),
-            TrackerChoice::Para => Box::new(Para::new(p)),
-            TrackerChoice::Pride => Box::new(Pride::new(p)),
-            TrackerChoice::Prac => Box::new(Prac::new(p)),
-            TrackerChoice::DapperS => Box::new(DapperS::new(d)),
-            TrackerChoice::DapperH => Box::new(DapperH::new(d)),
-        }
+        TrackerSel::from(self).build(nrh, geometry, channel, seed)
     }
 }
 
@@ -144,7 +305,7 @@ pub enum AttackChoice {
 }
 
 impl AttackChoice {
-    fn resolve(self, tracker: TrackerChoice) -> Option<Attack> {
+    fn resolve(self, tracker: &TrackerSel) -> Option<Attack> {
         match self {
             AttackChoice::None => None,
             AttackChoice::CacheThrash => Some(Attack::CacheThrash),
@@ -223,8 +384,8 @@ impl TraceSource for IdleTrace {
 pub struct Experiment {
     /// Benign workload name (from `workloads::catalog`).
     pub workload: String,
-    /// Defense under test.
-    pub tracker: TrackerChoice,
+    /// Defense under test (a registry key plus parameter overrides).
+    pub tracker: TrackerSel,
     /// Adversary.
     pub attack: AttackChoice,
     /// Attacker injected from outside the fixed [`Attack`] menu; takes
@@ -253,7 +414,7 @@ pub struct ExperimentResult {
     /// Benign workload.
     pub workload: String,
     /// Tracker display name.
-    pub tracker_name: &'static str,
+    pub tracker_name: String,
     /// Attack display name ("benign" when none).
     pub attack_name: String,
     /// Mean benign IPC relative to the insecure, attack-free baseline.
@@ -269,7 +430,7 @@ impl Experiment {
     pub fn new(workload: &str) -> Self {
         Self {
             workload: workload.to_string(),
-            tracker: TrackerChoice::DapperH,
+            tracker: TrackerSel::by_key("dapper-h").expect("built-in key"),
             attack: AttackChoice::None,
             custom_attack: None,
             cfg: SystemConfig::paper_baseline().with_window(us_to_cycles(2_000.0)),
@@ -286,9 +447,28 @@ impl Experiment {
         e
     }
 
-    /// Sets the tracker.
-    pub fn tracker(mut self, t: TrackerChoice) -> Self {
-        self.tracker = t;
+    /// Sets the tracker: a registry key / display name / alias
+    /// (`"hydra"`, `"DAPPER_H"`), a prepared [`TrackerSel`], or a legacy
+    /// [`TrackerChoice`] variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via the `From<&str>` conversion) on an unknown name; use
+    /// [`TrackerSel::by_key`] for fallible resolution.
+    pub fn tracker(mut self, t: impl Into<TrackerSel>) -> Self {
+        self.tracker = t.into();
+        self
+    }
+
+    /// Overrides one tracker parameter (e.g. `("rcc_entries", 512)` on
+    /// Hydra), validated against the tracker's schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown key or out-of-range value; the spec layer uses
+    /// the fallible [`TrackerSel::with_param`] instead.
+    pub fn tracker_param(mut self, key: &str, value: impl Into<ParamValue>) -> Self {
+        self.tracker = self.tracker.with_param(key, value).unwrap_or_else(|e| panic!("{e}"));
         self
     }
 
@@ -395,7 +575,7 @@ impl Experiment {
     /// Builds the system under test (`reference = false`) or the insecure,
     /// attack-free reference machine (`reference = true`).
     pub fn build_system(&self, reference: bool) -> System {
-        let attack = self.attack.resolve(self.tracker);
+        let attack = self.attack.resolve(&self.tracker);
         let (traces, bypass) = self.build_traces(attack, reference);
         let mut cfg = self.cfg.clone();
         if !reference && self.tracker.reserves_llc() {
@@ -435,7 +615,7 @@ impl Experiment {
     pub fn run_against(self, reference: &RunStats) -> ExperimentResult {
         let run = self.build_system(false).run_engine(self.engine);
         let benign = self.benign_cores();
-        let attack_name = match (&self.custom_attack, self.attack.resolve(self.tracker)) {
+        let attack_name = match (&self.custom_attack, self.attack.resolve(&self.tracker)) {
             (Some(c), _) => c.name().to_string(),
             (None, Some(a)) => a.name().to_string(),
             (None, None) => "benign".to_string(),
@@ -443,7 +623,7 @@ impl Experiment {
         ExperimentResult {
             normalized_performance: normalized_performance(&run, reference, &benign),
             workload: self.workload,
-            tracker_name: self.tracker.name(),
+            tracker_name: self.tracker.name().to_string(),
             attack_name,
             run,
             reference: reference.clone(),
@@ -457,7 +637,7 @@ mod tests {
 
     #[test]
     fn benign_dapper_h_is_near_baseline() {
-        let r = Experiment::quick("gcc_like").tracker(TrackerChoice::DapperH).run();
+        let r = Experiment::quick("gcc_like").tracker("dapper-h").run();
         assert!(r.normalized_performance > 0.9, "DAPPER-H benign: {}", r.normalized_performance);
         assert_eq!(r.tracker_name, "DAPPER-H");
         assert_eq!(r.attack_name, "benign");
@@ -465,10 +645,27 @@ mod tests {
 
     #[test]
     fn tailored_attack_names_resolve() {
-        let e = Experiment::quick("gcc_like")
-            .tracker(TrackerChoice::Hydra)
-            .attack(AttackChoice::Tailored);
-        assert_eq!(e.attack.resolve(e.tracker), Some(Attack::HydraRccThrash));
+        let e = Experiment::quick("gcc_like").tracker("hydra").attack(AttackChoice::Tailored);
+        assert_eq!(e.attack.resolve(&e.tracker), Some(Attack::HydraRccThrash));
+    }
+
+    #[test]
+    fn tracker_params_ride_the_selection() {
+        let e = Experiment::quick("gcc_like").tracker("hydra").tracker_param("rcc_entries", 512);
+        assert_eq!(e.tracker.key(), "hydra");
+        assert_eq!(e.tracker.params()["rcc_entries"], ParamValue::Int(512));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tracker")]
+    fn unknown_tracker_key_panics_with_known_list() {
+        let _ = Experiment::quick("gcc_like").tracker("tracktor");
+    }
+
+    #[test]
+    #[should_panic(expected = "rcc_entriez")]
+    fn unknown_tracker_param_panics_with_the_key() {
+        let _ = Experiment::quick("gcc_like").tracker("hydra").tracker_param("rcc_entriez", 1);
     }
 
     #[test]
@@ -486,6 +683,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn tracker_names_parse_with_any_spelling() {
         assert_eq!(TrackerChoice::parse("dapper-h"), Some(TrackerChoice::DapperH));
         assert_eq!(TrackerChoice::parse("DAPPER_S"), Some(TrackerChoice::DapperS));
@@ -493,6 +691,10 @@ mod tests {
         assert_eq!(TrackerChoice::parse("CoMeT"), Some(TrackerChoice::Comet));
         assert_eq!(TrackerChoice::parse("blockhammer"), Some(TrackerChoice::BlockHammer));
         assert_eq!(TrackerChoice::parse("what"), None);
+        // Registry aliases resolve through the same single lookup path.
+        assert_eq!(TrackerChoice::parse("qprac"), Some(TrackerChoice::Prac));
+        assert_eq!(TrackerChoice::parse("dapper"), Some(TrackerChoice::DapperH));
+        assert_eq!(TrackerChoice::parse("insecure"), Some(TrackerChoice::None));
         for t in TrackerChoice::all() {
             assert_eq!(TrackerChoice::parse(t.name()), Some(t), "{} must round-trip", t.name());
         }
@@ -504,12 +706,12 @@ mod tests {
         // the exact run the built-in enum produces: same traces, same seed,
         // same system.
         let legacy = Experiment::quick("gcc_like")
-            .tracker(TrackerChoice::DapperS)
+            .tracker("dapper-s")
             .attack(AttackChoice::Specific(Attack::Streaming))
             .window_us(100.0)
             .run();
         let custom = Experiment::quick("gcc_like")
-            .tracker(TrackerChoice::DapperS)
+            .tracker("dapper-s")
             .custom(CustomAttack::new("streaming-custom", true, |geom, seed| {
                 Box::new(Attack::Streaming.trace(geom, seed))
             }))
@@ -535,10 +737,10 @@ mod tests {
 
     #[test]
     fn reference_reuse_matches_fresh_run() {
-        let e1 = Experiment::quick("povray_like").tracker(TrackerChoice::Para);
+        let e1 = Experiment::quick("povray_like").tracker("para");
         let reference = e1.build_system(true).run();
         let a = e1.clone().run_against(&reference);
-        let b = Experiment::quick("povray_like").tracker(TrackerChoice::Para).run();
+        let b = Experiment::quick("povray_like").tracker("para").run();
         assert!((a.normalized_performance - b.normalized_performance).abs() < 1e-9);
     }
 }

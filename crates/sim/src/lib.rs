@@ -6,13 +6,18 @@
 //! `trackers`), and provides the experiment runner every bench binary and
 //! figure harness uses.
 //!
+//! Trackers are resolved through the open [`registry`]: every defense —
+//! built-in or third-party — is constructible by string key plus a
+//! parameter map, and the declarative [`spec`] layer turns TOML/JSON
+//! experiment descriptions into parallel sweeps.
+//!
 //! # Quickstart
 //!
 //! ```no_run
-//! use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+//! use sim::experiment::{AttackChoice, Experiment};
 //!
 //! let summary = Experiment::quick("mcf_like")
-//!     .tracker(TrackerChoice::DapperH)
+//!     .tracker("dapper-h")
 //!     .attack(AttackChoice::Tailored)
 //!     .run();
 //! println!(
@@ -20,16 +25,36 @@
 //!     summary.tracker_name, summary.normalized_performance
 //! );
 //! ```
+//!
+//! Parameter overrides ride the tracker selection (here: a quarter-size
+//! row counter cache for a Hydra sensitivity point):
+//!
+//! ```no_run
+//! use sim::Experiment;
+//!
+//! let r = Experiment::quick("mcf_like")
+//!     .tracker("hydra")
+//!     .tracker_param("rcc_entries", 1024)
+//!     .run();
+//! # let _ = r;
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
 pub mod metrics;
+pub mod registry;
 pub mod runner;
+pub mod spec;
 pub mod system;
+pub mod toml;
 
-pub use experiment::{AttackChoice, CustomAttack, Experiment, ExperimentResult, TrackerChoice};
+#[allow(deprecated)]
+pub use experiment::TrackerChoice;
+pub use experiment::{AttackChoice, CustomAttack, Experiment, ExperimentResult, TrackerSel};
 pub use metrics::RunStats;
+pub use registry::{register_tracker, tracker_keys, with_registry};
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
+pub use spec::{ExperimentSpec, SpecError, SweepSpec};
 pub use system::{Engine, System};

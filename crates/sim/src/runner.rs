@@ -149,13 +149,12 @@ pub fn run_parallel(jobs: Vec<Experiment>) -> Vec<ExperimentResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiment::TrackerChoice;
 
     #[test]
     fn parallel_results_keep_order() {
         let jobs = vec![
-            Experiment::quick("povray_like").tracker(TrackerChoice::None).window_us(100.0),
-            Experiment::quick("namd_like").tracker(TrackerChoice::None).window_us(100.0),
+            Experiment::quick("povray_like").tracker("none").window_us(100.0),
+            Experiment::quick("namd_like").tracker("none").window_us(100.0),
         ];
         let results = run_parallel(jobs);
         assert_eq!(results.len(), 2);
@@ -174,9 +173,9 @@ mod tests {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let jobs = vec![
-            Experiment::quick("povray_like").tracker(TrackerChoice::None).window_us(100.0),
+            Experiment::quick("povray_like").tracker("none").window_us(100.0),
             Experiment::quick("not_a_workload").window_us(100.0),
-            Experiment::quick("namd_like").tracker(TrackerChoice::None).window_us(100.0),
+            Experiment::quick("namd_like").tracker("none").window_us(100.0),
         ];
         let results = try_run_parallel(jobs);
         std::panic::set_hook(prev);

@@ -1,0 +1,1037 @@
+//! Declarative experiment specs: TOML/JSON descriptions of experiments and
+//! sweeps that expand into [`Experiment`]s through the tracker registry.
+//!
+//! A [`SweepSpec`] names trackers by registry key (with per-tracker
+//! parameter overrides like `hydra.rcc_entries = 512`), workloads from the
+//! catalog (or the `@quick` / `@all` tokens), and attacks by name; it
+//! expands into the full cross product for
+//! [`crate::runner::try_run_parallel`] and round-trips results to JSON.
+//! An [`ExperimentSpec`] is the single-cell form. Both serialize to TOML
+//! and JSON and parse back losslessly; every validation failure names the
+//! offending key.
+//!
+//! ```toml
+//! # A paper-figure matrix, declaratively:
+//! name = "fig09-quick"
+//! workloads = ["@quick"]
+//! trackers = ["dapper-s"]
+//! attacks = ["streaming", "refresh"]
+//! isolate = true
+//!
+//! [params.dapper-s]
+//! group_size = 256
+//! ```
+
+use crate::experiment::{AttackChoice, Experiment, ExperimentResult, TrackerSel};
+use crate::runner::{try_run_parallel, SweepError};
+use crate::system::Engine;
+use crate::toml::{self, TomlError, TomlValue};
+use sim_core::json::{Json, JsonError};
+use sim_core::registry::{ParamValue, RegistryError};
+use std::collections::BTreeMap;
+use workloads::Attack;
+
+/// What went wrong turning a spec into experiments. Every variant names
+/// the offending key/name so the user can fix the exact line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The TOML text did not parse.
+    Toml(TomlError),
+    /// The JSON text did not parse.
+    Json(JsonError),
+    /// A tracker name or parameter the registry rejected.
+    Registry(RegistryError),
+    /// A workload name the catalog does not know.
+    UnknownWorkload {
+        /// The offending name.
+        name: String,
+    },
+    /// An attack name outside the known set.
+    UnknownAttack {
+        /// The offending name.
+        name: String,
+        /// The names that would have worked.
+        known: Vec<String>,
+    },
+    /// A malformed or missing field.
+    Field {
+        /// The offending key.
+        key: String,
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Toml(e) => e.fmt(f),
+            SpecError::Json(e) => e.fmt(f),
+            SpecError::Registry(e) => e.fmt(f),
+            SpecError::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
+            SpecError::UnknownAttack { name, known } => {
+                write!(f, "unknown attack '{name}'; known: {}", known.join(", "))
+            }
+            SpecError::Field { key, message } => write!(f, "spec field '{key}': {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<TomlError> for SpecError {
+    fn from(e: TomlError) -> Self {
+        SpecError::Toml(e)
+    }
+}
+impl From<JsonError> for SpecError {
+    fn from(e: JsonError) -> Self {
+        SpecError::Json(e)
+    }
+}
+impl From<RegistryError> for SpecError {
+    fn from(e: RegistryError) -> Self {
+        SpecError::Registry(e)
+    }
+}
+
+fn field_err(key: &str, message: impl Into<String>) -> SpecError {
+    SpecError::Field { key: key.to_string(), message: message.into() }
+}
+
+/// The attack names the spec layer accepts: the three experiment-level
+/// modes plus every specific pattern.
+pub fn known_attacks() -> Vec<String> {
+    let mut known = vec!["none".to_string(), "tailored".to_string()];
+    known.extend(Attack::all().map(|a| a.name().to_string()));
+    known
+}
+
+/// Parses an attack name into an [`AttackChoice`]. `"none"`/`"benign"`
+/// select no attacker, `"tailored"` the tracker-specific pattern, anything
+/// else a specific [`Attack`] by its display name.
+pub fn parse_attack(name: &str) -> Result<AttackChoice, SpecError> {
+    let norm = sim_core::registry::normalize_key(name);
+    match norm.as_str() {
+        "none" | "benign" => return Ok(AttackChoice::None),
+        "tailored" => return Ok(AttackChoice::Tailored),
+        _ => {}
+    }
+    Attack::all()
+        .into_iter()
+        .find(|a| {
+            let n = sim_core::registry::normalize_key(a.name());
+            n == norm || norm == format!("{n}attack")
+        })
+        .map(AttackChoice::Specific)
+        .ok_or_else(|| SpecError::UnknownAttack { name: name.to_string(), known: known_attacks() })
+}
+
+// ---------------------------------------------------------------------------
+// Tree helpers shared by the TOML and JSON front-ends.
+// ---------------------------------------------------------------------------
+
+fn json_to_toml(j: &Json, key: &str) -> Result<TomlValue, SpecError> {
+    Ok(match j {
+        Json::Null => return Err(field_err(key, "null is not a spec value")),
+        Json::Bool(b) => TomlValue::Bool(*b),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                TomlValue::Int(*n as i64)
+            } else {
+                TomlValue::Float(*n)
+            }
+        }
+        Json::Str(s) => TomlValue::Str(s.clone()),
+        Json::Arr(items) => {
+            TomlValue::Arr(items.iter().map(|i| json_to_toml(i, key)).collect::<Result<_, _>>()?)
+        }
+        Json::Obj(pairs) => {
+            let mut t = BTreeMap::new();
+            for (k, v) in pairs {
+                t.insert(k.clone(), json_to_toml(v, k)?);
+            }
+            TomlValue::Table(t)
+        }
+    })
+}
+
+fn toml_to_json(v: &TomlValue) -> Json {
+    match v {
+        TomlValue::Str(s) => Json::Str(s.clone()),
+        TomlValue::Int(i) => Json::Num(*i as f64),
+        TomlValue::Float(f) => Json::Num(*f),
+        TomlValue::Bool(b) => Json::Bool(*b),
+        TomlValue::Arr(items) => Json::Arr(items.iter().map(toml_to_json).collect()),
+        TomlValue::Table(t) => {
+            Json::Obj(t.iter().map(|(k, v)| (k.clone(), toml_to_json(v))).collect())
+        }
+    }
+}
+
+fn param_from_toml(key: &str, v: &TomlValue) -> Result<ParamValue, SpecError> {
+    Ok(match v {
+        TomlValue::Int(i) => ParamValue::Int(*i),
+        TomlValue::Float(f) => ParamValue::Float(*f),
+        TomlValue::Bool(b) => ParamValue::Bool(*b),
+        TomlValue::Str(s) => ParamValue::Str(s.clone()),
+        other => {
+            return Err(field_err(key, format!("a {} is not a parameter value", other.kind())))
+        }
+    })
+}
+
+fn param_to_toml(v: &ParamValue) -> TomlValue {
+    match v {
+        ParamValue::Int(i) => TomlValue::Int(*i),
+        ParamValue::Float(f) => TomlValue::Float(*f),
+        ParamValue::Bool(b) => TomlValue::Bool(*b),
+        ParamValue::Str(s) => TomlValue::Str(s.clone()),
+    }
+}
+
+fn param_table(t: &TomlValue, key: &str) -> Result<BTreeMap<String, ParamValue>, SpecError> {
+    match t {
+        TomlValue::Table(entries) => {
+            let mut out = BTreeMap::new();
+            for (k, v) in entries {
+                out.insert(k.clone(), param_from_toml(&format!("{key}.{k}"), v)?);
+            }
+            Ok(out)
+        }
+        other => Err(field_err(key, format!("expected a table, got {}", other.kind()))),
+    }
+}
+
+struct Fields<'a> {
+    table: &'a BTreeMap<String, TomlValue>,
+}
+
+impl<'a> Fields<'a> {
+    fn opt_str(&self, key: &str) -> Result<Option<String>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Str(s)) => Ok(Some(s.clone())),
+            Some(other) => Err(field_err(key, format!("expected a string, got {}", other.kind()))),
+        }
+    }
+
+    fn req_str(&self, key: &str) -> Result<String, SpecError> {
+        self.opt_str(key)?.ok_or_else(|| field_err(key, "required"))
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+            // Values above i64::MAX (e.g. full-width seeds) serialize as
+            // hex strings; accept them back.
+            Some(TomlValue::Str(s)) => {
+                let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => s.parse::<u64>(),
+                };
+                parsed.map(Some).map_err(|_| {
+                    field_err(key, format!("cannot parse '{s}' as an unsigned integer"))
+                })
+            }
+            Some(other) => {
+                Err(field_err(key, format!("expected a non-negative integer, got {other:?}")))
+            }
+        }
+    }
+
+    fn opt_u32(&self, key: &str) -> Result<Option<u32>, SpecError> {
+        match self.opt_u64(key)? {
+            None => Ok(None),
+            Some(v) => u32::try_from(v)
+                .map(Some)
+                .map_err(|_| field_err(key, format!("{v} does not fit in 32 bits"))),
+        }
+    }
+
+    fn opt_f64(&self, key: &str) -> Result<Option<f64>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Float(f)) => Ok(Some(*f)),
+            Some(TomlValue::Int(i)) => Ok(Some(*i as f64)),
+            Some(other) => Err(field_err(key, format!("expected a number, got {}", other.kind()))),
+        }
+    }
+
+    fn opt_bool(&self, key: &str) -> Result<Option<bool>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Bool(b)) => Ok(Some(*b)),
+            Some(other) => Err(field_err(key, format!("expected a boolean, got {}", other.kind()))),
+        }
+    }
+
+    fn str_list(&self, key: &str) -> Result<Option<Vec<String>>, SpecError> {
+        match self.table.get(key) {
+            None => Ok(None),
+            Some(TomlValue::Arr(items)) => {
+                let mut out = Vec::new();
+                for item in items {
+                    match item {
+                        TomlValue::Str(s) => out.push(s.clone()),
+                        other => {
+                            return Err(field_err(
+                                key,
+                                format!("expected strings, got a {}", other.kind()),
+                            ))
+                        }
+                    }
+                }
+                Ok(Some(out))
+            }
+            Some(TomlValue::Str(s)) => Ok(Some(vec![s.clone()])),
+            Some(other) => {
+                Err(field_err(key, format!("expected an array of strings, got {}", other.kind())))
+            }
+        }
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), SpecError> {
+        for key in self.table.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(field_err(
+                    key,
+                    format!("unknown spec field; allowed: {}", allowed.join(", ")),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_engine(name: &str) -> Result<Engine, SpecError> {
+    match name {
+        "dense" => Ok(Engine::Dense),
+        "event-driven" | "event_driven" => Ok(Engine::EventDriven),
+        other => Err(field_err("engine", format!("'{other}' is not 'dense' or 'event-driven'"))),
+    }
+}
+
+fn engine_name(e: Engine) -> &'static str {
+    match e {
+        Engine::Dense => "dense",
+        Engine::EventDriven => "event-driven",
+    }
+}
+
+/// Shared system-level knobs of a spec (every field optional; the
+/// [`Experiment`] defaults apply when absent).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecOptions {
+    /// RowHammer threshold N_RH.
+    pub nrh: Option<u32>,
+    /// Simulation window, microseconds.
+    pub window_us: Option<f64>,
+    /// RNG seed.
+    pub seed: Option<u64>,
+    /// Normalize against an attacker-inclusive baseline (the DAPPER-figure
+    /// normalization).
+    pub isolate: Option<bool>,
+    /// Simulation engine (`dense` / `event-driven`).
+    pub engine: Option<Engine>,
+}
+
+impl SpecOptions {
+    const KEYS: [&'static str; 5] = ["nrh", "window_us", "seed", "isolate", "engine"];
+
+    fn from_fields(f: &Fields) -> Result<Self, SpecError> {
+        Ok(Self {
+            nrh: f.opt_u32("nrh")?,
+            window_us: f.opt_f64("window_us")?,
+            seed: f.opt_u64("seed")?,
+            isolate: f.opt_bool("isolate")?,
+            engine: match f.opt_str("engine")? {
+                None => None,
+                Some(name) => Some(parse_engine(&name)?),
+            },
+        })
+    }
+
+    fn write(&self, t: &mut BTreeMap<String, TomlValue>) {
+        if let Some(nrh) = self.nrh {
+            t.insert("nrh".into(), TomlValue::Int(nrh as i64));
+        }
+        if let Some(w) = self.window_us {
+            t.insert("window_us".into(), TomlValue::Float(w));
+        }
+        if let Some(s) = self.seed {
+            // Seeds past i64::MAX cannot be a TOML integer; hex strings
+            // round-trip exactly (opt_u64 accepts them back).
+            let v = match i64::try_from(s) {
+                Ok(i) => TomlValue::Int(i),
+                Err(_) => TomlValue::Str(format!("{s:#x}")),
+            };
+            t.insert("seed".into(), v);
+        }
+        if let Some(i) = self.isolate {
+            t.insert("isolate".into(), TomlValue::Bool(i));
+        }
+        if let Some(e) = self.engine {
+            t.insert("engine".into(), TomlValue::Str(engine_name(e).into()));
+        }
+    }
+
+    fn apply(&self, mut e: Experiment) -> Experiment {
+        if let Some(nrh) = self.nrh {
+            e = e.nrh(nrh);
+        }
+        if let Some(w) = self.window_us {
+            e = e.window_us(w);
+        }
+        if let Some(s) = self.seed {
+            e = e.seed(s);
+        }
+        if self.isolate == Some(true) {
+            e = e.isolating();
+        }
+        if let Some(engine) = self.engine {
+            e = e.engine(engine);
+        }
+        e
+    }
+}
+
+fn check_workload(name: &str) -> Result<(), SpecError> {
+    if workloads::spec_by_name(name).is_none() {
+        return Err(SpecError::UnknownWorkload { name: name.to_string() });
+    }
+    Ok(())
+}
+
+/// Expands a workload list, resolving the `@quick` (9-workload subset) and
+/// `@all` (full 57-workload catalog) tokens and validating every name.
+pub fn expand_workloads(names: &[String]) -> Result<Vec<String>, SpecError> {
+    let mut out = Vec::new();
+    for name in names {
+        match name.as_str() {
+            "@quick" => out.extend(workloads::quick_subset().iter().map(|w| w.name.to_string())),
+            "@all" => out.extend(workloads::catalog().iter().map(|w| w.name.to_string())),
+            other => {
+                check_workload(other)?;
+                out.push(other.to_string());
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(field_err("workloads", "must name at least one workload"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentSpec
+// ---------------------------------------------------------------------------
+
+/// Numeric-coercing parameter equality: JSON cannot distinguish `5` from
+/// `5.0`, so a spec that round-trips through JSON may come back with
+/// integral floats as ints. The tracker schema coerces them identically at
+/// build time; spec equality must treat them as equal too.
+fn param_value_eq(a: &ParamValue, b: &ParamValue) -> bool {
+    match (a, b) {
+        (ParamValue::Int(i), ParamValue::Float(f)) | (ParamValue::Float(f), ParamValue::Int(i)) => {
+            *i as f64 == *f
+        }
+        _ => a == b,
+    }
+}
+
+fn param_map_eq(a: &BTreeMap<String, ParamValue>, b: &BTreeMap<String, ParamValue>) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| ka == kb && param_value_eq(va, vb))
+}
+
+/// A declarative description of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Benign workload name.
+    pub workload: String,
+    /// Tracker registry key (or display name / alias).
+    pub tracker: String,
+    /// Tracker parameter overrides (`[params]` table).
+    pub params: BTreeMap<String, ParamValue>,
+    /// Attack name (default `none`).
+    pub attack: String,
+    /// System-level options.
+    pub options: SpecOptions,
+}
+
+impl ExperimentSpec {
+    /// A benign spec for one workload/tracker pair.
+    pub fn new(workload: &str, tracker: &str) -> Self {
+        Self {
+            workload: workload.to_string(),
+            tracker: tracker.to_string(),
+            params: BTreeMap::new(),
+            attack: "none".to_string(),
+            options: SpecOptions::default(),
+        }
+    }
+
+    fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
+        let f = Fields { table };
+        let mut allowed = vec!["workload", "tracker", "params", "attack"];
+        allowed.extend(SpecOptions::KEYS);
+        f.reject_unknown(&allowed)?;
+        let params = match table.get("params") {
+            None => BTreeMap::new(),
+            Some(t) => param_table(t, "params")?,
+        };
+        Ok(Self {
+            workload: f.req_str("workload")?,
+            tracker: f.req_str("tracker")?,
+            params,
+            attack: f.opt_str("attack")?.unwrap_or_else(|| "none".to_string()),
+            options: SpecOptions::from_fields(&f)?,
+        })
+    }
+
+    fn to_table(&self) -> BTreeMap<String, TomlValue> {
+        let mut t = BTreeMap::new();
+        t.insert("workload".into(), TomlValue::Str(self.workload.clone()));
+        t.insert("tracker".into(), TomlValue::Str(self.tracker.clone()));
+        t.insert("attack".into(), TomlValue::Str(self.attack.clone()));
+        self.options.write(&mut t);
+        if !self.params.is_empty() {
+            let params = self.params.iter().map(|(k, v)| (k.clone(), param_to_toml(v))).collect();
+            t.insert("params".into(), TomlValue::Table(params));
+        }
+        t
+    }
+
+    /// Parses a TOML spec.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        Self::from_table(&toml::parse(input)?)
+    }
+
+    /// Renders the spec as TOML (parses back to an equal spec).
+    pub fn to_toml(&self) -> String {
+        toml::render(&self.to_table())
+    }
+
+    /// Parses a JSON spec.
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        match json_to_toml(&Json::parse(input)?, "spec")? {
+            TomlValue::Table(t) => Self::from_table(&t),
+            other => Err(field_err("spec", format!("expected an object, got {}", other.kind()))),
+        }
+    }
+
+    /// Renders the spec as JSON (parses back to an equal spec).
+    pub fn to_json(&self) -> Json {
+        toml_to_json(&TomlValue::Table(self.to_table()))
+    }
+
+    /// Resolves the spec into a runnable [`Experiment`]: registry lookup,
+    /// parameter validation, workload and attack checks — all before any
+    /// simulation starts.
+    pub fn to_experiment(&self) -> Result<Experiment, SpecError> {
+        check_workload(&self.workload)?;
+        let tracker = TrackerSel::by_key(&self.tracker)?.with_params(self.params.clone())?;
+        let attack = parse_attack(&self.attack)?;
+        let e = Experiment::new(&self.workload).tracker(tracker).attack(attack);
+        Ok(self.options.apply(e))
+    }
+
+    /// Expands and runs the single experiment.
+    pub fn run(&self) -> Result<ExperimentResult, SpecError> {
+        Ok(self.to_experiment()?.run())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------------------
+
+impl PartialEq for ExperimentSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.workload == other.workload
+            && self.tracker == other.tracker
+            && self.attack == other.attack
+            && self.options == other.options
+            && param_map_eq(&self.params, &other.params)
+    }
+}
+
+/// A declarative tracker × workload × attack sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Sweep name (used for output file naming).
+    pub name: String,
+    /// Workload names (may include `@quick` / `@all`).
+    pub workloads: Vec<String>,
+    /// Tracker registry keys.
+    pub trackers: Vec<String>,
+    /// Per-tracker parameter overrides, keyed by canonical tracker key
+    /// (`[params.<tracker>]` tables).
+    pub params: BTreeMap<String, BTreeMap<String, ParamValue>>,
+    /// Attack names (default: just `none`).
+    pub attacks: Vec<String>,
+    /// System-level options applied to every cell.
+    pub options: SpecOptions,
+}
+
+impl PartialEq for SweepSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.workloads == other.workloads
+            && self.trackers == other.trackers
+            && self.attacks == other.attacks
+            && self.options == other.options
+            && self.params.len() == other.params.len()
+            && self
+                .params
+                .iter()
+                .zip(other.params.iter())
+                .all(|((ka, va), (kb, vb))| ka == kb && param_map_eq(va, vb))
+    }
+}
+
+impl SweepSpec {
+    /// An empty benign sweep under a name.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            workloads: Vec::new(),
+            trackers: Vec::new(),
+            params: BTreeMap::new(),
+            attacks: vec!["none".to_string()],
+            options: SpecOptions::default(),
+        }
+    }
+
+    fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
+        let f = Fields { table };
+        let mut allowed = vec!["name", "workloads", "trackers", "params", "attacks"];
+        allowed.extend(SpecOptions::KEYS);
+        f.reject_unknown(&allowed)?;
+        let mut params = BTreeMap::new();
+        if let Some(t) = table.get("params") {
+            match t {
+                TomlValue::Table(entries) => {
+                    for (tracker, overrides) in entries {
+                        params.insert(
+                            tracker.clone(),
+                            param_table(overrides, &format!("params.{tracker}"))?,
+                        );
+                    }
+                }
+                other => {
+                    return Err(field_err(
+                        "params",
+                        format!("expected per-tracker tables, got {}", other.kind()),
+                    ))
+                }
+            }
+        }
+        Ok(Self {
+            name: f.opt_str("name")?.unwrap_or_else(|| "sweep".to_string()),
+            workloads: f
+                .str_list("workloads")?
+                .ok_or_else(|| field_err("workloads", "required"))?,
+            trackers: f.str_list("trackers")?.ok_or_else(|| field_err("trackers", "required"))?,
+            params,
+            attacks: f.str_list("attacks")?.unwrap_or_else(|| vec!["none".to_string()]),
+            options: SpecOptions::from_fields(&f)?,
+        })
+    }
+
+    fn to_table(&self) -> BTreeMap<String, TomlValue> {
+        let mut t = BTreeMap::new();
+        t.insert("name".into(), TomlValue::Str(self.name.clone()));
+        t.insert(
+            "workloads".into(),
+            TomlValue::Arr(self.workloads.iter().cloned().map(TomlValue::Str).collect()),
+        );
+        t.insert(
+            "trackers".into(),
+            TomlValue::Arr(self.trackers.iter().cloned().map(TomlValue::Str).collect()),
+        );
+        t.insert(
+            "attacks".into(),
+            TomlValue::Arr(self.attacks.iter().cloned().map(TomlValue::Str).collect()),
+        );
+        self.options.write(&mut t);
+        if !self.params.is_empty() {
+            let params = self
+                .params
+                .iter()
+                .map(|(tracker, overrides)| {
+                    (
+                        tracker.clone(),
+                        TomlValue::Table(
+                            overrides.iter().map(|(k, v)| (k.clone(), param_to_toml(v))).collect(),
+                        ),
+                    )
+                })
+                .collect();
+            t.insert("params".into(), TomlValue::Table(params));
+        }
+        t
+    }
+
+    /// Parses a TOML spec.
+    pub fn from_toml_str(input: &str) -> Result<Self, SpecError> {
+        Self::from_table(&toml::parse(input)?)
+    }
+
+    /// Renders the spec as TOML (parses back to an equal spec).
+    pub fn to_toml(&self) -> String {
+        toml::render(&self.to_table())
+    }
+
+    /// Parses a JSON spec.
+    pub fn from_json_str(input: &str) -> Result<Self, SpecError> {
+        match json_to_toml(&Json::parse(input)?, "spec")? {
+            TomlValue::Table(t) => Self::from_table(&t),
+            other => Err(field_err("spec", format!("expected an object, got {}", other.kind()))),
+        }
+    }
+
+    /// Renders the spec as JSON (parses back to an equal spec).
+    pub fn to_json(&self) -> Json {
+        toml_to_json(&TomlValue::Table(self.to_table()))
+    }
+
+    /// The resolved tracker selections, with per-tracker overrides
+    /// attached. Every `params.<tracker>` table must resolve to a tracker
+    /// named in `trackers` (so a typo'd section errors instead of being
+    /// silently ignored).
+    pub fn resolve_trackers(&self) -> Result<Vec<TrackerSel>, SpecError> {
+        let mut sels = Vec::new();
+        for name in &self.trackers {
+            let mut sel = TrackerSel::by_key(name)?;
+            // Overrides may be keyed by any accepted spelling of the
+            // tracker's name; match on the canonical key.
+            for (param_key, overrides) in &self.params {
+                let canonical = crate::registry::resolve(param_key)?.key().to_string();
+                if canonical == sel.key() {
+                    sel = sel.with_params(overrides.clone())?;
+                }
+            }
+            sels.push(sel);
+        }
+        for param_key in self.params.keys() {
+            let canonical = crate::registry::resolve(param_key)?.key().to_string();
+            if !sels.iter().any(|s| s.key() == canonical) {
+                return Err(field_err(
+                    &format!("params.{param_key}"),
+                    "does not match any tracker in 'trackers'",
+                ));
+            }
+        }
+        Ok(sels)
+    }
+
+    /// Expands the full workload × tracker × attack cross product into
+    /// runnable experiments (attacks vary fastest, then trackers), after
+    /// validating every name and parameter — including a probe build per
+    /// tracker, so parameter *combinations* the flat schema cannot express
+    /// (e.g. an RCC entry count that is not a multiple of the way count)
+    /// fail here instead of panicking inside every sweep worker.
+    pub fn expand(&self) -> Result<Vec<Experiment>, SpecError> {
+        let workloads = expand_workloads(&self.workloads)?;
+        let trackers = self.resolve_trackers()?;
+        if trackers.is_empty() {
+            return Err(field_err("trackers", "must name at least one tracker"));
+        }
+        let probe_cfg = sim_core::config::SystemConfig::paper_baseline();
+        let nrh = self.options.nrh.unwrap_or(probe_cfg.nrh);
+        for tracker in &trackers {
+            let probe = sim_core::registry::TrackerParams::new(nrh, probe_cfg.geometry, 0, 0)
+                .with_values(tracker.params().clone());
+            tracker.spec().build(&probe)?;
+        }
+        let attacks: Vec<AttackChoice> =
+            self.attacks.iter().map(|a| parse_attack(a)).collect::<Result<_, _>>()?;
+        if attacks.is_empty() {
+            return Err(field_err("attacks", "must name at least one attack"));
+        }
+        let mut out = Vec::with_capacity(workloads.len() * trackers.len() * attacks.len());
+        for workload in &workloads {
+            for tracker in &trackers {
+                for attack in &attacks {
+                    let e = Experiment::new(workload).tracker(tracker.clone()).attack(*attack);
+                    out.push(self.options.apply(e));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expands and runs the sweep in parallel. Individual cell failures
+    /// are collected, not fatal.
+    pub fn run(&self) -> Result<SweepReport, SpecError> {
+        let experiments = self.expand()?;
+        let mut results = Vec::new();
+        let mut failures = Vec::new();
+        for outcome in try_run_parallel(experiments) {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(e) => failures.push(e),
+            }
+        }
+        Ok(SweepReport { name: self.name.clone(), spec: self.clone(), results, failures })
+    }
+}
+
+/// Outcome of [`SweepSpec::run`].
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The sweep's name.
+    pub name: String,
+    /// The spec that produced this report.
+    pub spec: SweepSpec,
+    /// Successful cells, in expansion order.
+    pub results: Vec<ExperimentResult>,
+    /// Failed cells.
+    pub failures: Vec<SweepError>,
+}
+
+impl SweepReport {
+    /// Serializes the report — spec and all result rows — as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("spec", self.spec.to_json()),
+            ("results", Json::Arr(self.results.iter().map(result_to_json).collect())),
+            (
+                "failures",
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::obj([
+                                ("index", Json::count(f.index as u64)),
+                                ("message", Json::str(&f.message)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Serializes one experiment result as a JSON row (the sweep export
+/// format: identity, the paper's metric, and the headline counters).
+pub fn result_to_json(r: &ExperimentResult) -> Json {
+    Json::obj([
+        ("workload", Json::str(&r.workload)),
+        ("tracker", Json::str(&r.tracker_name)),
+        ("attack", Json::str(&r.attack_name)),
+        ("normalized_performance", Json::num(r.normalized_performance)),
+        ("cycles", Json::count(r.run.cycles)),
+        ("activations", Json::count(r.run.mem.activations)),
+        ("mitigations", Json::count(r.run.mem.vrr_commands + r.run.mem.rfm_commands)),
+        ("counter_ops", Json::count(r.run.mem.counter_reads + r.run.mem.counter_writes)),
+        ("reset_sweeps", Json::count(r.run.mem.reset_sweeps)),
+        ("llc_hit_rate", Json::num(r.run.llc_hit_rate)),
+        ("energy_mj", Json::num(r.run.energy_mj)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG_SPEC: &str = r#"
+# Fig. 9 quick matrix: DAPPER-S under the mapping-agnostic attacks.
+name = "fig09-quick"
+workloads = ["gcc_like", "mcf_like"]
+trackers = ["dapper-s"]
+attacks = ["streaming", "refresh"]
+window_us = 100.0
+isolate = true
+
+[params.dapper-s]
+group_size = 256
+"#;
+
+    #[test]
+    fn sweep_parses_and_expands_the_cross_product() {
+        let spec = SweepSpec::from_toml_str(FIG_SPEC).unwrap();
+        assert_eq!(spec.name, "fig09-quick");
+        let experiments = spec.expand().unwrap();
+        assert_eq!(experiments.len(), 4, "2 workloads x 1 tracker x 2 attacks");
+        assert!(experiments.iter().all(|e| e.tracker.key() == "dapper-s"));
+        assert!(experiments.iter().all(|e| e.isolate_tracker_overhead));
+        assert_eq!(experiments[0].workload, "gcc_like");
+        assert_eq!(experiments[0].attack, AttackChoice::Specific(Attack::Streaming));
+        assert_eq!(experiments[1].attack, AttackChoice::Specific(Attack::RefreshAttack));
+    }
+
+    #[test]
+    fn sweep_round_trips_through_toml_and_json() {
+        let spec = SweepSpec::from_toml_str(FIG_SPEC).unwrap();
+        let toml_back = SweepSpec::from_toml_str(&spec.to_toml())
+            .unwrap_or_else(|e| panic!("{e}\n---\n{}", spec.to_toml()));
+        assert_eq!(toml_back, spec);
+        let json_back = SweepSpec::from_json_str(&spec.to_json().render()).unwrap();
+        assert_eq!(json_back, spec);
+    }
+
+    #[test]
+    fn experiment_spec_round_trips_and_resolves() {
+        let mut spec = ExperimentSpec::new("gcc_like", "hydra");
+        spec.attack = "tailored".to_string();
+        spec.params.insert("rcc_entries".to_string(), ParamValue::Int(512));
+        spec.options.nrh = Some(250);
+        spec.options.window_us = Some(100.0);
+        spec.options.seed = Some(0xDA99E5);
+        spec.options.engine = Some(Engine::Dense);
+        let toml_back = ExperimentSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(toml_back, spec);
+        let json_back = ExperimentSpec::from_json_str(&spec.to_json().render()).unwrap();
+        assert_eq!(json_back, spec);
+        let e = spec.to_experiment().unwrap();
+        assert_eq!(e.tracker.key(), "hydra");
+        assert_eq!(e.tracker.params()["rcc_entries"], ParamValue::Int(512));
+        assert_eq!(e.cfg.nrh, 250);
+        assert_eq!(e.engine, Engine::Dense);
+    }
+
+    #[test]
+    fn unknown_tracker_key_errors_name_it() {
+        let spec = SweepSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"hydrra\"]\n",
+        )
+        .unwrap();
+        let err = spec.expand().unwrap_err();
+        assert!(err.to_string().contains("'hydrra'"), "{err}");
+        assert!(err.to_string().contains("hydra"), "must list known keys: {err}");
+    }
+
+    #[test]
+    fn out_of_range_param_errors_name_the_key() {
+        let doc = "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"comet\"]\n\
+                   [params.comet]\nmiss_rate_reset = 3.5\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap().expand().unwrap_err();
+        assert!(err.to_string().contains("'comet.miss_rate_reset'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_param_key_errors_name_it() {
+        let doc = "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"hydra\"]\n\
+                   [params.hydra]\nrcc_entriez = 512\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap().expand().unwrap_err();
+        assert!(err.to_string().contains("'rcc_entriez'"), "{err}");
+    }
+
+    #[test]
+    fn bad_param_combination_fails_at_expand_not_at_run() {
+        // rcc_entries = 1000 is in schema range but not a multiple of the
+        // default 32 ways: only the factory can reject it, and the probe
+        // build in expand() must surface that before any worker panics.
+        let doc = "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"hydra\"]\n\
+                   [params.hydra]\nrcc_entries = 1000\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap().expand().unwrap_err();
+        assert!(err.to_string().contains("'hydra.rcc_entries'"), "{err}");
+        assert!(err.to_string().contains("rcc_ways"), "{err}");
+    }
+
+    #[test]
+    fn integral_float_params_survive_the_json_round_trip() {
+        // JSON cannot distinguish 5 from 5.0; the round-tripped spec must
+        // still compare equal (schema coercion makes them build-identical).
+        let mut spec = ExperimentSpec::new("gcc_like", "prac");
+        spec.params.insert("rmw_tax_ns".to_string(), ParamValue::Float(5.0));
+        let back = ExperimentSpec::from_json_str(&spec.to_json().render()).unwrap();
+        assert_eq!(back, spec);
+        let e = back.to_experiment().unwrap();
+        assert_eq!(e.tracker.key(), "prac");
+    }
+
+    #[test]
+    fn full_width_seeds_round_trip() {
+        let mut spec = SweepSpec::new("seeds");
+        spec.workloads = vec!["gcc_like".to_string()];
+        spec.trackers = vec!["none".to_string()];
+        spec.options.seed = Some(u64::MAX);
+        let toml_text = spec.to_toml();
+        let back = SweepSpec::from_toml_str(&toml_text)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{toml_text}"));
+        assert_eq!(back.options.seed, Some(u64::MAX));
+        let json_back = SweepSpec::from_json_str(&spec.to_json().render()).unwrap();
+        assert_eq!(json_back.options.seed, Some(u64::MAX));
+    }
+
+    #[test]
+    fn params_for_absent_tracker_error() {
+        let doc = "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"hydra\"]\n\
+                   [params.comet]\nrat_entries = 64\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap().expand().unwrap_err();
+        assert!(err.to_string().contains("params.comet"), "{err}");
+    }
+
+    #[test]
+    fn params_match_via_aliases() {
+        // `[params.dapper]` (alias) attaches to the `dapper-h` tracker.
+        let doc = "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"dapper-h\"]\n\
+                   [params.dapper]\ngroup_size = 128\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let experiments = spec.expand().unwrap();
+        assert_eq!(experiments[0].tracker.params()["group_size"], ParamValue::Int(128));
+    }
+
+    #[test]
+    fn unknown_workload_and_attack_error() {
+        let doc =
+            "name = \"x\"\nworkloads = [\"gcc_like\", \"not_a_workload\"]\ntrackers = [\"none\"]\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap().expand().unwrap_err();
+        assert_eq!(err, SpecError::UnknownWorkload { name: "not_a_workload".into() });
+
+        let doc = "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\nattacks = [\"ddos\"]\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap().expand().unwrap_err();
+        assert!(err.to_string().contains("'ddos'"), "{err}");
+    }
+
+    #[test]
+    fn unknown_spec_fields_are_rejected() {
+        let doc =
+            "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\nwidnow_us = 5.0\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap_err();
+        assert!(err.to_string().contains("widnow_us"), "{err}");
+    }
+
+    #[test]
+    fn workload_tokens_expand() {
+        let quick = expand_workloads(&["@quick".to_string()]).unwrap();
+        assert_eq!(quick.len(), workloads::quick_subset().len());
+        let all = expand_workloads(&["@all".to_string()]).unwrap();
+        assert_eq!(all.len(), workloads::catalog().len());
+    }
+
+    #[test]
+    fn attack_names_parse() {
+        assert_eq!(parse_attack("none").unwrap(), AttackChoice::None);
+        assert_eq!(parse_attack("benign").unwrap(), AttackChoice::None);
+        assert_eq!(parse_attack("tailored").unwrap(), AttackChoice::Tailored);
+        assert_eq!(
+            parse_attack("cache-thrash").unwrap(),
+            AttackChoice::Specific(Attack::CacheThrash)
+        );
+        assert_eq!(parse_attack("refresh").unwrap(), AttackChoice::Specific(Attack::RefreshAttack));
+        assert!(parse_attack("nope").is_err());
+    }
+
+    #[test]
+    fn tiny_sweep_runs_end_to_end() {
+        let doc =
+            "name = \"tiny\"\nworkloads = [\"povray_like\"]\ntrackers = [\"none\", \"para\"]\n\
+                   window_us = 60.0\n";
+        let report = SweepSpec::from_toml_str(doc).unwrap().run().unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert!(report.failures.is_empty());
+        let json = report.to_json().render();
+        assert!(json.contains("\"results\""));
+        assert!(json.contains("povray_like"));
+        // The export parses back as JSON.
+        assert!(Json::parse(&json).is_ok());
+    }
+}

@@ -12,6 +12,7 @@
 //! row IDs overflows the spillover every `entries x N_RH/2` activations.
 
 use crate::TrackerParams;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, ResetScope, RowHammerTracker, StorageOverhead, TrackerAction};
 use std::collections::HashMap;
@@ -25,6 +26,33 @@ pub fn table_entries_for(nrh: u32) -> usize {
         501..=1000 => 1233,
         1001..=2000 => 617,
         _ => 309,
+    }
+}
+
+/// Structure sizes for one ABACuS instance. [`AbacusParams::new`] sizes the
+/// Misra-Gries table from the paper's per-N_RH table; the registry exposes
+/// the entry count (the spillover overflows every `entries x N_RH/2`
+/// activations, so it is the sensitivity knob) with `0` = auto.
+#[derive(Debug, Clone, Copy)]
+pub struct AbacusParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Misra-Gries table entries; `0` selects the paper's size for N_RH.
+    pub entries: usize,
+}
+
+impl AbacusParams {
+    /// The paper-baseline sizing (auto from N_RH).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, entries: 0 }
+    }
+
+    fn resolved_entries(&self) -> usize {
+        if self.entries == 0 {
+            table_entries_for(self.base.nrh)
+        } else {
+            self.entries
+        }
     }
 }
 
@@ -52,15 +80,23 @@ pub struct Abacus {
 impl Abacus {
     /// Creates an ABACuS instance sized for `p.nrh` per the paper.
     pub fn new(p: TrackerParams) -> Self {
-        let n = table_entries_for(p.nrh);
-        Self {
-            p,
+        Self::with_params(AbacusParams::new(p)).expect("paper-baseline sizing is valid")
+    }
+
+    /// Creates an ABACuS instance with an explicit table size.
+    pub fn with_params(ap: AbacusParams) -> Result<Self, RegistryError> {
+        let n = ap.resolved_entries();
+        if n == 0 {
+            return Err(RegistryError::invalid("abacus", "entries", "must be nonzero"));
+        }
+        Ok(Self {
+            p: ap.base,
             index: HashMap::with_capacity(n),
             entries: vec![Entry::default(); n],
             free: (0..n).rev().collect(),
             spillover: 0,
             overflow_resets: 0,
-        }
+        })
     }
 
     /// Configured table size.
@@ -172,8 +208,38 @@ impl RowHammerTracker for Abacus {
     fn storage_overhead(&self) -> StorageOverhead {
         // Table III: 19.3 KB SRAM + 7.5 KB CAM per 32 GB (N_RH = 500:
         // 2466 entries x (16-bit row id in CAM + counter + 64-bit vector)).
-        StorageOverhead::new(19_763, 7_680)
+        let (sram, cam) = abacus_storage(self.entries.len());
+        StorageOverhead::new(sram, cam)
     }
+}
+
+fn abacus_storage(entries: usize) -> (u64, u64) {
+    // Per entry: ~10 B of counter + bank bit-vector in SRAM, ~3 B of
+    // row-id CAM — the baseline 2466 entries land on Table III's figures.
+    (19_763 * entries as u64 / 2466, 7_680 * entries as u64 / 2466)
+}
+
+/// ABACuS's registry descriptor: key `abacus`, Misra-Gries table size
+/// exposed as a tunable parameter (`0` = the paper's size for N_RH).
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("abacus", "ABACUS", |p| {
+        let mut ap = AbacusParams::new(TrackerParams::from_build(p));
+        ap.entries = p.count("entries");
+        Ok(Box::new(Abacus::with_params(ap)?))
+    })
+    .summary("ABACuS (Security'24): shared Misra-Gries table with spillover counter")
+    .param(
+        ParamSpec::int("entries", "Misra-Gries table entries (0 = the paper's size for N_RH)", 0)
+            .range(0.0, (1u64 << 24) as f64),
+    )
+    .storage(|p| {
+        let entries = match p.count("entries") {
+            0 => table_entries_for(p.nrh),
+            n => n,
+        };
+        let (sram, cam) = abacus_storage(entries);
+        StorageOverhead::new(sram, cam)
+    })
 }
 
 #[cfg(test)]

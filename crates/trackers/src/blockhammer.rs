@@ -14,6 +14,7 @@
 use crate::util::hash64;
 use crate::TrackerParams;
 use sim_core::addr::DramAddr;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::req::SourceId;
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
@@ -24,6 +25,53 @@ use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAc
 pub const CBF_COUNTERS: usize = 128;
 /// Hash functions.
 pub const CBF_HASHES: usize = 3;
+/// Upper bound on configurable hash functions (index buffers are
+/// stack-allocated at this size).
+pub const MAX_CBF_HASHES: usize = 8;
+
+/// Bloom-filter parameters for one BlockHammer instance.
+/// [`BlockHammerParams::new`] gives the paper-matched scaling; the registry
+/// exposes each field — counting-Bloom-filter geometry drives both the
+/// false-positive throttling cost and the aliasing attack surface.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockHammerParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Counters per bank per filter.
+    pub cbf_counters: usize,
+    /// Hash functions (at most [`MAX_CBF_HASHES`]).
+    pub cbf_hashes: usize,
+    /// Blacklist threshold divisor: N_BL = N_RH / divisor.
+    pub blacklist_divisor: u32,
+}
+
+impl BlockHammerParams {
+    /// The window-scaled baseline (128 counters, 3 hashes, N_BL = N_RH/4).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, cbf_counters: CBF_COUNTERS, cbf_hashes: CBF_HASHES, blacklist_divisor: 4 }
+    }
+
+    fn validate(&self) -> Result<(), RegistryError> {
+        if self.cbf_counters == 0 {
+            return Err(RegistryError::invalid("blockhammer", "cbf_counters", "must be nonzero"));
+        }
+        if self.cbf_hashes == 0 || self.cbf_hashes > MAX_CBF_HASHES {
+            return Err(RegistryError::invalid(
+                "blockhammer",
+                "cbf_hashes",
+                format!("must be in 1..={MAX_CBF_HASHES}"),
+            ));
+        }
+        if self.blacklist_divisor == 0 {
+            return Err(RegistryError::invalid(
+                "blockhammer",
+                "blacklist_divisor",
+                "must be nonzero",
+            ));
+        }
+        Ok(())
+    }
+}
 
 #[derive(Debug, Clone)]
 struct BankFilters {
@@ -37,6 +85,8 @@ struct BankFilters {
 #[derive(Debug)]
 pub struct BlockHammer {
     p: TrackerParams,
+    cbf_counters: usize,
+    cbf_hashes: usize,
     banks: Vec<BankFilters>,
     active: usize,
     next_swap: Cycle,
@@ -52,20 +102,29 @@ pub struct BlockHammer {
 impl BlockHammer {
     /// Creates a BlockHammer instance for one channel.
     pub fn new(p: TrackerParams) -> Self {
+        Self::with_params(BlockHammerParams::new(p)).expect("paper-baseline sizes are valid")
+    }
+
+    /// Creates a BlockHammer instance with explicit Bloom parameters.
+    pub fn with_params(bp: BlockHammerParams) -> Result<Self, RegistryError> {
+        bp.validate()?;
+        let p = bp.base;
         let nbanks = (p.geometry.ranks as u32 * p.geometry.banks_per_rank()) as usize;
         let banks = (0..nbanks)
             .map(|_| BankFilters {
-                cbf: [vec![0; CBF_COUNTERS], vec![0; CBF_COUNTERS]],
-                last_act: vec![0; CBF_COUNTERS],
+                cbf: [vec![0; bp.cbf_counters], vec![0; bp.cbf_counters]],
+                last_act: vec![0; bp.cbf_counters],
             })
             .collect();
         let t_refw = sim_core::time::ms_to_cycles(32.0);
-        // Blacklist at a quarter of the threshold; enforce a spacing that
+        // Blacklist at a fraction of the threshold; enforce a spacing that
         // caps a row at N_RH activations per window.
-        let n_bl = (p.nrh / 4).max(1);
+        let n_bl = (p.nrh / bp.blacklist_divisor).max(1);
         let min_spacing = t_refw / p.nrh as Cycle;
-        Self {
+        Ok(Self {
             p,
+            cbf_counters: bp.cbf_counters,
+            cbf_hashes: bp.cbf_hashes,
             banks,
             active: 0,
             next_swap: t_refw / 2,
@@ -73,7 +132,7 @@ impl BlockHammer {
             n_bl,
             min_spacing,
             throttles: 0,
-        }
+        })
     }
 
     /// The blacklist threshold.
@@ -86,12 +145,15 @@ impl BlockHammer {
             as usize
     }
 
-    fn bucket_indices(&self, row: u32) -> [usize; CBF_HASHES] {
-        let mut out = [0; CBF_HASHES];
-        for (h, o) in out.iter_mut().enumerate() {
-            *o = (hash64(row as u64, self.p.seed ^ ((h as u64) << 13)) as usize) % CBF_COUNTERS;
+    /// Computes the hash bucket for each active hash function into a
+    /// stack buffer; callers slice the first `cbf_hashes` entries.
+    fn bucket_indices(&self, row: u32) -> ([usize; MAX_CBF_HASHES], usize) {
+        let mut out = [0; MAX_CBF_HASHES];
+        for (h, o) in out.iter_mut().enumerate().take(self.cbf_hashes) {
+            *o =
+                (hash64(row as u64, self.p.seed ^ ((h as u64) << 13)) as usize) % self.cbf_counters;
         }
-        out
+        (out, self.cbf_hashes)
     }
 
     fn maybe_swap(&mut self, now: Cycle) {
@@ -109,7 +171,7 @@ impl BlockHammer {
 
     /// Estimate = max over the two filters of the min over the hash
     /// buckets; inserts go to both filters (overlapping-lifetime CBFs).
-    fn estimate(&self, bank: usize, idxs: &[usize; CBF_HASHES]) -> u32 {
+    fn estimate(&self, bank: usize, idxs: &[usize]) -> u32 {
         let f0 = idxs.iter().map(|&i| self.banks[bank].cbf[0][i]).min().unwrap_or(0);
         let f1 = idxs.iter().map(|&i| self.banks[bank].cbf[1][i]).min().unwrap_or(0);
         f0.max(f1)
@@ -124,19 +186,20 @@ impl RowHammerTracker for BlockHammer {
     fn on_activation(&mut self, act: Activation, _actions: &mut Vec<TrackerAction>) {
         self.maybe_swap(act.cycle);
         let bank = self.bank_index(&act.addr);
-        let idxs = self.bucket_indices(act.addr.row);
+        let (buf, n) = self.bucket_indices(act.addr.row);
+        let idxs = &buf[..n];
         // Conservative update on both overlapping filters.
         for f in 0..2 {
             let est = idxs.iter().map(|&i| self.banks[bank].cbf[f][i]).min().unwrap_or(0);
             let newv = est + 1;
-            for &i in &idxs {
+            for &i in idxs {
                 let c = &mut self.banks[bank].cbf[f][i];
                 if *c < newv {
                     *c = newv;
                 }
             }
         }
-        for &i in &idxs {
+        for &i in idxs {
             self.banks[bank].last_act[i] = act.cycle;
         }
     }
@@ -144,8 +207,9 @@ impl RowHammerTracker for BlockHammer {
     fn activation_delay(&mut self, addr: &DramAddr, _src: SourceId, now: Cycle) -> Cycle {
         self.maybe_swap(now);
         let bank = self.bank_index(addr);
-        let idxs = self.bucket_indices(addr.row);
-        let est = self.estimate(bank, &idxs);
+        let (buf, n) = self.bucket_indices(addr.row);
+        let idxs = &buf[..n];
+        let est = self.estimate(bank, idxs);
         if est < self.n_bl {
             return 0;
         }
@@ -167,9 +231,39 @@ impl RowHammerTracker for BlockHammer {
     fn storage_overhead(&self) -> StorageOverhead {
         // 2 filters x 1024 x 16-bit counters x 64 banks = 256 KB... the
         // HPCA'21 paper's area-optimised config is ~48 KB per channel; we
-        // report that figure (BlockHammer is not in Table III).
-        StorageOverhead::new(48 * 1024, 0)
+        // report that figure (BlockHammer is not in Table III), scaled with
+        // the filter geometry.
+        StorageOverhead::new(48 * 1024 * self.cbf_counters as u64 / CBF_COUNTERS as u64, 0)
     }
+}
+
+/// BlockHammer's registry descriptor: key `blockhammer`, counting-Bloom
+/// geometry and blacklist divisor exposed as tunable parameters.
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("blockhammer", "BlockHammer", |p| {
+        let mut bp = BlockHammerParams::new(TrackerParams::from_build(p));
+        bp.cbf_counters = p.count("cbf_counters");
+        bp.cbf_hashes = p.count("cbf_hashes");
+        bp.blacklist_divisor = p.int("blacklist_divisor") as u32;
+        Ok(Box::new(BlockHammer::with_params(bp)?))
+    })
+    .alias("bh")
+    .summary("BlockHammer (HPCA'21): dual counting Bloom filters + ACT throttling")
+    .param(
+        ParamSpec::int("cbf_counters", "counters per bank per filter", CBF_COUNTERS as i64)
+            .range(1.0, (1u64 << 20) as f64),
+    )
+    .param(
+        ParamSpec::int("cbf_hashes", "Bloom hash functions", CBF_HASHES as i64)
+            .range(1.0, MAX_CBF_HASHES as f64),
+    )
+    .param(
+        ParamSpec::int("blacklist_divisor", "blacklist threshold N_BL = N_RH / divisor", 4)
+            .range(1.0, (1u64 << 16) as f64),
+    )
+    .storage(|p| {
+        StorageOverhead::new(48 * 1024 * p.count("cbf_counters") as u64 / CBF_COUNTERS as u64, 0)
+    })
 }
 
 #[cfg(test)]

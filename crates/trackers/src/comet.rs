@@ -14,6 +14,7 @@
 
 use crate::util::hash64;
 use crate::TrackerParams;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, ResetScope, RowHammerTracker, StorageOverhead, TrackerAction};
 
@@ -27,6 +28,51 @@ pub const RAT_ENTRIES: usize = 128;
 pub const MISS_HISTORY: usize = 256;
 /// Early reset when RAT miss rate exceeds this fraction of the history.
 pub const MISS_RATE_RESET: f64 = 0.25;
+
+/// Structure sizes for one CoMeT instance. [`CometParams::new`] gives the
+/// paper baseline; the registry exposes each field for sensitivity sweeps
+/// (the RAT — the paper's "CAT" of recently mitigated aggressors — is the
+/// structure the Perf-Attack thrashes).
+#[derive(Debug, Clone, Copy)]
+pub struct CometParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Counters per hash function, per bank.
+    pub cms_width: usize,
+    /// Recent Aggressor Table capacity per rank.
+    pub rat_entries: usize,
+    /// Sliding RAT-outcome history length.
+    pub miss_history: usize,
+    /// Early reset when the miss rate exceeds this fraction of the history.
+    pub miss_rate_reset: f64,
+}
+
+impl CometParams {
+    /// The paper-baseline sizes (4x512 CMS, 128-entry RAT, 256-deep
+    /// history, 25% reset rate).
+    pub fn new(base: TrackerParams) -> Self {
+        Self {
+            base,
+            cms_width: CMS_WIDTH,
+            rat_entries: RAT_ENTRIES,
+            miss_history: MISS_HISTORY,
+            miss_rate_reset: MISS_RATE_RESET,
+        }
+    }
+
+    fn validate(&self) -> Result<(), RegistryError> {
+        for (key, v) in [
+            ("cms_width", self.cms_width),
+            ("rat_entries", self.rat_entries),
+            ("miss_history", self.miss_history),
+        ] {
+            if v == 0 {
+                return Err(RegistryError::invalid("comet", key, "must be nonzero"));
+            }
+        }
+        Ok(())
+    }
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct RatEntry {
@@ -51,6 +97,9 @@ struct RankState {
 #[derive(Debug)]
 pub struct Comet {
     p: TrackerParams,
+    cms_width: usize,
+    miss_history: usize,
+    miss_rate_reset: f64,
     ranks: Vec<RankState>,
     tick: u64,
     threshold: u32,
@@ -62,24 +111,34 @@ pub struct Comet {
 impl Comet {
     /// Creates a CoMeT instance with the paper's configuration.
     pub fn new(p: TrackerParams) -> Self {
+        Self::with_params(CometParams::new(p)).expect("paper-baseline sizes are valid")
+    }
+
+    /// Creates a CoMeT instance with explicit structure sizes.
+    pub fn with_params(cp: CometParams) -> Result<Self, RegistryError> {
+        cp.validate()?;
+        let p = cp.base;
         let banks = p.geometry.banks_per_rank() as usize;
         let ranks = (0..p.geometry.ranks)
             .map(|_| RankState {
-                cms: vec![0; banks * CMS_HASHES * CMS_WIDTH],
-                rat: vec![RatEntry::default(); RAT_ENTRIES],
-                history: vec![false; MISS_HISTORY],
+                cms: vec![0; banks * CMS_HASHES * cp.cms_width],
+                rat: vec![RatEntry::default(); cp.rat_entries],
+                history: vec![false; cp.miss_history],
                 hist_idx: 0,
                 hist_filled: false,
             })
             .collect();
-        Self {
+        Ok(Self {
             p,
+            cms_width: cp.cms_width,
+            miss_history: cp.miss_history,
+            miss_rate_reset: cp.miss_rate_reset,
             ranks,
             tick: 0,
             threshold: (p.nrh / 4).max(1),
             next_periodic_reset: 0,
             early_resets: 0,
-        }
+        })
     }
 
     /// The CMS mitigation threshold (N_RH / 4).
@@ -98,7 +157,7 @@ impl Comet {
     fn record_history(&mut self, rank: usize, miss: bool) -> bool {
         let r = &mut self.ranks[rank];
         r.history[r.hist_idx] = miss;
-        r.hist_idx = (r.hist_idx + 1) % MISS_HISTORY;
+        r.hist_idx = (r.hist_idx + 1) % self.miss_history;
         if r.hist_idx == 0 {
             r.hist_filled = true;
         }
@@ -106,7 +165,7 @@ impl Comet {
             return false;
         }
         let misses = r.history.iter().filter(|&&m| m).count();
-        misses as f64 / MISS_HISTORY as f64 > MISS_RATE_RESET
+        misses as f64 / self.miss_history as f64 > self.miss_rate_reset
     }
 }
 
@@ -145,12 +204,12 @@ impl RowHammerTracker for Comet {
 
         // CMS conservative update.
         let mut est = u16::MAX;
-        let base = bank * CMS_HASHES * CMS_WIDTH;
+        let base = bank * CMS_HASHES * self.cms_width;
         let mut idxs = [0usize; CMS_HASHES];
         for (h, idx) in idxs.iter_mut().enumerate() {
             *idx = base
-                + h * CMS_WIDTH
-                + (hash64(row, self.p.seed ^ (h as u64) << 8) as usize) % CMS_WIDTH;
+                + h * self.cms_width
+                + (hash64(row, self.p.seed ^ (h as u64) << 8) as usize) % self.cms_width;
             est = est.min(self.ranks[rank].cms[*idx]);
         }
         let newv = est.saturating_add(1);
@@ -208,9 +267,61 @@ impl RowHammerTracker for Comet {
     }
 
     fn storage_overhead(&self) -> StorageOverhead {
-        // Table III: 112 KB SRAM (CMS) + 23 KB CAM (RAT) per 32 GB.
-        StorageOverhead::new(112 * 1024, 23 * 1024)
+        // Table III: 112 KB SRAM (CMS) + 23 KB CAM (RAT) per 32 GB at the
+        // baseline sizes; both scale linearly with their structures.
+        let (sram, cam) = comet_storage(&self.p, self.cms_width, self.ranks[0].rat.len());
+        StorageOverhead::new(sram, cam)
     }
+}
+
+fn comet_storage(p: &TrackerParams, cms_width: usize, rat_entries: usize) -> (u64, u64) {
+    let sram = 112 * 1024 * cms_width as u64 / CMS_WIDTH as u64;
+    let cam = 23 * 1024 * rat_entries as u64 / RAT_ENTRIES as u64;
+    let _ = p;
+    (sram, cam)
+}
+
+/// CoMeT's registry descriptor: key `comet`, sketch width and RAT (CAT)
+/// capacity exposed as tunable parameters with paper-baseline defaults.
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("comet", "CoMeT", |p| {
+        let mut cp = CometParams::new(TrackerParams::from_build(p));
+        cp.cms_width = p.count("cms_width");
+        cp.rat_entries = p.count("rat_entries");
+        cp.miss_history = p.count("miss_history");
+        cp.miss_rate_reset = p.float("miss_rate_reset");
+        Ok(Box::new(Comet::with_params(cp)?))
+    })
+    .alias("cat")
+    .summary("CoMeT (HPCA'24): count-min-sketch tracking + recent aggressor table")
+    .param(
+        ParamSpec::int("cms_width", "counters per hash function per bank", CMS_WIDTH as i64)
+            .range(1.0, (1u64 << 20) as f64),
+    )
+    .param(
+        ParamSpec::int("rat_entries", "recent aggressor table (CAT) entries", RAT_ENTRIES as i64)
+            .range(1.0, (1u64 << 20) as f64),
+    )
+    .param(
+        ParamSpec::int("miss_history", "sliding RAT-outcome history length", MISS_HISTORY as i64)
+            .range(1.0, (1u64 << 20) as f64),
+    )
+    .param(
+        ParamSpec::float(
+            "miss_rate_reset",
+            "early-reset miss-rate threshold over the history",
+            MISS_RATE_RESET,
+        )
+        .range(0.0, 1.0),
+    )
+    .storage(|p| {
+        let (sram, cam) = comet_storage(
+            &TrackerParams::from_build(p),
+            p.count("cms_width"),
+            p.count("rat_entries"),
+        );
+        StorageOverhead::new(sram, cam)
+    })
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 use crate::util::{hash64, meta_addr};
 use crate::TrackerParams;
 use sim_core::addr::Geometry;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::rng::Xoshiro256;
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
@@ -26,6 +27,48 @@ pub const GROUP_SIZE: u32 = 128;
 pub const RCC_ENTRIES: usize = 4096;
 /// RCC associativity.
 pub const RCC_WAYS: usize = 32;
+
+/// Structure sizes for one Hydra instance. [`HydraParams::new`] gives the
+/// paper baseline; the registry exposes each field as a tunable parameter
+/// for sensitivity sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct HydraParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Rows sharing one group counter.
+    pub group_size: u32,
+    /// RCC entries per rank.
+    pub rcc_entries: usize,
+    /// RCC associativity.
+    pub rcc_ways: usize,
+}
+
+impl HydraParams {
+    /// The paper-baseline structure sizes (128-row groups, 4K×32 RCC).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, group_size: GROUP_SIZE, rcc_entries: RCC_ENTRIES, rcc_ways: RCC_WAYS }
+    }
+
+    fn validate(&self) -> Result<(), RegistryError> {
+        if !self.group_size.is_power_of_two()
+            || !self.base.geometry.rows_per_rank().is_multiple_of(self.group_size as u64)
+        {
+            return Err(RegistryError::invalid(
+                "hydra",
+                "group_size",
+                "must be a power of two dividing the rows per rank",
+            ));
+        }
+        if self.rcc_ways == 0 || !self.rcc_entries.is_multiple_of(self.rcc_ways) {
+            return Err(RegistryError::invalid(
+                "hydra",
+                "rcc_entries",
+                format!("must be a nonzero multiple of rcc_ways ({})", self.rcc_ways),
+            ));
+        }
+        Ok(())
+    }
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct RccEntry {
@@ -50,6 +93,9 @@ struct RankState {
 #[derive(Debug)]
 pub struct Hydra {
     p: TrackerParams,
+    group_size: u32,
+    rcc_entries: usize,
+    rcc_ways: usize,
     ranks: Vec<RankState>,
     rng: Xoshiro256,
     n_gc: u32,
@@ -63,25 +109,35 @@ pub struct Hydra {
 impl Hydra {
     /// Creates a Hydra instance with the paper's configuration.
     pub fn new(p: TrackerParams) -> Self {
-        let groups = (p.geometry.rows_per_rank() / GROUP_SIZE as u64) as usize;
+        Self::with_params(HydraParams::new(p)).expect("paper-baseline sizes are valid")
+    }
+
+    /// Creates a Hydra instance with explicit structure sizes.
+    pub fn with_params(hp: HydraParams) -> Result<Self, RegistryError> {
+        hp.validate()?;
+        let p = hp.base;
+        let groups = (p.geometry.rows_per_rank() / hp.group_size as u64) as usize;
         let ranks = (0..p.geometry.ranks)
             .map(|_| RankState {
                 gct: vec![0; groups],
                 per_row_mode: vec![false; groups],
-                rcc: vec![RccEntry::default(); RCC_ENTRIES],
+                rcc: vec![RccEntry::default(); hp.rcc_entries],
                 rct: HashMap::new(),
             })
             .collect();
         let n_gc = (0.8 * p.nm() as f64) as u32;
-        Self {
+        Ok(Self {
             p,
+            group_size: hp.group_size,
+            rcc_entries: hp.rcc_entries,
+            rcc_ways: hp.rcc_ways,
             ranks,
             rng: Xoshiro256::seed_from(p.seed ^ 0x48_59_44_52_41),
             n_gc,
-            rcc_sets: RCC_ENTRIES / RCC_WAYS,
+            rcc_sets: hp.rcc_entries / hp.rcc_ways,
             rcc_misses: 0,
             rcc_hits: 0,
-        }
+        })
     }
 
     /// The group-counter threshold N_GC.
@@ -97,10 +153,10 @@ impl Hydra {
     /// emitting the corresponding DRAM traffic. Returns the entry index.
     fn rcc_access(&mut self, rank: usize, row: u64, actions: &mut Vec<TrackerAction>) -> usize {
         let set = self.rcc_set(row);
-        let base = set * RCC_WAYS;
+        let base = set * self.rcc_ways;
         let geom: Geometry = self.p.geometry;
         // Hit?
-        for w in 0..RCC_WAYS {
+        for w in 0..self.rcc_ways {
             let e = &self.ranks[rank].rcc[base + w];
             if e.valid && e.row == row {
                 self.rcc_hits += 1;
@@ -109,9 +165,9 @@ impl Hydra {
         }
         self.rcc_misses += 1;
         // Miss: prefer an invalid way, else evict at random (paper config).
-        let way = (0..RCC_WAYS)
+        let way = (0..self.rcc_ways)
             .find(|&w| !self.ranks[rank].rcc[base + w].valid)
-            .unwrap_or_else(|| self.rng.gen_range(RCC_WAYS as u64) as usize);
+            .unwrap_or_else(|| self.rng.gen_range(self.rcc_ways as u64) as usize);
         let slot = base + way;
         let victim = self.ranks[rank].rcc[slot];
         if victim.valid {
@@ -141,7 +197,7 @@ impl RowHammerTracker for Hydra {
         let geom = self.p.geometry;
         let rank = act.addr.rank as usize;
         let row = geom.rank_row_index(&act.addr);
-        let group = (row / GROUP_SIZE as u64) as usize;
+        let group = (row / self.group_size as u64) as usize;
         let nm = self.p.nm();
 
         if !self.ranks[rank].per_row_mode[group] {
@@ -174,11 +230,52 @@ impl RowHammerTracker for Hydra {
     }
 
     fn storage_overhead(&self) -> StorageOverhead {
-        // Table III: 56.5 KB per 32 GB channel. GCT: 16K x 1 B x 2 ranks =
-        // 32 KB; RCC: 4K x (21-bit tag + 9-bit count ~ 30 bits) x 2 ranks
-        // ~ 24.5 KB.
-        StorageOverhead::new(57_856, 0)
+        // Table III: 56.5 KB per 32 GB channel at the baseline sizes. GCT:
+        // 16K groups x 1 B per rank; RCC: entries x ~24.5 bits (21-bit tag +
+        // count, packed) per rank.
+        StorageOverhead::new(hydra_storage(&self.p, self.group_size, self.rcc_entries), 0)
     }
+}
+
+fn hydra_storage(p: &TrackerParams, group_size: u32, rcc_entries: usize) -> u64 {
+    let groups = p.geometry.rows_per_rank() / group_size.max(1) as u64;
+    let rcc_bytes = rcc_entries as u64 * 49 / 16;
+    p.geometry.ranks as u64 * (groups + rcc_bytes)
+}
+
+/// Hydra's registry descriptor: key `hydra`, structure sizes exposed as
+/// tunable parameters with the paper-baseline defaults.
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("hydra", "Hydra", |p| {
+        let mut hp = HydraParams::new(TrackerParams::from_build(p));
+        hp.group_size = p.int("group_size") as u32;
+        hp.rcc_entries = p.count("rcc_entries");
+        hp.rcc_ways = p.count("rcc_ways");
+        Ok(Box::new(Hydra::with_params(hp)?))
+    })
+    .summary("Hydra (ISCA'22): group counters + per-row counter cache over DRAM")
+    .param(
+        ParamSpec::int("group_size", "rows sharing one group counter", GROUP_SIZE as i64)
+            .range(1.0, (1u64 << 20) as f64),
+    )
+    .param(
+        ParamSpec::int("rcc_entries", "row counter cache entries per rank", RCC_ENTRIES as i64)
+            .range(1.0, (1u64 << 24) as f64),
+    )
+    .param(
+        ParamSpec::int("rcc_ways", "row counter cache associativity", RCC_WAYS as i64)
+            .range(1.0, 4096.0),
+    )
+    .storage(|p| {
+        StorageOverhead::new(
+            hydra_storage(
+                &TrackerParams::from_build(p),
+                p.int("group_size") as u32,
+                p.count("rcc_entries"),
+            ),
+            0,
+        )
+    })
 }
 
 #[cfg(test)]

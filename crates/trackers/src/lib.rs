@@ -30,14 +30,14 @@ pub mod pride;
 pub mod start;
 pub(crate) mod util;
 
-pub use abacus::Abacus;
-pub use blockhammer::BlockHammer;
-pub use comet::Comet;
-pub use hydra::Hydra;
-pub use para::Para;
-pub use prac::Prac;
-pub use pride::Pride;
-pub use start::Start;
+pub use abacus::{Abacus, AbacusParams};
+pub use blockhammer::{BlockHammer, BlockHammerParams};
+pub use comet::{Comet, CometParams};
+pub use hydra::{Hydra, HydraParams};
+pub use para::{Para, ParaParams};
+pub use prac::{Prac, PracParams};
+pub use pride::{Pride, PrideParams};
+pub use start::{Start, StartParams};
 
 use sim_core::addr::Geometry;
 
@@ -60,8 +60,32 @@ impl TrackerParams {
         Self { nrh, geometry: Geometry::paper_baseline(), channel, seed }
     }
 
+    /// The system-level subset of a registry build request (the tunable
+    /// per-tracker values ride separately in the registry's parameter map).
+    pub fn from_build(p: &sim_core::registry::TrackerParams) -> Self {
+        Self { nrh: p.nrh, geometry: p.geometry, channel: p.channel, seed: p.seed }
+    }
+
     /// Mitigation threshold N_M = N_RH / 2.
     pub fn nm(&self) -> u32 {
         self.nrh / 2
     }
+}
+
+/// Registers every baseline tracker in this crate — Hydra, START, CoMeT,
+/// ABACuS, BlockHammer, PARA, PrIDE, PRAC — into `reg`, in the order the
+/// paper's tables list them. The DAPPER variants register from their home
+/// crate (`dapper::register_builtin`), and the insecure baseline from
+/// [`sim_core::registry::null_spec`].
+pub fn register_builtin(
+    reg: &mut sim_core::registry::TrackerRegistry,
+) -> Result<(), sim_core::registry::RegistryError> {
+    reg.register(hydra::spec())?;
+    reg.register(start::spec())?;
+    reg.register(comet::spec())?;
+    reg.register(abacus::spec())?;
+    reg.register(blockhammer::spec())?;
+    reg.register(para::spec())?;
+    reg.register(pride::spec())?;
+    reg.register(prac::spec())
 }

@@ -8,11 +8,30 @@
 //! mitigation frequency grows quickly as N_RH drops (Fig. 15/16).
 
 use crate::TrackerParams;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::rng::Xoshiro256;
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
 
 /// Safety exponent: p = EXPONENT / N_RH.
 pub const EXPONENT: f64 = 18.4;
+
+/// Parameters for one PARA instance: the probabilistic management policy
+/// is a single knob, the safety exponent — failure probability per window
+/// is ~e^-exponent, mitigation frequency grows linearly with it.
+#[derive(Debug, Clone, Copy)]
+pub struct ParaParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Safety exponent: refresh probability p = exponent / N_RH.
+    pub exponent: f64,
+}
+
+impl ParaParams {
+    /// The paper-baseline exponent (18.4 ≈ 1e-8 failure per row-window).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, exponent: EXPONENT }
+    }
+}
 
 /// The PARA tracker for one channel.
 #[derive(Debug)]
@@ -26,11 +45,19 @@ pub struct Para {
 impl Para {
     /// Creates a PARA instance with `p` derived from `p.nrh`.
     pub fn new(p: TrackerParams) -> Self {
-        Self {
-            prob: (EXPONENT / p.nrh as f64).min(1.0),
-            rng: Xoshiro256::seed_from(p.seed ^ 0xA11A_5A5Au64),
-            mitigations: 0,
+        Self::with_params(ParaParams::new(p)).expect("paper-baseline exponent is valid")
+    }
+
+    /// Creates a PARA instance with an explicit safety exponent.
+    pub fn with_params(pp: ParaParams) -> Result<Self, RegistryError> {
+        if pp.exponent <= 0.0 || pp.exponent.is_nan() {
+            return Err(RegistryError::invalid("para", "exponent", "must be positive"));
         }
+        Ok(Self {
+            prob: (pp.exponent / pp.base.nrh as f64).min(1.0),
+            rng: Xoshiro256::seed_from(pp.base.seed ^ 0xA11A_5A5Au64),
+            mitigations: 0,
+        })
     }
 
     /// The per-activation refresh probability.
@@ -55,6 +82,23 @@ impl RowHammerTracker for Para {
         // Stateless: an LFSR and a comparator.
         StorageOverhead::new(16, 0)
     }
+}
+
+/// PARA's registry descriptor: key `para`, the probabilistic policy's
+/// safety exponent exposed for sweeps (Jaleel et al., arXiv:2404.16256
+/// explore exactly this axis of tracker-management policies).
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("para", "PARA", |p| {
+        let mut pp = ParaParams::new(TrackerParams::from_build(p));
+        pp.exponent = p.float("exponent");
+        Ok(Box::new(Para::with_params(pp)?))
+    })
+    .summary("PARA (ISCA'14): stateless probabilistic adjacent-row refresh")
+    .param(
+        ParamSpec::float("exponent", "safety exponent; refresh p = exponent / N_RH", EXPONENT)
+            .range(1e-6, 1e6),
+    )
+    .storage(|_| StorageOverhead::new(16, 0))
 }
 
 #[cfg(test)]

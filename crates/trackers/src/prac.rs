@@ -9,6 +9,7 @@
 
 use crate::TrackerParams;
 use sim_core::addr::DramAddr;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::req::SourceId;
 use sim_core::time::{ns_to_cycles, Cycle};
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
@@ -17,6 +18,27 @@ use std::collections::{HashMap, VecDeque};
 /// Per-ACT read-modify-write tax in nanoseconds (the tRAS/tRP extension
 /// PRAC's counter update adds to every row cycle).
 pub const RMW_TAX_NS: f64 = 5.0;
+/// Pending mitigations serviced per tREFI (Alert Back-Off batch).
+pub const ABO_BATCH: usize = 8;
+
+/// Parameters for one PRAC instance: the timing tax and the ABO service
+/// rate (PRAC's cost is all timing, not tracking error).
+#[derive(Debug, Clone, Copy)]
+pub struct PracParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Per-ACT read-modify-write tax, nanoseconds.
+    pub rmw_tax_ns: f64,
+    /// Pending mitigations serviced per tREFI.
+    pub abo_batch: usize,
+}
+
+impl PracParams {
+    /// The paper-matched defaults (5 ns tax, 8 mitigations per tREFI).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, rmw_tax_ns: RMW_TAX_NS, abo_batch: ABO_BATCH }
+    }
+}
 
 /// The PRAC tracker for one channel.
 #[derive(Debug)]
@@ -27,6 +49,7 @@ pub struct Prac {
     /// (FIFO: the oldest alert is the most urgent).
     pending: VecDeque<DramAddr>,
     tax: Cycle,
+    abo_batch: usize,
     threshold: u32,
     /// ABO alerts raised.
     pub alerts: u64,
@@ -35,14 +58,27 @@ pub struct Prac {
 impl Prac {
     /// Creates a PRAC instance for one channel.
     pub fn new(p: TrackerParams) -> Self {
-        Self {
+        Self::with_params(PracParams::new(p)).expect("paper-baseline timing is valid")
+    }
+
+    /// Creates a PRAC instance with explicit timing parameters.
+    pub fn with_params(pp: PracParams) -> Result<Self, RegistryError> {
+        if pp.rmw_tax_ns < 0.0 {
+            return Err(RegistryError::invalid("prac", "rmw_tax_ns", "must be non-negative"));
+        }
+        if pp.abo_batch == 0 {
+            return Err(RegistryError::invalid("prac", "abo_batch", "must be nonzero"));
+        }
+        let p = pp.base;
+        Ok(Self {
             p,
             counts: HashMap::new(),
             pending: VecDeque::new(),
-            tax: ns_to_cycles(RMW_TAX_NS),
+            tax: ns_to_cycles(pp.rmw_tax_ns),
+            abo_batch: pp.abo_batch,
             threshold: p.nm().max(1),
             alerts: 0,
-        }
+        })
     }
 
     /// The back-off threshold.
@@ -72,8 +108,9 @@ impl RowHammerTracker for Prac {
     }
 
     fn on_trefi(&mut self, _cycle: Cycle, actions: &mut Vec<TrackerAction>) {
-        // ABO: service up to 8 pending mitigations per tREFI, oldest first.
-        for _ in 0..8 {
+        // ABO: service a batch of pending mitigations per tREFI, oldest
+        // first.
+        for _ in 0..self.abo_batch {
             match self.pending.pop_front() {
                 Some(addr) => actions.push(TrackerAction::MitigateRow(addr)),
                 None => break,
@@ -101,6 +138,28 @@ impl RowHammerTracker for Prac {
         // Counters live in DRAM; the controller keeps only the ABO queue.
         StorageOverhead::new(1024, 0)
     }
+}
+
+/// PRAC's registry descriptor: key `prac` (alias `qprac`), the per-ACT
+/// timing tax and ABO service batch exposed as tunable parameters.
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("prac", "PRAC", |p| {
+        let mut pp = PracParams::new(TrackerParams::from_build(p));
+        pp.rmw_tax_ns = p.float("rmw_tax_ns");
+        pp.abo_batch = p.count("abo_batch");
+        Ok(Box::new(Prac::with_params(pp)?))
+    })
+    .alias("qprac")
+    .summary("PRAC/QPRAC (HPCA'25): exact in-DRAM counters, per-ACT timing tax")
+    .param(
+        ParamSpec::float("rmw_tax_ns", "per-ACT read-modify-write tax, ns", RMW_TAX_NS)
+            .range(0.0, 1000.0),
+    )
+    .param(
+        ParamSpec::int("abo_batch", "mitigations serviced per tREFI", ABO_BATCH as i64)
+            .range(1.0, 65536.0),
+    )
+    .storage(|_| StorageOverhead::new(1024, 0))
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 
 use crate::TrackerParams;
 use sim_core::addr::DramAddr;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::rng::Xoshiro256;
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
@@ -16,6 +17,27 @@ use std::collections::VecDeque;
 
 /// Per-bank FIFO depth.
 pub const QUEUE_DEPTH: usize = 4;
+/// Sampling numerator: p = SAMPLE_NUMERATOR / N_RH.
+pub const SAMPLE_NUMERATOR: f64 = 32.0;
+
+/// Parameters for one PrIDE instance: FIFO depth and the sampling
+/// numerator of its probabilistic management policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PrideParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Per-bank FIFO depth.
+    pub queue_depth: usize,
+    /// Sampling numerator: sample probability = numerator / N_RH.
+    pub sample_numerator: f64,
+}
+
+impl PrideParams {
+    /// The paper-baseline sizing (4-deep FIFOs, 32/N_RH sampling).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, queue_depth: QUEUE_DEPTH, sample_numerator: SAMPLE_NUMERATOR }
+    }
+}
 
 /// The PrIDE tracker for one channel.
 #[derive(Debug)]
@@ -23,6 +45,7 @@ pub struct Pride {
     prob: f64,
     rng: Xoshiro256,
     queues: Vec<VecDeque<DramAddr>>,
+    queue_depth: usize,
     per_trefi: usize,
     /// Sampled aggressors dropped because a queue was full.
     pub overflows: u64,
@@ -33,15 +56,28 @@ pub struct Pride {
 impl Pride {
     /// Creates a PrIDE instance for one channel.
     pub fn new(p: TrackerParams) -> Self {
+        Self::with_params(PrideParams::new(p)).expect("paper-baseline sizing is valid")
+    }
+
+    /// Creates a PrIDE instance with explicit FIFO/sampling parameters.
+    pub fn with_params(pp: PrideParams) -> Result<Self, RegistryError> {
+        if pp.queue_depth == 0 {
+            return Err(RegistryError::invalid("pride", "queue_depth", "must be nonzero"));
+        }
+        if pp.sample_numerator <= 0.0 || pp.sample_numerator.is_nan() {
+            return Err(RegistryError::invalid("pride", "sample_numerator", "must be positive"));
+        }
+        let p = pp.base;
         let nbanks = (p.geometry.ranks as u32 * p.geometry.banks_per_rank()) as usize;
-        Self {
-            prob: (32.0 / p.nrh as f64).min(1.0),
+        Ok(Self {
+            prob: (pp.sample_numerator / p.nrh as f64).min(1.0),
             rng: Xoshiro256::seed_from(p.seed ^ 0x9B1D_E001u64),
-            queues: vec![VecDeque::with_capacity(QUEUE_DEPTH); nbanks],
+            queues: vec![VecDeque::with_capacity(pp.queue_depth); nbanks],
+            queue_depth: pp.queue_depth,
             per_trefi: (500usize).div_ceil(p.nrh as usize),
             overflows: 0,
             mitigations: 0,
-        }
+        })
     }
 
     /// Sampling probability per activation.
@@ -72,8 +108,9 @@ impl RowHammerTracker for Pride {
             return;
         }
         let idx = Self::bank_index(self.queues.len(), &act.addr, 32, 4);
+        let depth = self.queue_depth;
         let q = &mut self.queues[idx];
-        if q.len() >= QUEUE_DEPTH {
+        if q.len() >= depth {
             self.overflows += 1;
             q.pop_front();
         }
@@ -97,9 +134,37 @@ impl RowHammerTracker for Pride {
     }
 
     fn storage_overhead(&self) -> StorageOverhead {
-        // In-DRAM queues: 64 banks x 4 entries x ~3 B.
-        StorageOverhead::new(768, 0)
+        // In-DRAM queues: 64 banks x depth entries x ~3 B.
+        StorageOverhead::new(self.queues.len() as u64 * self.queue_depth as u64 * 3, 0)
     }
+}
+
+/// PrIDE's registry descriptor: key `pride`, FIFO depth and sampling
+/// numerator exposed as tunable parameters.
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("pride", "PrIDE", |p| {
+        let mut pp = PrideParams::new(TrackerParams::from_build(p));
+        pp.queue_depth = p.count("queue_depth");
+        pp.sample_numerator = p.float("sample_numerator");
+        Ok(Box::new(Pride::with_params(pp)?))
+    })
+    .summary("PrIDE (ISCA'24): in-DRAM probabilistic FIFO sampling per bank")
+    .param(
+        ParamSpec::int("queue_depth", "per-bank FIFO depth", QUEUE_DEPTH as i64)
+            .range(1.0, 65536.0),
+    )
+    .param(
+        ParamSpec::float(
+            "sample_numerator",
+            "sampling probability = numerator / N_RH",
+            SAMPLE_NUMERATOR,
+        )
+        .range(1e-6, 1e6),
+    )
+    .storage(|p| {
+        let banks = (p.geometry.ranks as u64) * p.geometry.banks_per_rank() as u64;
+        StorageOverhead::new(banks * p.count("queue_depth") as u64 * 3, 0)
+    })
 }
 
 #[cfg(test)]

@@ -13,12 +13,32 @@
 
 use crate::util::{hash64, meta_addr};
 use crate::TrackerParams;
+use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
 use std::collections::HashMap;
 
 /// Counters per 64-byte LLC line.
 pub const COUNTERS_PER_LINE: u64 = 64;
+/// Reserved-region size in cache lines (paper: 2 MB per channel = 32K).
+pub const REGION_LINES: usize = 32 * 1024;
+
+/// Parameters for one START instance: the reserved-LLC counter region size
+/// (the structure the Perf-Attack overflows).
+#[derive(Debug, Clone, Copy)]
+pub struct StartParams {
+    /// Shared construction parameters.
+    pub base: TrackerParams,
+    /// Reserved-region size in 64-byte cache lines (16-way sets).
+    pub region_lines: usize,
+}
+
+impl StartParams {
+    /// The paper-baseline region (2 MB per channel).
+    pub fn new(base: TrackerParams) -> Self {
+        Self { base, region_lines: REGION_LINES }
+    }
+}
 
 #[derive(Debug, Clone, Copy, Default)]
 struct LineEntry {
@@ -50,7 +70,19 @@ impl Start {
     /// Creates a START instance. The reserved region per channel is half of
     /// the paper's 8 MB LLC divided across channels: 2 MB = 32K lines.
     pub fn new(p: TrackerParams) -> Self {
-        Self::with_region_lines(p, 32 * 1024)
+        Self::with_region_lines(p, REGION_LINES)
+    }
+
+    /// Creates a START instance from validated parameters.
+    pub fn with_params(sp: StartParams) -> Result<Self, RegistryError> {
+        if sp.region_lines == 0 || !sp.region_lines.is_multiple_of(16) {
+            return Err(RegistryError::invalid(
+                "start",
+                "region_lines",
+                "must be a nonzero multiple of 16 (16-way sets)",
+            ));
+        }
+        Ok(Self::with_region_lines(sp.base, sp.region_lines))
     }
 
     /// Creates a START instance with an explicit reserved-region size in
@@ -165,6 +197,28 @@ impl RowHammerTracker for Start {
         // counters live in the (reserved) LLC.
         StorageOverhead::new(4 * 1024, 0)
     }
+}
+
+/// START's registry descriptor: key `start`, reserved-region size exposed
+/// as a tunable parameter. Marked as reserving half the LLC — the
+/// simulator mirrors the demand-side capacity loss.
+pub fn spec() -> TrackerSpec {
+    TrackerSpec::new("start", "START", |p| {
+        let mut sp = StartParams::new(TrackerParams::from_build(p));
+        sp.region_lines = p.count("region_lines");
+        Ok(Box::new(Start::with_params(sp)?))
+    })
+    .reserves_llc(true)
+    .summary("START (HPCA'24): per-row counters cached in a reserved LLC half")
+    .param(
+        ParamSpec::int(
+            "region_lines",
+            "reserved counter-region size in 64 B lines (16-way sets)",
+            REGION_LINES as i64,
+        )
+        .range(16.0, (1u64 << 24) as f64),
+    )
+    .storage(|_| StorageOverhead::new(4 * 1024, 0))
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates 57 applications from SPEC2006, SPEC2017, TPC,
 //! Hadoop, MediaBench, and YCSB. Those traces are not redistributable, so
-//! [`catalog`] provides 57 synthetic stand-ins whose *memory behaviour*
+//! [`catalog`](mod@catalog) provides 57 synthetic stand-ins whose *memory behaviour*
 //! (accesses per kilo-instruction, row locality, footprint, write fraction,
 //! reuse skew) is calibrated per suite from published characterisations —
 //! e.g. `mcf_like` and `parest_like` are the memory-monsters the paper

@@ -1,22 +1,16 @@
 //! Quick diagnostic: how much of the window the event engine elides.
-use sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use sim::experiment::{AttackChoice, Experiment};
 use sim::Engine;
 
 fn main() {
     let cases: Vec<(&str, Experiment)> = vec![
-        (
-            "povray/dapper-h",
-            Experiment::new("povray_like").tracker(TrackerChoice::DapperH).window_us(500.0),
-        ),
-        (
-            "povray/none",
-            Experiment::new("povray_like").tracker(TrackerChoice::None).window_us(500.0),
-        ),
-        ("namd/none", Experiment::new("namd_like").tracker(TrackerChoice::None).window_us(500.0)),
+        ("povray/dapper-h", Experiment::new("povray_like").tracker("dapper-h").window_us(500.0)),
+        ("povray/none", Experiment::new("povray_like").tracker("none").window_us(500.0)),
+        ("namd/none", Experiment::new("namd_like").tracker("none").window_us(500.0)),
         (
             "gcc/hydra+att",
             Experiment::new("gcc_like")
-                .tracker(TrackerChoice::Hydra)
+                .tracker("hydra")
                 .attack(AttackChoice::Tailored)
                 .window_us(500.0),
         ),

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example perf_attack`
 
-use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::sim::experiment::{AttackChoice, Experiment};
 use dapper_repro::workloads::Attack;
 
 fn main() {
@@ -14,7 +14,7 @@ fn main() {
     // Hydra under its tailored RCC-thrash attack (normalized vs attack-free
     // baseline: shows the combined contention + tracker amplification).
     let hydra = Experiment::new("parest_r_like")
-        .tracker(TrackerChoice::Hydra)
+        .tracker("hydra")
         .attack(AttackChoice::Tailored)
         .window_us(window_us)
         .run();
@@ -27,7 +27,7 @@ fn main() {
     // DAPPER-H under the refresh attack, tracker overhead isolated (the
     // paper's Fig. 10 normalization).
     let dapper = Experiment::new("parest_r_like")
-        .tracker(TrackerChoice::DapperH)
+        .tracker("dapper-h")
         .attack(AttackChoice::Specific(Attack::RefreshAttack))
         .isolating()
         .window_us(window_us)

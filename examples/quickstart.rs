@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use dapper_repro::dapper::{DapperConfig, DapperH};
-use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::sim::experiment::{AttackChoice, Experiment};
 use dapper_repro::sim_core::addr::DramAddr;
 use dapper_repro::sim_core::req::SourceId;
 use dapper_repro::sim_core::tracker::{Activation, RowHammerTracker, TrackerAction};
@@ -37,10 +37,7 @@ fn main() {
 
     // --- 2. A full-system experiment -------------------------------------
     println!("\nrunning a 500us full-system window (4 cores, 2 DDR5 channels)...");
-    let result = Experiment::quick("gcc_like")
-        .tracker(TrackerChoice::DapperH)
-        .attack(AttackChoice::None)
-        .run();
+    let result = Experiment::quick("gcc_like").tracker("dapper-h").attack(AttackChoice::None).run();
     println!(
         "benign normalized performance with DAPPER-H: {:.4} (paper: ~0.999)",
         result.normalized_performance

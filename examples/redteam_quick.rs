@@ -4,11 +4,13 @@
 //! Run with: `cargo run --release --example redteam_quick`
 
 use dapper_repro::attacklab::{run_campaign, CampaignConfig};
-use dapper_repro::sim::experiment::TrackerChoice;
+use dapper_repro::sim::TrackerSel;
 
 fn main() {
-    let mut cfg =
-        CampaignConfig::new(vec![TrackerChoice::DapperH, TrackerChoice::Hydra], "libquantum_like");
+    let mut cfg = CampaignConfig::new(
+        vec![TrackerSel::by_key("dapper-h").unwrap(), TrackerSel::by_key("hydra").unwrap()],
+        "libquantum_like",
+    );
     cfg.window_us = 120.0;
     cfg.search_budget = 12;
 

@@ -3,13 +3,13 @@
 //!
 //! Run with: `cargo run --release --example security_audit`
 
-use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::sim::experiment::{AttackChoice, Experiment};
 use dapper_repro::workloads::Attack;
 
 fn main() {
     let nrh = 500;
     println!("auditing a refresh-attack run at N_RH = {nrh} (1 ms window)\n");
-    for tracker in [TrackerChoice::DapperH, TrackerChoice::DapperS, TrackerChoice::None] {
+    for tracker in ["dapper-h", "dapper-s", "none"] {
         let r = Experiment::new("povray_like")
             .tracker(tracker)
             .attack(AttackChoice::Specific(Attack::RefreshAttack))

@@ -17,11 +17,15 @@
 //!
 //! # Quickstart
 //!
+//! Trackers resolve through the open registry by string key (any
+//! registered tracker, built-in or third-party, with optional parameter
+//! overrides):
+//!
 //! ```no_run
-//! use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+//! use dapper_repro::sim::experiment::{AttackChoice, Experiment};
 //!
 //! let result = Experiment::quick("milc_like")
-//!     .tracker(TrackerChoice::DapperH)
+//!     .tracker("dapper-h")
 //!     .attack(AttackChoice::None)
 //!     .run();
 //! assert!(result.normalized_performance > 0.5);

@@ -9,7 +9,7 @@
 //! [`TrackerAction`] streams are identical. A third pass with a different
 //! seed checks the seed actually reaches the randomized internals.
 
-use dapper_repro::sim::experiment::TrackerChoice;
+use dapper_repro::sim::experiment::TrackerSel;
 use dapper_repro::sim_core::addr::Geometry;
 use dapper_repro::sim_core::req::SourceId;
 use dapper_repro::sim_core::rng::Xoshiro256;
@@ -23,9 +23,10 @@ const ACTS: usize = 30_000;
 
 /// Replays a fixed activation schedule and records everything observable:
 /// every action plus every activation delay.
-fn observe(choice: TrackerChoice, build_seed: u64) -> (Vec<TrackerAction>, Vec<Cycle>) {
+fn observe(key: &str, build_seed: u64) -> (Vec<TrackerAction>, Vec<Cycle>) {
     let geom = Geometry::paper_baseline();
-    let mut tracker = choice.build(500, geom, 0, build_seed);
+    let mut tracker =
+        TrackerSel::by_key(key).expect("registry key").build(500, geom, 0, build_seed);
     // The schedule itself is fixed (same stream for every tracker/seed):
     // a mix of hot rows (hammering) and uniform traffic across both ranks.
     let mut sched = Xoshiro256::seed_from(0x5C_4ED0);
@@ -62,20 +63,13 @@ fn observe(choice: TrackerChoice, build_seed: u64) -> (Vec<TrackerAction>, Vec<C
 
 #[test]
 fn every_tracker_replays_identically_from_its_seed() {
-    for choice in TrackerChoice::all() {
-        let (actions_a, delays_a) = observe(choice, 0xD00D);
-        let (actions_b, delays_b) = observe(choice, 0xD00D);
+    for key in dapper_repro::sim::tracker_keys() {
+        let (actions_a, delays_a) = observe(&key, 0xD00D);
+        let (actions_b, delays_b) = observe(&key, 0xD00D);
+        assert_eq!(actions_a, actions_b, "{key}: action streams diverge between identical replays");
         assert_eq!(
-            actions_a,
-            actions_b,
-            "{}: action streams diverge between identical replays",
-            choice.name()
-        );
-        assert_eq!(
-            delays_a,
-            delays_b,
-            "{}: activation delays diverge between identical replays",
-            choice.name()
+            delays_a, delays_b,
+            "{key}: activation delays diverge between identical replays"
         );
     }
 }
@@ -86,8 +80,8 @@ fn randomized_trackers_actually_consume_their_seed() {
     // one coin differently over 30K activations. (Deterministic counter
     // trackers may legitimately ignore the seed, so only the randomized
     // one is asserted here.)
-    let (a, _) = observe(TrackerChoice::Para, 1);
-    let (b, _) = observe(TrackerChoice::Para, 2);
+    let (a, _) = observe("para", 1);
+    let (b, _) = observe("para", 2);
     assert_ne!(a, b, "PARA: different seeds produced identical mitigation streams");
 }
 
@@ -96,15 +90,14 @@ fn every_tracker_acts_under_a_hammering_schedule() {
     // Sanity for the schedule itself: it hammers hard enough that every
     // real tracker issues at least one action, so the equality assertions
     // above compare non-trivial streams.
-    for choice in TrackerChoice::all() {
-        if choice == TrackerChoice::None {
+    for key in dapper_repro::sim::tracker_keys() {
+        if key == "none" {
             continue;
         }
-        let (actions, delays) = observe(choice, 0xD00D);
+        let (actions, delays) = observe(&key, 0xD00D);
         assert!(
             !actions.is_empty() || delays.iter().any(|&d| d > 0),
-            "{}: schedule produced no observable behaviour",
-            choice.name()
+            "{key}: schedule produced no observable behaviour"
         );
     }
 }

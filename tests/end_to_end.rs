@@ -1,20 +1,20 @@
 //! Cross-crate integration: every tracker runs inside the full system and
 //! produces sane statistics.
 
-use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::sim::experiment::{AttackChoice, Experiment};
 
-const ALL_TRACKERS: [TrackerChoice; 11] = [
-    TrackerChoice::None,
-    TrackerChoice::Hydra,
-    TrackerChoice::Start,
-    TrackerChoice::Comet,
-    TrackerChoice::Abacus,
-    TrackerChoice::BlockHammer,
-    TrackerChoice::Para,
-    TrackerChoice::Pride,
-    TrackerChoice::Prac,
-    TrackerChoice::DapperS,
-    TrackerChoice::DapperH,
+const ALL_TRACKERS: [&str; 11] = [
+    "none",
+    "hydra",
+    "start",
+    "comet",
+    "abacus",
+    "blockhammer",
+    "para",
+    "pride",
+    "prac",
+    "dapper-s",
+    "dapper-h",
 ];
 
 #[test]
@@ -24,11 +24,11 @@ fn every_tracker_completes_a_benign_run() {
         assert!(
             r.normalized_performance > 0.3 && r.normalized_performance < 1.15,
             "{}: normalized {}",
-            t.name(),
+            t,
             r.normalized_performance
         );
-        assert!(r.run.retired.iter().all(|&i| i > 0), "{}: no progress", t.name());
-        assert!(r.run.mem.activations > 0, "{}: no DRAM traffic", t.name());
+        assert!(r.run.retired.iter().all(|&i| i > 0), "{}: no progress", t);
+        assert!(r.run.mem.activations > 0, "{}: no DRAM traffic", t);
     }
 }
 
@@ -43,7 +43,7 @@ fn every_tracker_survives_its_tailored_attack() {
         assert!(
             r.normalized_performance > 0.0 && r.normalized_performance <= 1.1,
             "{}: normalized {}",
-            t.name(),
+            t,
             r.normalized_performance
         );
     }
@@ -53,16 +53,15 @@ fn every_tracker_survives_its_tailored_attack() {
 fn trackers_do_not_break_correct_completion_counts() {
     // The same workload and seed must retire the same instruction mix on
     // the reference machine regardless of tracker choice.
-    let a = Experiment::quick("gcc_like").tracker(TrackerChoice::DapperH).window_us(150.0).run();
-    let b = Experiment::quick("gcc_like").tracker(TrackerChoice::Para).window_us(150.0).run();
+    let a = Experiment::quick("gcc_like").tracker("dapper-h").window_us(150.0).run();
+    let b = Experiment::quick("gcc_like").tracker("para").window_us(150.0).run();
     assert_eq!(a.reference.retired, b.reference.retired, "references must be identical");
 }
 
 #[test]
 fn memory_intensive_workloads_stress_dram_more() {
-    let heavy = Experiment::quick("mcf_like").tracker(TrackerChoice::None).window_us(200.0).run();
-    let light =
-        Experiment::quick("povray_like").tracker(TrackerChoice::None).window_us(200.0).run();
+    let heavy = Experiment::quick("mcf_like").tracker("none").window_us(200.0).run();
+    let light = Experiment::quick("povray_like").tracker("none").window_us(200.0).run();
     let heavy_apki =
         heavy.run.mem.activations as f64 / (heavy.run.retired.iter().sum::<u64>() as f64 / 1000.0);
     let light_apki =
@@ -78,10 +77,8 @@ fn start_reserves_half_the_llc() {
     // START's way reservation must show up as a lower LLC hit rate. Use a
     // Zipf-reuse workload (hot set straddles the halved capacity) so the
     // signal dominates scheduling noise.
-    let with =
-        Experiment::quick("ycsb_a_like").tracker(TrackerChoice::Start).window_us(500.0).run();
-    let without =
-        Experiment::quick("ycsb_a_like").tracker(TrackerChoice::None).window_us(500.0).run();
+    let with = Experiment::quick("ycsb_a_like").tracker("start").window_us(500.0).run();
+    let without = Experiment::quick("ycsb_a_like").tracker("none").window_us(500.0).run();
     assert!(
         with.run.llc_hit_rate < without.run.llc_hit_rate,
         "START {} vs none {}",
@@ -92,8 +89,8 @@ fn start_reserves_half_the_llc() {
 
 #[test]
 fn determinism_same_seed_same_result() {
-    let a = Experiment::quick("milc_like").tracker(TrackerChoice::DapperH).window_us(150.0).run();
-    let b = Experiment::quick("milc_like").tracker(TrackerChoice::DapperH).window_us(150.0).run();
+    let a = Experiment::quick("milc_like").tracker("dapper-h").window_us(150.0).run();
+    let b = Experiment::quick("milc_like").tracker("dapper-h").window_us(150.0).run();
     assert_eq!(a.run.retired, b.run.retired);
     assert_eq!(a.run.mem, b.run.mem);
 }

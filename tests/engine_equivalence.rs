@@ -10,7 +10,7 @@
 //! a suite-spanning workload subset; `--ignored` unlocks the full
 //! 57-workload × 11-tracker matrix the acceptance criteria describe.
 
-use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerSel};
 use dapper_repro::sim::{parallel_map, RunStats};
 use dapper_repro::{attacklab, sim, workloads};
 
@@ -35,14 +35,14 @@ fn assert_matrix_equal(jobs: Vec<(String, Experiment)>) {
 #[test]
 fn every_tracker_is_engine_equivalent_benign_and_attacked() {
     let mut jobs = Vec::new();
-    for tracker in TrackerChoice::all() {
-        let benign = Experiment::quick("gcc_like").tracker(tracker).window_us(100.0);
-        jobs.push((format!("{}/benign", tracker.name()), benign));
+    for tracker in dapper_repro::sim::tracker_keys() {
+        let benign = Experiment::quick("gcc_like").tracker(&tracker).window_us(100.0);
+        jobs.push((format!("{tracker}/benign"), benign));
         let attacked = Experiment::quick("gcc_like")
-            .tracker(tracker)
+            .tracker(&tracker)
             .attack(AttackChoice::Tailored)
             .window_us(100.0);
-        jobs.push((format!("{}/tailored", tracker.name()), attacked));
+        jobs.push((format!("{tracker}/tailored"), attacked));
     }
     assert_matrix_equal(jobs);
 }
@@ -51,9 +51,9 @@ fn every_tracker_is_engine_equivalent_benign_and_attacked() {
 fn workload_subset_is_engine_equivalent() {
     let mut jobs = Vec::new();
     for spec in workloads::quick_subset() {
-        for tracker in [TrackerChoice::None, TrackerChoice::DapperH] {
+        for tracker in ["none", "dapper-h"] {
             let e = Experiment::quick(spec.name).tracker(tracker).window_us(100.0);
-            jobs.push((format!("{}/{}", spec.name, tracker.name()), e));
+            jobs.push((format!("{}/{}", spec.name, tracker), e));
         }
     }
     assert_matrix_equal(jobs);
@@ -64,7 +64,7 @@ fn oracle_runs_are_engine_equivalent() {
     // Event collection and the ground-truth oracle must see the identical
     // activation stream under both engines.
     let e = Experiment::quick("povray_like")
-        .tracker(TrackerChoice::Para)
+        .tracker("para")
         .attack(AttackChoice::Tailored)
         .window_us(150.0)
         .with_oracle();
@@ -78,14 +78,14 @@ fn sweep_heavy_trackers_skip_across_blocks_equivalently() {
     // CoMeT/ABACUS reset sweeps block ranks for milliseconds — exactly the
     // stretch the skip engine jumps via the sweep-unblock bound. Use a
     // window long enough to contain a sweep.
-    for tracker in [TrackerChoice::Comet, TrackerChoice::Abacus] {
+    for tracker in ["comet", "abacus"] {
         let e = Experiment::quick("povray_like")
             .tracker(tracker)
             .attack(AttackChoice::Tailored)
             .nrh(120)
             .window_us(400.0);
         let (dense, event) = both_engines(&e);
-        assert_eq!(dense, event, "{} diverged across a sweep block", tracker.name());
+        assert_eq!(dense, event, "{tracker} diverged across a sweep block");
     }
 }
 
@@ -95,7 +95,7 @@ fn campaign_smoke_runs_on_the_event_engine() {
     // to the event-driven engine: a small end-to-end campaign must complete
     // and produce sane normalized-performance numbers.
     let mut cfg = attacklab::CampaignConfig::new(
-        vec![TrackerChoice::None, TrackerChoice::DapperH],
+        vec![TrackerSel::by_key("none").unwrap(), TrackerSel::by_key("dapper-h").unwrap()],
         "gcc_like",
     );
     cfg.window_us = 100.0;
@@ -114,9 +114,9 @@ fn campaign_smoke_runs_on_the_event_engine() {
 fn full_catalog_tracker_matrix_is_engine_equivalent() {
     let mut jobs = Vec::new();
     for spec in workloads::catalog() {
-        for tracker in TrackerChoice::all() {
-            let e = Experiment::quick(spec.name).tracker(tracker).window_us(100.0);
-            jobs.push((format!("{}/{}", spec.name, tracker.name()), e));
+        for tracker in dapper_repro::sim::tracker_keys() {
+            let e = Experiment::quick(spec.name).tracker(&tracker).window_us(100.0);
+            jobs.push((format!("{}/{}", spec.name, tracker), e));
         }
     }
     assert_matrix_equal(jobs);
@@ -127,7 +127,7 @@ fn event_engine_is_the_default_everywhere() {
     // Experiment::run and System::run both use the event engine; a dense
     // run of the same experiment must agree, so default-path consumers
     // (figures, campaigns, sweeps) inherit identical numbers.
-    let e = Experiment::quick("namd_like").tracker(TrackerChoice::DapperS).window_us(100.0);
+    let e = Experiment::quick("namd_like").tracker("dapper-s").window_us(100.0);
     let default_run = e.clone().run();
     let dense_run = e.engine(sim::Engine::Dense).run();
     assert_eq!(default_run.run, dense_run.run);

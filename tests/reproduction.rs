@@ -2,7 +2,7 @@
 //! rest on, checked at miniature scale. EXPERIMENTS.md records the
 //! full-scale numbers.
 
-use dapper_repro::sim::experiment::{AttackChoice, Experiment, TrackerChoice};
+use dapper_repro::sim::experiment::{AttackChoice, Experiment};
 use dapper_repro::workloads::Attack;
 
 const W: f64 = 400.0; // microseconds per run
@@ -12,12 +12,12 @@ fn fig1_shape_tailored_attacks_beat_cache_thrashing() {
     // Tailored RH-tracker attacks must hurt (strictly) more than plain
     // cache thrashing does on the undefended machine.
     let thrash = Experiment::new("libquantum_like")
-        .tracker(TrackerChoice::None)
+        .tracker("none")
         .attack(AttackChoice::CacheThrash)
         .window_us(W)
         .run();
     let hydra = Experiment::new("libquantum_like")
-        .tracker(TrackerChoice::Hydra)
+        .tracker("hydra")
         .attack(AttackChoice::Tailored)
         .window_us(W)
         .run();
@@ -33,7 +33,7 @@ fn fig1_shape_tailored_attacks_beat_cache_thrashing() {
 fn fig10_shape_dapper_h_isolated_overhead_is_small() {
     for attack in [Attack::Streaming, Attack::RefreshAttack] {
         let r = Experiment::new("gcc_like")
-            .tracker(TrackerChoice::DapperH)
+            .tracker("dapper-h")
             .attack(AttackChoice::Specific(attack))
             .isolating()
             .window_us(W)
@@ -45,13 +45,13 @@ fn fig10_shape_dapper_h_isolated_overhead_is_small() {
 #[test]
 fn fig9_vs_fig10_shape_dapper_h_beats_dapper_s_under_refresh() {
     let s = Experiment::new("milc_like")
-        .tracker(TrackerChoice::DapperS)
+        .tracker("dapper-s")
         .attack(AttackChoice::Specific(Attack::RefreshAttack))
         .isolating()
         .window_us(W)
         .run();
     let h = Experiment::new("milc_like")
-        .tracker(TrackerChoice::DapperH)
+        .tracker("dapper-h")
         .attack(AttackChoice::Specific(Attack::RefreshAttack))
         .isolating()
         .window_us(W)
@@ -68,7 +68,7 @@ fn fig9_vs_fig10_shape_dapper_h_beats_dapper_s_under_refresh() {
 
 #[test]
 fn fig11_shape_dapper_h_benign_overhead_is_negligible() {
-    let r = Experiment::new("mcf_like").tracker(TrackerChoice::DapperH).window_us(W).run();
+    let r = Experiment::new("mcf_like").tracker("dapper-h").window_us(W).run();
     assert!(r.normalized_performance > 0.95, "{}", r.normalized_performance);
 }
 
@@ -76,16 +76,9 @@ fn fig11_shape_dapper_h_benign_overhead_is_negligible() {
 fn fig14_shape_blockhammer_collapses_at_low_thresholds() {
     // BlockHammer's false positives need a few ms for the Bloom filters to
     // saturate, so this test runs a longer window than the others.
-    let bh_low = Experiment::new("milc_like")
-        .tracker(TrackerChoice::BlockHammer)
-        .nrh(125)
-        .window_us(3000.0)
-        .run();
-    let dh_low = Experiment::new("milc_like")
-        .tracker(TrackerChoice::DapperH)
-        .nrh(125)
-        .window_us(3000.0)
-        .run();
+    let bh_low =
+        Experiment::new("milc_like").tracker("blockhammer").nrh(125).window_us(3000.0).run();
+    let dh_low = Experiment::new("milc_like").tracker("dapper-h").nrh(125).window_us(3000.0).run();
     assert!(
         bh_low.normalized_performance < dh_low.normalized_performance,
         "BlockHammer {} must trail DAPPER-H {} at N_RH=125",
@@ -96,8 +89,8 @@ fn fig14_shape_blockhammer_collapses_at_low_thresholds() {
 
 #[test]
 fn fig17_shape_prac_taxes_benign_runs_more_than_dapper_h() {
-    let prac = Experiment::new("lbm_like").tracker(TrackerChoice::Prac).window_us(W).run();
-    let dh = Experiment::new("lbm_like").tracker(TrackerChoice::DapperH).window_us(W).run();
+    let prac = Experiment::new("lbm_like").tracker("prac").window_us(W).run();
+    let dh = Experiment::new("lbm_like").tracker("dapper-h").window_us(W).run();
     assert!(
         prac.normalized_performance < dh.normalized_performance,
         "PRAC {} vs DAPPER-H {}",

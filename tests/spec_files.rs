@@ -1,0 +1,74 @@
+//! Every spec file shipped under `examples/specs/` must parse, resolve
+//! through the registry, and expand — with no simulation — so a broken
+//! example (typo'd tracker key, renamed parameter, dropped workload) fails
+//! CI instead of a user.
+
+use dapper_repro::sim::spec::SweepSpec;
+use std::path::PathBuf;
+
+fn spec_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/specs")
+}
+
+fn spec_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(spec_dir())
+        .expect("examples/specs must exist")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_example_spec_parses_and_expands() {
+    let files = spec_files();
+    assert!(!files.is_empty(), "examples/specs must ship at least one spec");
+    for file in files {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let spec =
+            SweepSpec::from_toml_str(&text).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        let experiments = spec.expand().unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        assert!(!experiments.is_empty(), "{}: empty expansion", file.display());
+        // Serialization round-trips: a spec the tooling re-emits is the
+        // same spec.
+        let reparsed = SweepSpec::from_toml_str(&spec.to_toml())
+            .unwrap_or_else(|e| panic!("{} (re-render): {e}", file.display()));
+        assert_eq!(reparsed, spec, "{}", file.display());
+        let json_back = SweepSpec::from_json_str(&spec.to_json().render())
+            .unwrap_or_else(|e| panic!("{} (json): {e}", file.display()));
+        assert_eq!(json_back, spec, "{}", file.display());
+    }
+}
+
+#[test]
+fn fig09_spec_reproduces_the_figure_matrix() {
+    // The acceptance spec: Fig. 9's tracker x workload x attack matrix —
+    // DAPPER-S under the two mapping-agnostic attacks across the quick
+    // subset, with the paper's isolating normalization.
+    let text = std::fs::read_to_string(spec_dir().join("fig09_quick.toml")).unwrap();
+    let spec = SweepSpec::from_toml_str(&text).unwrap();
+    let experiments = spec.expand().unwrap();
+    let quick = dapper_repro::workloads::quick_subset();
+    assert_eq!(experiments.len(), quick.len() * 2, "9 workloads x 1 tracker x 2 attacks");
+    assert!(experiments.iter().all(|e| e.tracker.key() == "dapper-s"));
+    assert!(experiments.iter().all(|e| e.isolate_tracker_overhead));
+    let attacks: std::collections::BTreeSet<String> =
+        experiments.iter().map(|e| format!("{:?}", e.attack)).collect();
+    assert_eq!(attacks.len(), 2, "streaming and refresh");
+}
+
+#[test]
+fn sensitivity_spec_carries_param_overrides() {
+    let text = std::fs::read_to_string(spec_dir().join("hydra_rcc_sensitivity.toml")).unwrap();
+    let spec = SweepSpec::from_toml_str(&text).unwrap();
+    let experiments = spec.expand().unwrap();
+    let hydra = experiments.iter().find(|e| e.tracker.key() == "hydra").unwrap();
+    assert_eq!(
+        hydra.tracker.params()["rcc_entries"],
+        dapper_repro::sim_core::ParamValue::Int(1024)
+    );
+    let dapper = experiments.iter().find(|e| e.tracker.key() == "dapper-h").unwrap();
+    assert!(dapper.tracker.params().is_empty(), "overrides must not leak across trackers");
+}

@@ -20,4 +20,4 @@ pub mod oracle;
 pub mod storage;
 
 pub use equations::{dapper_h_success, dapper_s_capture, DapperSCapture, HSuccess};
-pub use oracle::Oracle;
+pub use oracle::{Oracle, OracleProbe};

@@ -9,7 +9,9 @@
 
 use sim_core::addr::{DramAddr, Geometry};
 use sim_core::events::MemEvent;
+use sim_core::telemetry::Probe;
 use sim_core::tracker::ResetScope;
+use std::any::Any;
 use std::collections::HashMap;
 
 /// Per-channel RowHammer disturbance auditor.
@@ -117,6 +119,60 @@ impl Oracle {
     /// Activations audited.
     pub fn activations(&self) -> u64 {
         self.acts_seen
+    }
+}
+
+/// The oracle as a telemetry client: one [`Oracle`] per channel behind a
+/// single [`Probe`] that subscribes to the memory-event stream. The
+/// auditor gets no privileged hook into the controller anymore — it rides
+/// the same registered-sink API every other event probe uses.
+#[derive(Debug)]
+pub struct OracleProbe {
+    oracles: Vec<Oracle>,
+}
+
+impl OracleProbe {
+    /// One auditor per channel.
+    pub fn new(nrh: u32, blast_radius: u8, geom: Geometry) -> Self {
+        Self { oracles: (0..geom.channels).map(|_| Oracle::new(nrh, blast_radius, geom)).collect() }
+    }
+
+    /// The per-channel auditors.
+    pub fn oracles(&self) -> &[Oracle] {
+        &self.oracles
+    }
+
+    /// Maximum disturbance any victim accumulated on any channel.
+    pub fn max_damage(&self) -> u32 {
+        self.oracles.iter().map(Oracle::max_damage).max().unwrap_or(0)
+    }
+
+    /// Total rows whose disturbance reached N_RH across channels.
+    pub fn violations(&self) -> u64 {
+        self.oracles.iter().map(Oracle::violations).sum()
+    }
+}
+
+impl Probe for OracleProbe {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+    fn wants_events(&self) -> bool {
+        true
+    }
+    fn on_event(&mut self, channel: u8, ev: &MemEvent) {
+        if let Some(o) = self.oracles.get_mut(channel as usize) {
+            o.observe(ev);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
     }
 }
 

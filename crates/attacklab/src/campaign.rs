@@ -138,7 +138,7 @@ impl CampaignReport {
     pub fn leaderboard_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<13} {:>9} {:>9} {:>12} {:>12} {:>8} {:>10}  {}\n",
+            "{:<13} {:>9} {:>9} {:>12} {:>12} {:>8} {:>10} {:>9} {:>9}  {}\n",
             "tracker",
             "worst",
             "norm.perf",
@@ -146,12 +146,18 @@ impl CampaignReport {
             "counter-ops",
             "resets",
             "energy",
+            "t-max",
+            "recovery",
             "scenario"
         ));
+        let us = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.0}us"),
+            None => "-".to_string(),
+        };
         for row in self.leaderboard() {
             let r = &row.record;
             out.push_str(&format!(
-                "{:<13} {:>8.3}x {:>9.3} {:>12} {:>12} {:>8} {:>8.2}mJ  {} [{}]\n",
+                "{:<13} {:>8.3}x {:>9.3} {:>12} {:>12} {:>8} {:>8.2}mJ {:>9} {:>9}  {} [{}]\n",
                 row.tracker,
                 r.slowdown,
                 r.normalized_performance,
@@ -159,6 +165,8 @@ impl CampaignReport {
                 r.counter_ops,
                 r.reset_sweeps,
                 r.energy_mj,
+                us(r.time_to_max_slowdown_us),
+                us(r.recovery_us),
                 r.name,
                 row.origin,
             ));
@@ -181,6 +189,11 @@ impl CampaignReport {
                 ("counter_ops", Json::count(r.counter_ops)),
                 ("reset_sweeps", Json::count(r.reset_sweeps)),
                 ("energy_mj", Json::num(r.energy_mj)),
+                (
+                    "time_to_max_slowdown_us",
+                    r.time_to_max_slowdown_us.map_or(Json::Null, Json::num),
+                ),
+                ("recovery_us", r.recovery_us.map_or(Json::Null, Json::num)),
             ])
         };
         let searches = self
@@ -236,12 +249,13 @@ impl CampaignReport {
     /// Serializes every row as CSV (header + one line per evaluation).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "tracker,origin,scenario,slowdown,normalized_performance,mitigations,counter_ops,reset_sweeps,energy_mj\n",
+            "tracker,origin,scenario,slowdown,normalized_performance,mitigations,counter_ops,reset_sweeps,energy_mj,time_to_max_slowdown_us,recovery_us\n",
         );
+        let us = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.3}"));
         for row in &self.rows {
             let r = &row.record;
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{},{},{},{:.4}\n",
+                "{},{},{},{:.6},{:.6},{},{},{},{:.4},{},{}\n",
                 csv_field(&row.tracker),
                 row.origin,
                 csv_field(&r.name),
@@ -251,6 +265,8 @@ impl CampaignReport {
                 r.counter_ops,
                 r.reset_sweeps,
                 r.energy_mj,
+                us(r.time_to_max_slowdown_us),
+                us(r.recovery_us),
             ));
         }
         out
@@ -319,7 +335,13 @@ mod tests {
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 5, "header + 4 rows");
         assert!(csv.starts_with("tracker,origin,scenario"));
+        assert!(csv.lines().next().unwrap().ends_with("time_to_max_slowdown_us,recovery_us"));
         let table = report.leaderboard_table();
         assert!(table.contains("Hydra") && table.contains("DAPPER-H"));
+        assert!(table.contains("t-max"), "leaderboard gains the transient column");
+        // Every evaluation records a slowdown trace, so the transient
+        // score is always present.
+        assert!(report.rows.iter().all(|r| r.record.time_to_max_slowdown_us.is_some()));
+        assert!(json.contains("time_to_max_slowdown_us"));
     }
 }

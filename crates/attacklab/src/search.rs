@@ -74,6 +74,13 @@ pub struct EvalRecord {
     pub reset_sweeps: u64,
     /// Total DRAM energy, millijoules.
     pub energy_mj: f64,
+    /// Microseconds until the attack's full effect (worst slowdown
+    /// window), scored from the per-window [`sim_core::SlowdownTrace`].
+    pub time_to_max_slowdown_us: Option<f64>,
+    /// Microseconds from the worst window until benign IPC recovers above
+    /// [`sim::RECOVERY_THRESHOLD`] of the reference; `None` when the
+    /// tracker never recovers within the window.
+    pub recovery_us: Option<f64>,
 }
 
 /// Outcome of one search run.
@@ -108,7 +115,13 @@ impl SearchReport {
     }
 }
 
-/// Builds the experiment evaluating `spec` against `cfg`'s tracker.
+/// Slowdown-trace windows per evaluation: enough resolution to score
+/// time-to-max-slowdown and recovery without noticeable cost.
+const TRACE_WINDOWS: f64 = 10.0;
+
+/// Builds the experiment evaluating `spec` against `cfg`'s tracker. Every
+/// evaluation records a per-window slowdown trace (probes do not perturb
+/// the run), so campaign rows can score attack transients.
 pub fn experiment_for(cfg: &SearchConfig, spec: &ScenarioSpec) -> Experiment {
     let spec_for_factory = spec.clone();
     let custom = CustomAttack::new(&spec.name(), spec.bypasses_llc(), move |geom, seed| {
@@ -120,15 +133,19 @@ pub fn experiment_for(cfg: &SearchConfig, spec: &ScenarioSpec) -> Experiment {
         .window_us(cfg.window_us)
         .nrh(cfg.nrh)
         .seed(cfg.seed)
+        .record_slowdown(cfg.window_us / TRACE_WINDOWS)
 }
 
 /// The shared reference run (insecure, attack-free) all evaluations in this
 /// search normalize against. Computing it once removes half the simulation
 /// cost of every evaluation.
 pub fn reference_run(cfg: &SearchConfig) -> RunStats {
-    experiment_for(cfg, &ScenarioSpec::baseline(workloads::Attack::CacheThrash))
-        .build_system(true)
-        .run()
+    let mut e = experiment_for(cfg, &ScenarioSpec::baseline(workloads::Attack::CacheThrash));
+    // Evaluations normalize against the flat end-of-run reference (the
+    // `run_against` path), so recording reference windows would be pure
+    // waste; probes never change `RunStats`, only cost.
+    e.telemetry = sim::TelemetrySpec::default();
+    e.build_system(true).run()
 }
 
 fn record(spec: ScenarioSpec, r: &sim::ExperimentResult) -> EvalRecord {
@@ -142,6 +159,8 @@ fn record(spec: ScenarioSpec, r: &sim::ExperimentResult) -> EvalRecord {
         counter_ops: r.run.mem.counter_reads + r.run.mem.counter_writes,
         reset_sweeps: r.run.mem.reset_sweeps,
         energy_mj: r.run.energy_mj,
+        time_to_max_slowdown_us: r.telemetry.as_ref().and_then(|t| t.time_to_max_slowdown_us()),
+        recovery_us: r.telemetry.as_ref().and_then(|t| t.recovery_us(sim::RECOVERY_THRESHOLD)),
     }
 }
 
@@ -297,6 +316,24 @@ mod tests {
         assert_eq!(a.best.spec, b.best.spec);
         assert!((a.best.slowdown - b.best.slowdown).abs() < 1e-12);
         assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn evaluations_score_attack_transients() {
+        let cfg = tiny("hydra");
+        let reference = reference_run(&cfg);
+        let records = evaluate_specs(
+            &cfg,
+            &reference,
+            vec![ScenarioSpec::baseline(workloads::Attack::CacheThrash)],
+        );
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        let t = r.time_to_max_slowdown_us.expect("slowdown trace must be recorded");
+        assert!(t > 0.0 && t <= cfg.window_us + 1e-9, "{t}");
+        if let Some(rec) = r.recovery_us {
+            assert!(rec > 0.0 && rec < cfg.window_us);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! wall-clock improvement there. Saturated scenarios are included to track
 //! that the skip probing does not regress dense-bound workloads.
 
-use sim::experiment::{AttackChoice, Experiment};
+use sim::experiment::{AttackChoice, Experiment, TelemetrySpec};
 use sim::{Engine, RunStats};
 use std::time::Instant;
 
@@ -112,6 +112,39 @@ fn main() {
         ));
     }
 
+    // Telemetry overhead: the same run with every built-in recorder
+    // attached (20 windows) vs. probe-free, both on the event engine. The
+    // probe API must stay observably free: results bit-identical, wall
+    // clock within noise (the ratio is recorded so PRs that regress the
+    // fast path show up in the trajectory).
+    let (probe_off_s, probe_on_s, overhead) = {
+        let window = if smoke { 500.0 } else { 2_000.0 };
+        let plain = idle_povray(window);
+        let probed =
+            idle_povray(window).with_telemetry(TelemetrySpec::all_recorders(window / 20.0));
+        let _ = time_run(&plain, Engine::EventDriven); // warm
+        let (off_stats, off_s) = time_run(&plain, Engine::EventDriven);
+        // `build_system` attaches the time-series + mitigation recorders;
+        // the slowdown trace (normally attached by `run_against`) is added
+        // by hand so every built-in recorder is live.
+        let mut sys = probed.build_system(false);
+        let cores = probed.cfg.cpu.cores as usize;
+        sys.attach_probe(Box::new(sim_core::telemetry::SlowdownTrace::flat(
+            vec![1.0; cores],
+            (0..cores).collect(),
+        )));
+        let t0 = Instant::now();
+        let on_stats = sys.run_engine(Engine::EventDriven);
+        let on_s = t0.elapsed().as_secs_f64();
+        assert_eq!(off_stats, on_stats, "recorders perturbed the run");
+        let ratio = on_s / off_s.max(1e-12);
+        println!(
+            "telemetry overhead: probe-off {:.4}s  probe-on (all recorders) {:.4}s  ratio {:.3}x",
+            off_s, on_s, ratio
+        );
+        (off_s, on_s, ratio)
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -119,11 +152,21 @@ fn main() {
             "  \"mode\": \"{}\",\n",
             "  \"engines\": [\"dense\", \"event_driven\"],\n",
             "  \"idle_povray_event_speedup\": {:.3},\n",
+            "  \"telemetry\": {{\n",
+            "    \"scenario\": \"idle_povray_dapper_h\",\n",
+            "    \"recorders\": [\"time-series\", \"slowdown\", \"mitigation-log\"],\n",
+            "    \"probe_off_seconds\": {:.6},\n",
+            "    \"probe_on_seconds\": {:.6},\n",
+            "    \"probe_overhead_ratio\": {:.4}\n",
+            "  }},\n",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
         idle_speedup,
+        probe_off_s,
+        probe_on_s,
+        overhead,
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

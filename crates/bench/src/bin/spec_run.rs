@@ -84,6 +84,19 @@ fn run() -> Result<i32, String> {
         std::fs::write(&out_path, report.to_json().render())
             .map_err(|e| format!("cannot write {out_path}: {e}"))?;
         println!("  results written to {out_path}");
+        // Per-window telemetry (when the spec's `[telemetry]` section
+        // attached recorders) lands in its own file beside the results.
+        if let Some(telemetry) = report.telemetry_json() {
+            let stem = spec
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.out.clone())
+                .unwrap_or_else(|| report.name.clone());
+            let t_path = format!("{out_dir}/{stem}_telemetry.json");
+            std::fs::write(&t_path, telemetry.render())
+                .map_err(|e| format!("cannot write {t_path}: {e}"))?;
+            println!("  telemetry written to {t_path}");
+        }
         // Sanity: the export is parseable JSON row-for-row.
         debug_assert!(report.results.iter().all(|r| !result_to_json(r).render().is_empty()));
     }

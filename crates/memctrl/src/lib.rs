@@ -13,9 +13,12 @@
 //!   tracker metadata traffic (counter reads/writes) injected into the
 //!   request stream — the exact levers RowHammer Perf-Attacks pull.
 //!
-//! The controller exposes an event log ([`sim_core::MemEvent`]) that the
-//! ground-truth RowHammer oracle consumes; event collection can be disabled
-//! for performance sweeps.
+//! The controller emits its command stream as [`sim_core::MemEvent`]s
+//! through a registered-sink API ([`ChannelController::set_event_capture`]
+//! / [`ChannelController::drain_events`]): the harness drains the buffer
+//! into whatever telemetry probes are attached — the ground-truth
+//! RowHammer oracle is just one such client. With no sink registered
+//! (the default) nothing is buffered, so performance sweeps pay nothing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,8 +54,6 @@ pub struct CtrlConfig {
     /// Tracker metadata queue capacity; demand ACTs stall above this,
     /// modelling Hydra's RCC-miss backpressure.
     pub counter_queue_cap: usize,
-    /// Collect [`MemEvent`]s for the oracle.
-    pub collect_events: bool,
 }
 
 impl CtrlConfig {
@@ -66,14 +67,7 @@ impl CtrlConfig {
             write_queue_cap: 32,
             write_drain_hi: 16,
             counter_queue_cap: 64,
-            collect_events: false,
         }
-    }
-
-    /// Enables event collection (oracle runs).
-    pub fn with_events(mut self) -> Self {
-        self.collect_events = true;
-        self
     }
 }
 
@@ -122,8 +116,11 @@ pub struct ChannelController {
     /// bank's open row serves someone, stamped by generation.
     pre_conflict: Vec<(u64, Option<DramAddr>, bool)>,
     pre_gen: u64,
-    /// Event log (drained by the harness).
-    pub events: Vec<MemEvent>,
+    /// True while at least one event sink is registered; gates every
+    /// event push so sink-free runs buffer nothing.
+    capture_events: bool,
+    /// Event buffer between [`ChannelController::drain_events`] calls.
+    events: Vec<MemEvent>,
     /// Aggregate statistics.
     pub stats: MemStats,
 }
@@ -178,8 +175,33 @@ impl ChannelController {
             next_meta_id: u64::MAX / 2,
             pre_conflict: vec![(0, None, false); ranks * banks],
             pre_gen: 0,
+            capture_events: false,
             events: Vec::new(),
             stats: MemStats::default(),
+        }
+    }
+
+    /// Registers (or withdraws) interest in the event stream. While off —
+    /// the default — no events are buffered, which is the zero-overhead
+    /// fast path performance sweeps rely on.
+    pub fn set_event_capture(&mut self, on: bool) {
+        self.capture_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// True while an event sink is registered.
+    pub fn captures_events(&self) -> bool {
+        self.capture_events
+    }
+
+    /// Hands every buffered event to `sink` in issue order and clears the
+    /// buffer. The harness fans these out to all attached telemetry
+    /// probes; the RowHammer oracle is one such client.
+    pub fn drain_events(&mut self, sink: &mut dyn FnMut(&MemEvent)) {
+        for ev in self.events.drain(..) {
+            sink(&ev);
         }
     }
 
@@ -283,7 +305,7 @@ impl ChannelController {
         }
         while now >= self.next_trefw {
             self.tracker.on_refresh_window(now, &mut self.actions);
-            if self.cfg.collect_events {
+            if self.capture_events {
                 self.events.push(MemEvent::RefreshWindowEnd { cycle: now });
             }
             self.next_trefw += t.t_refw;
@@ -347,7 +369,7 @@ impl ChannelController {
             let until = self.dram.issue_reset_sweep(scope, now);
             self.stats.reset_sweeps += 1;
             self.stats.mitigation_block_cycles += until - now;
-            if self.cfg.collect_events {
+            if self.capture_events {
                 self.events.push(MemEvent::SweepRefreshed { scope, cycle: until });
             }
         }
@@ -399,7 +421,7 @@ impl ChannelController {
                         self.mit_busy[sl] = self.mit_busy[sl].max(until);
                     }
                 }
-                if self.cfg.collect_events {
+                if self.capture_events {
                     self.events.push(MemEvent::VictimsRefreshed {
                         aggressor: addr,
                         blast_radius: self.cfg.blast_radius,
@@ -536,7 +558,7 @@ impl ChannelController {
         self.dram.issue_act(&addr, now);
         self.stats.activations += 1;
         self.mark_missed(pool, idx);
-        if self.cfg.collect_events {
+        if self.capture_events {
             self.events.push(MemEvent::Activate { addr, cycle: now });
         }
         // Inform the tracker and execute its reactions.
@@ -723,9 +745,10 @@ mod tests {
     fn mk(tracker: Box<dyn RowHammerTracker>, events: bool) -> ChannelController {
         let geom = Geometry::paper_baseline();
         let dram = DramChannel::new(geom, TimingParams::ddr5_6400());
-        let mut cfg = CtrlConfig::new(500, 1, MitigationKind::Vrr);
-        cfg.collect_events = events;
-        ChannelController::new(0, dram, tracker, cfg)
+        let cfg = CtrlConfig::new(500, 1, MitigationKind::Vrr);
+        let mut ctrl = ChannelController::new(0, dram, tracker, cfg);
+        ctrl.set_event_capture(events);
+        ctrl
     }
 
     fn rd(id: u64, bg: u8, bank: u8, row: u32, col: u16, at: Cycle) -> MemRequest {
@@ -824,7 +847,29 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(c.stats.vrr_commands, 1);
         assert_eq!(c.stats.victim_rows_refreshed, 2);
-        assert!(c.events.iter().any(|e| matches!(e, MemEvent::VictimsRefreshed { .. })));
+        let mut drained = Vec::new();
+        c.drain_events(&mut |ev| drained.push(*ev));
+        assert!(drained.iter().any(|e| matches!(e, MemEvent::VictimsRefreshed { .. })));
+        // The buffer hands everything over exactly once.
+        let mut again = Vec::new();
+        c.drain_events(&mut |ev| again.push(*ev));
+        assert!(again.is_empty(), "drain must clear the buffer");
+    }
+
+    #[test]
+    fn no_sink_means_no_buffered_events() {
+        // The fast path: without a registered sink the controller must not
+        // accumulate events (a long sweep would otherwise leak memory and
+        // time into probe-free runs).
+        let mut c = mk(Box::new(EveryN { n: 1, count: 0 }), false);
+        assert!(!c.captures_events());
+        assert!(c.enqueue(rd(1, 0, 0, 10, 0, 0)));
+        let mut done = Vec::new();
+        run(&mut c, 0, 2000, &mut done);
+        assert_eq!(c.stats.vrr_commands, 1, "mitigation work still happens");
+        let mut drained = 0;
+        c.drain_events(&mut |_| drained += 1);
+        assert_eq!(drained, 0, "nothing may be buffered without a sink");
     }
 
     /// A tracker that asks for counter traffic on each ACT (Hydra-like).

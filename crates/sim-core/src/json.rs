@@ -30,9 +30,17 @@ impl Json {
         Json::Str(s.into())
     }
 
-    /// Builds a number value.
+    /// Builds a number value. Non-finite floats (±∞, NaN — e.g. the
+    /// min/max of an empty [`crate::stats::RunningStats`]) have no JSON
+    /// representation and become `null` here, so a document built through
+    /// this constructor always round-trips through [`Json::parse`].
     pub fn num(n: impl Into<f64>) -> Json {
-        Json::Num(n.into())
+        let n = n.into();
+        if n.is_finite() {
+            Json::Num(n)
+        } else {
+            Json::Null
+        }
     }
 
     /// Builds a number from a `u64` counter (exact for counts < 2^53;
@@ -352,6 +360,22 @@ mod tests {
     #[test]
     fn non_finite_numbers_render_null() {
         assert_eq!(Json::num(f64::INFINITY).render(), "null");
+        // The raw variant is also guarded at render time.
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn non_finite_numbers_round_trip_as_null() {
+        // Regression: `Json::Num(INFINITY)` used to render as `null` but
+        // compare unequal to its own parse. The builder now normalizes
+        // non-finite floats to `Null` at construction, so build → render
+        // → parse is the identity for documents made through `num`.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let doc = Json::obj([("v", Json::num(bad)), ("ok", Json::num(1.5))]);
+            let back = Json::parse(&doc.render()).unwrap();
+            assert_eq!(back, doc);
+            assert_eq!(doc.get("v"), Some(&Json::Null));
+        }
     }
 
     #[test]

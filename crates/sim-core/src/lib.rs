@@ -17,7 +17,11 @@
 //! * [`rng`] — small deterministic PRNGs used in simulation hot paths,
 //! * [`sched`] — the [`NextEvent`] contract components
 //!   implement so the time-skipping engine can jump quiet stretches,
-//! * [`stats`] — counters and summary statistics.
+//! * [`stats`] — counters and summary statistics,
+//! * [`telemetry`] — the composable [`Probe`] observation
+//!   API: typed taps on memory events, per-window counter deltas, and run
+//!   lifecycle, with built-in recorders (time series, slowdown traces,
+//!   mitigation logs) that attach to a run without perturbing it.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod req;
 pub mod rng;
 pub mod sched;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod tracker;
 
@@ -54,5 +59,8 @@ pub use registry::{
 };
 pub use req::{AccessKind, MemRequest, SourceId};
 pub use sched::NextEvent;
+pub use telemetry::{
+    MitigationLog, NullProbe, Probe, SlowdownTrace, Telemetry, TimeSeriesRecorder, WindowSample,
+};
 pub use time::Cycle;
 pub use tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};

@@ -1,5 +1,6 @@
 //! Counters and summary statistics used across the simulator.
 
+use crate::json::Json;
 use serde::{Deserialize, Serialize};
 
 /// Running mean/min/max over a stream of samples.
@@ -55,6 +56,19 @@ impl RunningStats {
         } else {
             self.max
         }
+    }
+
+    /// Serializes the accumulator as a JSON object. An empty accumulator
+    /// has no min/max (±∞ internally); those serialize as `null` rather
+    /// than leaking non-finite floats into the document (which the writer
+    /// would otherwise have to mangle — see [`Json::num`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::count(self.count)),
+            ("mean", Json::num(self.mean())),
+            ("min", Json::num(self.min())),
+            ("max", Json::num(self.max())),
+        ])
     }
 }
 
@@ -139,6 +153,58 @@ impl MemStats {
         self.row_hits += other.row_hits;
         self.row_misses += other.row_misses;
     }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// counters (all counters are monotonic, so this is the amount
+    /// accumulated since the snapshot — the per-window deltas telemetry
+    /// samples are made of).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually an earlier
+    /// snapshot (any field exceeding `self`).
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            activations: self.activations - earlier.activations,
+            precharges: self.precharges - earlier.precharges,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            refreshes: self.refreshes - earlier.refreshes,
+            vrr_commands: self.vrr_commands - earlier.vrr_commands,
+            victim_rows_refreshed: self.victim_rows_refreshed - earlier.victim_rows_refreshed,
+            rfm_commands: self.rfm_commands - earlier.rfm_commands,
+            counter_reads: self.counter_reads - earlier.counter_reads,
+            counter_writes: self.counter_writes - earlier.counter_writes,
+            reset_sweeps: self.reset_sweeps - earlier.reset_sweeps,
+            mitigation_block_cycles: self.mitigation_block_cycles - earlier.mitigation_block_cycles,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+        }
+    }
+
+    /// Serializes every counter under its field name. The field-drift
+    /// guard in this module's tests checks this listing (and `merge` /
+    /// `delta_since`) against the struct's actual fields, so a new
+    /// telemetry counter cannot be silently dropped from cross-channel
+    /// totals or window deltas.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("activations", Json::count(self.activations)),
+            ("precharges", Json::count(self.precharges)),
+            ("reads", Json::count(self.reads)),
+            ("writes", Json::count(self.writes)),
+            ("refreshes", Json::count(self.refreshes)),
+            ("vrr_commands", Json::count(self.vrr_commands)),
+            ("victim_rows_refreshed", Json::count(self.victim_rows_refreshed)),
+            ("rfm_commands", Json::count(self.rfm_commands)),
+            ("counter_reads", Json::count(self.counter_reads)),
+            ("counter_writes", Json::count(self.counter_writes)),
+            ("reset_sweeps", Json::count(self.reset_sweeps)),
+            ("mitigation_block_cycles", Json::count(self.mitigation_block_cycles)),
+            ("row_hits", Json::count(self.row_hits)),
+            ("row_misses", Json::count(self.row_misses)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +233,90 @@ mod tests {
     fn geomean_below_arithmetic_mean() {
         let v = [0.5, 1.0, 2.0, 4.0];
         assert!(geomean(&v) < mean(&v));
+    }
+
+    /// A `MemStats` with every field set to a distinct nonzero value.
+    /// Written as a full struct literal on purpose: adding a field to
+    /// `MemStats` breaks this constructor until the test (and, via the
+    /// assertions below, `to_json`, `merge`, and `delta_since`) is
+    /// updated to cover it.
+    fn fully_populated() -> MemStats {
+        MemStats {
+            activations: 1,
+            precharges: 2,
+            reads: 3,
+            writes: 4,
+            refreshes: 5,
+            vrr_commands: 6,
+            victim_rows_refreshed: 7,
+            rfm_commands: 8,
+            counter_reads: 9,
+            counter_writes: 10,
+            reset_sweeps: 11,
+            mitigation_block_cycles: 12,
+            row_hits: 13,
+            row_misses: 14,
+        }
+    }
+
+    /// Field names as the derived `Debug` impl reports them — i.e. the
+    /// struct's actual fields, immune to hand-maintained lists drifting.
+    fn debug_field_names(m: &MemStats) -> Vec<String> {
+        let dbg = format!("{m:?}");
+        let inner = dbg.trim_start_matches("MemStats {").trim_end_matches('}').trim();
+        inner.split(", ").map(|pair| pair.split(':').next().unwrap().trim().to_string()).collect()
+    }
+
+    #[test]
+    fn memstats_merge_covers_every_field() {
+        // Drift guard: serialize a fully-populated struct, then check that
+        // (a) `to_json` names exactly the struct's fields and (b) `merge`
+        // and `delta_since` transform every one of them. A counter added
+        // to the struct but forgotten in `merge` shows up here as an
+        // un-doubled field instead of silently vanishing from
+        // cross-channel totals.
+        let populated = fully_populated();
+        let fields = debug_field_names(&populated);
+        let json = populated.to_json();
+        let Json::Obj(pairs) = &json else { panic!("to_json must be an object") };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys, fields,
+            "MemStats::to_json keys must match the struct's fields (same order)"
+        );
+        for (key, value) in pairs {
+            assert_ne!(value, &Json::Num(0.0), "field '{key}' must be populated in this test");
+        }
+
+        let mut merged = populated;
+        merged.merge(&populated);
+        let Json::Obj(merged_pairs) = merged.to_json() else { unreachable!() };
+        for ((key, before), (_, after)) in pairs.iter().zip(&merged_pairs) {
+            let (Json::Num(b), Json::Num(a)) = (before, after) else { unreachable!() };
+            assert_eq!(*a, 2.0 * b, "merge drops or mis-sums field '{key}'");
+        }
+
+        assert_eq!(merged.delta_since(&populated), populated, "delta must invert merge");
+        assert_eq!(populated.delta_since(&populated), MemStats::default());
+    }
+
+    #[test]
+    fn empty_running_stats_serialize_as_valid_json() {
+        // Regression: zero-sample min/max are ±INFINITY internally; the
+        // serialized form must be valid JSON (`null`), and parse back.
+        let empty = RunningStats::new();
+        let text = empty.to_json().render();
+        assert_eq!(text, r#"{"count":0,"mean":0,"min":null,"max":null}"#);
+        let back = Json::parse(&text).expect("must round-trip through the parser");
+        assert_eq!(back.get("min"), Some(&Json::Null));
+        // A populated accumulator keeps real numbers.
+        let mut s = RunningStats::new();
+        s.push(2.0);
+        s.push(4.0);
+        let back = Json::parse(&s.to_json().render()).unwrap();
+        assert_eq!(back.get("min"), Some(&Json::Num(2.0)));
+        assert_eq!(back.get("max"), Some(&Json::Num(4.0)));
+        assert_eq!(back.get("mean"), Some(&Json::Num(3.0)));
     }
 
     #[test]

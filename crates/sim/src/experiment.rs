@@ -12,11 +12,14 @@ use cpu::{TraceEntry, TraceSource};
 use sim_core::addr::{Geometry, PhysAddr};
 use sim_core::config::{MitigationKind, SystemConfig};
 use sim_core::registry::{ParamValue, RegistryError, TrackerParams, TrackerSpec};
-use sim_core::time::us_to_cycles;
+use sim_core::telemetry::{
+    MitigationLog, Probe, SlowdownTrace, Telemetry, TimeSeriesRecorder, WindowSample,
+};
+use sim_core::time::{us_to_cycles, Cycle};
 use sim_core::tracker::{NullTracker, RowHammerTracker};
 use workloads::{spec_by_name, Attack, SyntheticTrace};
 
-use crate::metrics::{normalized_performance, RunStats};
+use crate::metrics::{normalized_performance, RunStats, RunTelemetry};
 use crate::system::{Engine, System};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -379,6 +382,55 @@ impl TraceSource for IdleTrace {
     }
 }
 
+/// What to observe during an experiment, declaratively — the
+/// [`Experiment`]-level face of the [`sim_core::telemetry`] probe API.
+/// Everything defaults to off (the zero-overhead fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TelemetrySpec {
+    /// Attach the ground-truth RowHammer oracle (an event-sink probe).
+    pub oracle: bool,
+    /// Record per-window counter deltas ([`TimeSeriesRecorder`]).
+    pub time_series: bool,
+    /// Record the per-window benign slowdown vs. the reference run
+    /// ([`SlowdownTrace`] — the paper's attack-transient axis).
+    pub slowdown: bool,
+    /// Record the mitigation timeline ([`MitigationLog`]).
+    pub mitigation_log: bool,
+    /// Window length in microseconds (default: one tREFW, 32 ms — set
+    /// this explicitly for runs shorter than that, or the only sample
+    /// will be the final partial window).
+    pub window_us: Option<f64>,
+}
+
+impl TelemetrySpec {
+    /// Every recorder on (oracle excluded) with the given window length.
+    pub fn all_recorders(window_us: f64) -> Self {
+        Self {
+            oracle: false,
+            time_series: true,
+            slowdown: true,
+            mitigation_log: true,
+            window_us: Some(window_us),
+        }
+    }
+
+    /// True if any recorder is requested (the oracle alone reports
+    /// through `RunStats::oracle` and produces no [`RunTelemetry`]).
+    pub fn recorders_wanted(&self) -> bool {
+        self.windows_wanted() || self.mitigation_log
+    }
+
+    /// True if any window-consuming recorder is requested.
+    pub fn windows_wanted(&self) -> bool {
+        self.time_series || self.slowdown
+    }
+
+    /// The window length in cycles, when overridden.
+    pub fn window_cycles(&self) -> Option<Cycle> {
+        self.window_us.map(us_to_cycles)
+    }
+}
+
 /// One experiment: a workload mix, a tracker, and an optional attacker.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -393,8 +445,9 @@ pub struct Experiment {
     pub custom_attack: Option<CustomAttack>,
     /// System configuration (threshold, window, mitigation command, ...).
     pub cfg: SystemConfig,
-    /// Attach the ground-truth oracle (slower).
-    pub collect_events: bool,
+    /// What to observe (replaces the retired all-or-nothing
+    /// `collect_events` flag).
+    pub telemetry: TelemetrySpec,
     /// When true, the reference run keeps the attacker (on the insecure
     /// baseline), so normalized performance isolates the *tracker-induced*
     /// overhead rather than the attacker's raw bandwidth contention. The
@@ -423,6 +476,9 @@ pub struct ExperimentResult {
     pub run: RunStats,
     /// The reference run.
     pub reference: RunStats,
+    /// Time-series observations, when the experiment's [`TelemetrySpec`]
+    /// enabled any recorder.
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl Experiment {
@@ -434,7 +490,7 @@ impl Experiment {
             attack: AttackChoice::None,
             custom_attack: None,
             cfg: SystemConfig::paper_baseline().with_window(us_to_cycles(2_000.0)),
-            collect_events: false,
+            telemetry: TelemetrySpec::default(),
             isolate_tracker_overhead: false,
             engine: Engine::default(),
         }
@@ -524,7 +580,23 @@ impl Experiment {
 
     /// Enables the ground-truth oracle.
     pub fn with_oracle(mut self) -> Self {
-        self.collect_events = true;
+        self.telemetry.oracle = true;
+        self
+    }
+
+    /// Sets the whole telemetry specification at once (the `[telemetry]`
+    /// spec-file section lands here).
+    pub fn with_telemetry(mut self, t: TelemetrySpec) -> Self {
+        self.telemetry = t;
+        self
+    }
+
+    /// Enables the per-window slowdown trace with the given window length
+    /// (also records the reference run's window series so the trace
+    /// normalizes window-by-window).
+    pub fn record_slowdown(mut self, window_us: f64) -> Self {
+        self.telemetry.slowdown = true;
+        self.telemetry.window_us = Some(window_us);
         self
     }
 
@@ -574,6 +646,12 @@ impl Experiment {
 
     /// Builds the system under test (`reference = false`) or the insecure,
     /// attack-free reference machine (`reference = true`).
+    ///
+    /// The system under test carries the probes the [`TelemetrySpec`]
+    /// asks for (except the [`SlowdownTrace`], which needs the reference
+    /// and is attached by [`Experiment::run_against`]); the reference
+    /// machine gets a [`TimeSeriesRecorder`] when a slowdown trace will
+    /// need per-window reference IPC.
     pub fn build_system(&self, reference: bool) -> System {
         let attack = self.attack.resolve(&self.tracker);
         let (traces, bypass) = self.build_traces(attack, reference);
@@ -590,7 +668,25 @@ impl Experiment {
                 }
             })
             .collect();
-        System::new(cfg, traces, bypass, trackers, self.collect_events && !reference)
+        let t = &self.telemetry;
+        let mut telemetry = Telemetry::none();
+        if let Some(w) = t.window_cycles() {
+            telemetry = telemetry.window_len(w);
+        }
+        if reference {
+            if t.slowdown {
+                telemetry = telemetry.probe(TimeSeriesRecorder::new());
+            }
+        } else {
+            telemetry = telemetry.oracle(t.oracle);
+            if t.time_series {
+                telemetry = telemetry.probe(TimeSeriesRecorder::new());
+            }
+            if t.mitigation_log {
+                telemetry = telemetry.probe(MitigationLog::new());
+            }
+        }
+        System::new(cfg, traces, bypass, trackers, telemetry)
     }
 
     /// The benign core indices for this experiment.
@@ -606,15 +702,58 @@ impl Experiment {
     /// Runs the experiment and its reference, returning normalized
     /// performance (the paper's metric).
     pub fn run(self) -> ExperimentResult {
-        let reference = self.build_system(true).run_engine(self.engine);
-        self.run_against(&reference)
+        let mut ref_sys = self.build_system(true);
+        let reference = ref_sys.run_engine(self.engine);
+        let reference_windows = take_recorder::<TimeSeriesRecorder>(&mut ref_sys.take_probes())
+            .map(TimeSeriesRecorder::into_samples)
+            .unwrap_or_default();
+        self.run_with_reference(&reference, reference_windows)
     }
 
     /// Runs only the system under test, normalizing against a pre-computed
-    /// reference (sweeps share one reference per workload).
+    /// reference (sweeps share one reference per workload). A slowdown
+    /// trace requested through the [`TelemetrySpec`] normalizes against
+    /// the reference's **end-of-run** per-core IPC here — per-window
+    /// reference samples are only available through [`Experiment::run`],
+    /// which owns the reference simulation.
     pub fn run_against(self, reference: &RunStats) -> ExperimentResult {
-        let run = self.build_system(false).run_engine(self.engine);
+        self.run_with_reference(reference, Vec::new())
+    }
+
+    fn run_with_reference(
+        self,
+        reference: &RunStats,
+        reference_windows: Vec<WindowSample>,
+    ) -> ExperimentResult {
         let benign = self.benign_cores();
+        let mut sys = self.build_system(false);
+        if self.telemetry.slowdown {
+            let trace = if reference_windows.is_empty() {
+                let flat = (0..self.cfg.cpu.cores as usize).map(|i| reference.ipc(i)).collect();
+                SlowdownTrace::flat(flat, benign.clone())
+            } else {
+                SlowdownTrace::per_window(reference_windows.clone(), benign.clone())
+            };
+            sys.attach_probe(Box::new(trace));
+        }
+        let run = sys.run_engine(self.engine);
+        let telemetry = self.telemetry.recorders_wanted().then(|| {
+            let mut probes = sys.take_probes();
+            RunTelemetry {
+                window_len: self
+                    .telemetry
+                    .window_cycles()
+                    .unwrap_or(dram::TimingParams::ddr5_6400().t_refw),
+                windows: take_recorder::<TimeSeriesRecorder>(&mut probes)
+                    .map(TimeSeriesRecorder::into_samples)
+                    .unwrap_or_default(),
+                reference_windows,
+                slowdown: take_recorder::<SlowdownTrace>(&mut probes),
+                mitigations: take_recorder::<MitigationLog>(&mut probes)
+                    .map(|log| log.records().to_vec())
+                    .unwrap_or_default(),
+            }
+        });
         let attack_name = match (&self.custom_attack, self.attack.resolve(&self.tracker)) {
             (Some(c), _) => c.name().to_string(),
             (None, Some(a)) => a.name().to_string(),
@@ -627,8 +766,19 @@ impl Experiment {
             attack_name,
             run,
             reference: reference.clone(),
+            telemetry,
         }
     }
+}
+
+/// Pulls the first probe of concrete type `T` out of a finished run's
+/// probe list.
+fn take_recorder<T: Probe>(probes: &mut Vec<Box<dyn Probe>>) -> Option<T> {
+    let idx = probes.iter().position(|p| p.as_any().is::<T>())?;
+    let boxed = probes.remove(idx);
+    // Probe: Any, so the box downcasts through Box<dyn Any>.
+    let any: Box<dyn std::any::Any> = boxed.into_any();
+    any.downcast::<T>().ok().map(|b| *b)
 }
 
 #[cfg(test)]
@@ -733,6 +883,56 @@ mod tests {
             Box::new(Attack::Streaming.trace(geom, seed))
         }));
         assert_eq!(e.benign_cores(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn telemetry_rides_the_experiment() {
+        let r = Experiment::quick("gcc_like")
+            .tracker("hydra")
+            .attack(AttackChoice::CacheThrash)
+            .window_us(150.0)
+            .with_telemetry(TelemetrySpec::all_recorders(25.0))
+            .run();
+        let t = r.telemetry.as_ref().expect("telemetry enabled");
+        assert_eq!(t.windows.len(), 6, "150 us run / 25 us windows");
+        assert_eq!(t.reference_windows.len(), 6, "reference recorded per-window");
+        let trace = t.slowdown.as_ref().expect("slowdown recorder on");
+        assert_eq!(trace.points().len(), 6);
+        assert!(trace.points().iter().all(|p| p.normalized_ipc.is_finite()));
+        assert!(t.time_to_max_slowdown_us().is_some());
+        let total: u64 = t.windows.iter().map(|w| w.mem.activations).sum();
+        assert_eq!(total, r.run.mem.activations, "window deltas must sum to the run total");
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_metrics() {
+        let base = || {
+            Experiment::quick("gcc_like")
+                .tracker("para")
+                .attack(AttackChoice::Tailored)
+                .window_us(120.0)
+        };
+        let plain = base().run();
+        let probed = base().with_telemetry(TelemetrySpec::all_recorders(20.0)).run();
+        assert_eq!(plain.run, probed.run, "recorders must not perturb the run");
+        assert_eq!(plain.reference, probed.reference);
+        assert!((plain.normalized_performance - probed.normalized_performance).abs() < 1e-15);
+        assert!(plain.telemetry.is_none());
+        assert!(probed.telemetry.is_some());
+    }
+
+    #[test]
+    fn run_against_falls_back_to_a_flat_reference() {
+        let base = || {
+            Experiment::quick("povray_like").tracker("para").window_us(150.0).record_slowdown(30.0)
+        };
+        let reference = base().build_system(true).run();
+        let r = base().run_against(&reference);
+        let t = r.telemetry.expect("slowdown recorder on");
+        assert!(t.reference_windows.is_empty(), "shared references have no window series");
+        let trace = t.slowdown.expect("trace recorded");
+        assert_eq!(trace.points().len(), 5);
+        assert!(trace.points().iter().all(|p| p.normalized_ipc > 0.0));
     }
 
     #[test]

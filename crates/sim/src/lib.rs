@@ -52,9 +52,11 @@ pub mod toml;
 
 #[allow(deprecated)]
 pub use experiment::TrackerChoice;
-pub use experiment::{AttackChoice, CustomAttack, Experiment, ExperimentResult, TrackerSel};
-pub use metrics::RunStats;
+pub use experiment::{
+    AttackChoice, CustomAttack, Experiment, ExperimentResult, TelemetrySpec, TrackerSel,
+};
+pub use metrics::{RunStats, RunTelemetry, RECOVERY_THRESHOLD};
 pub use registry::{register_tracker, tracker_keys, with_registry};
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
-pub use spec::{ExperimentSpec, SpecError, SweepSpec};
+pub use spec::{ExperimentSpec, SpecError, SweepSpec, TelemetryOptions};
 pub use system::{Engine, System};

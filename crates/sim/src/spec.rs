@@ -22,7 +22,7 @@
 //! group_size = 256
 //! ```
 
-use crate::experiment::{AttackChoice, Experiment, ExperimentResult, TrackerSel};
+use crate::experiment::{AttackChoice, Experiment, ExperimentResult, TelemetrySpec, TrackerSel};
 use crate::runner::{try_run_parallel, SweepError};
 use crate::system::Engine;
 use crate::toml::{self, TomlError, TomlValue};
@@ -397,6 +397,108 @@ impl SpecOptions {
     }
 }
 
+/// The `[telemetry]` spec section: which recorders to attach, the window
+/// length, and an optional export stem.
+///
+/// ```toml
+/// [telemetry]
+/// window_us = 25.0
+/// recorders = ["time-series", "slowdown"]   # or ["all"]
+/// oracle = false
+/// out = "transient"                         # export stem under out/
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryOptions {
+    /// Recorder selection and window length (applied to every cell).
+    pub spec: TelemetrySpec,
+    /// Export stem: when set, the runner writes `<stem>_telemetry.json`
+    /// beside the sweep results.
+    pub out: Option<String>,
+}
+
+/// The recorder names `[telemetry] recorders = [...]` accepts.
+pub const KNOWN_RECORDERS: [&str; 4] = ["time-series", "slowdown", "mitigation-log", "all"];
+
+impl TelemetryOptions {
+    fn from_value(v: &TomlValue) -> Result<Self, SpecError> {
+        let TomlValue::Table(table) = v else {
+            return Err(field_err("telemetry", format!("expected a table, got {}", v.kind())));
+        };
+        let f = Fields { table };
+        f.reject_unknown(&["window_us", "recorders", "oracle", "out"])?;
+        let window_us = f.opt_f64("window_us")?;
+        if let Some(w) = window_us {
+            // Catch it here with the key named, not as a per-job panic
+            // when the engine asserts a nonzero window length.
+            if !(w.is_finite() && w > 0.0) {
+                return Err(field_err(
+                    "telemetry.window_us",
+                    format!("must be a positive number of microseconds, got {w}"),
+                ));
+            }
+        }
+        let mut spec = TelemetrySpec { window_us, ..Default::default() };
+        spec.oracle = f.opt_bool("oracle")?.unwrap_or(false);
+        for name in f.str_list("recorders")?.unwrap_or_default() {
+            match sim_core::registry::normalize_key(&name).as_str() {
+                "timeseries" => spec.time_series = true,
+                "slowdown" => spec.slowdown = true,
+                "mitigationlog" => spec.mitigation_log = true,
+                "all" => {
+                    spec.time_series = true;
+                    spec.slowdown = true;
+                    spec.mitigation_log = true;
+                }
+                _ => {
+                    return Err(field_err(
+                        "telemetry.recorders",
+                        format!("unknown recorder '{name}'; known: {}", KNOWN_RECORDERS.join(", ")),
+                    ))
+                }
+            }
+        }
+        Ok(Self { spec, out: f.opt_str("out")? })
+    }
+
+    fn to_value(&self) -> TomlValue {
+        let mut t = BTreeMap::new();
+        if let Some(w) = self.spec.window_us {
+            t.insert("window_us".into(), TomlValue::Float(w));
+        }
+        let mut recorders = Vec::new();
+        if self.spec.time_series && self.spec.slowdown && self.spec.mitigation_log {
+            recorders.push("all");
+        } else {
+            if self.spec.time_series {
+                recorders.push("time-series");
+            }
+            if self.spec.slowdown {
+                recorders.push("slowdown");
+            }
+            if self.spec.mitigation_log {
+                recorders.push("mitigation-log");
+            }
+        }
+        if !recorders.is_empty() {
+            t.insert(
+                "recorders".into(),
+                TomlValue::Arr(recorders.into_iter().map(|r| TomlValue::Str(r.into())).collect()),
+            );
+        }
+        if self.spec.oracle {
+            t.insert("oracle".into(), TomlValue::Bool(true));
+        }
+        if let Some(out) = &self.out {
+            t.insert("out".into(), TomlValue::Str(out.clone()));
+        }
+        TomlValue::Table(t)
+    }
+
+    fn apply(&self, e: Experiment) -> Experiment {
+        e.with_telemetry(self.spec)
+    }
+}
+
 fn check_workload(name: &str) -> Result<(), SpecError> {
     if workloads::spec_by_name(name).is_none() {
         return Err(SpecError::UnknownWorkload { name: name.to_string() });
@@ -459,6 +561,8 @@ pub struct ExperimentSpec {
     pub attack: String,
     /// System-level options.
     pub options: SpecOptions,
+    /// Telemetry section (`[telemetry]`), if present.
+    pub telemetry: Option<TelemetryOptions>,
 }
 
 impl ExperimentSpec {
@@ -470,12 +574,13 @@ impl ExperimentSpec {
             params: BTreeMap::new(),
             attack: "none".to_string(),
             options: SpecOptions::default(),
+            telemetry: None,
         }
     }
 
     fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
         let f = Fields { table };
-        let mut allowed = vec!["workload", "tracker", "params", "attack"];
+        let mut allowed = vec!["workload", "tracker", "params", "attack", "telemetry"];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
         let params = match table.get("params") {
@@ -488,6 +593,7 @@ impl ExperimentSpec {
             params,
             attack: f.opt_str("attack")?.unwrap_or_else(|| "none".to_string()),
             options: SpecOptions::from_fields(&f)?,
+            telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
         })
     }
 
@@ -500,6 +606,9 @@ impl ExperimentSpec {
         if !self.params.is_empty() {
             let params = self.params.iter().map(|(k, v)| (k.clone(), param_to_toml(v))).collect();
             t.insert("params".into(), TomlValue::Table(params));
+        }
+        if let Some(telemetry) = &self.telemetry {
+            t.insert("telemetry".into(), telemetry.to_value());
         }
         t
     }
@@ -534,7 +643,10 @@ impl ExperimentSpec {
         check_workload(&self.workload)?;
         let tracker = TrackerSel::by_key(&self.tracker)?.with_params(self.params.clone())?;
         let attack = parse_attack(&self.attack)?;
-        let e = Experiment::new(&self.workload).tracker(tracker).attack(attack);
+        let mut e = Experiment::new(&self.workload).tracker(tracker).attack(attack);
+        if let Some(telemetry) = &self.telemetry {
+            e = telemetry.apply(e);
+        }
         Ok(self.options.apply(e))
     }
 
@@ -554,6 +666,7 @@ impl PartialEq for ExperimentSpec {
             && self.tracker == other.tracker
             && self.attack == other.attack
             && self.options == other.options
+            && self.telemetry == other.telemetry
             && param_map_eq(&self.params, &other.params)
     }
 }
@@ -574,6 +687,8 @@ pub struct SweepSpec {
     pub attacks: Vec<String>,
     /// System-level options applied to every cell.
     pub options: SpecOptions,
+    /// Telemetry section (`[telemetry]`) applied to every cell.
+    pub telemetry: Option<TelemetryOptions>,
 }
 
 impl PartialEq for SweepSpec {
@@ -583,6 +698,7 @@ impl PartialEq for SweepSpec {
             && self.trackers == other.trackers
             && self.attacks == other.attacks
             && self.options == other.options
+            && self.telemetry == other.telemetry
             && self.params.len() == other.params.len()
             && self
                 .params
@@ -602,12 +718,13 @@ impl SweepSpec {
             params: BTreeMap::new(),
             attacks: vec!["none".to_string()],
             options: SpecOptions::default(),
+            telemetry: None,
         }
     }
 
     fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
         let f = Fields { table };
-        let mut allowed = vec!["name", "workloads", "trackers", "params", "attacks"];
+        let mut allowed = vec!["name", "workloads", "trackers", "params", "attacks", "telemetry"];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
         let mut params = BTreeMap::new();
@@ -638,6 +755,7 @@ impl SweepSpec {
             params,
             attacks: f.str_list("attacks")?.unwrap_or_else(|| vec!["none".to_string()]),
             options: SpecOptions::from_fields(&f)?,
+            telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
         })
     }
 
@@ -657,6 +775,9 @@ impl SweepSpec {
             TomlValue::Arr(self.attacks.iter().cloned().map(TomlValue::Str).collect()),
         );
         self.options.write(&mut t);
+        if let Some(telemetry) = &self.telemetry {
+            t.insert("telemetry".into(), telemetry.to_value());
+        }
         if !self.params.is_empty() {
             let params = self
                 .params
@@ -756,7 +877,10 @@ impl SweepSpec {
         for workload in &workloads {
             for tracker in &trackers {
                 for attack in &attacks {
-                    let e = Experiment::new(workload).tracker(tracker.clone()).attack(*attack);
+                    let mut e = Experiment::new(workload).tracker(tracker.clone()).attack(*attack);
+                    if let Some(telemetry) = &self.telemetry {
+                        e = telemetry.apply(e);
+                    }
                     out.push(self.options.apply(e));
                 }
             }
@@ -794,6 +918,31 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Aggregated per-cell telemetry: one row per result that carried a
+    /// [`crate::metrics::RunTelemetry`] bundle (i.e. when the spec had a
+    /// `[telemetry]` section with recorders). `None` when no cell
+    /// recorded anything.
+    pub fn telemetry_json(&self) -> Option<Json> {
+        let rows: Vec<Json> = self
+            .results
+            .iter()
+            .filter_map(|r| {
+                r.telemetry.as_ref().map(|t| {
+                    Json::obj([
+                        ("workload", Json::str(&r.workload)),
+                        ("tracker", Json::str(&r.tracker_name)),
+                        ("attack", Json::str(&r.attack_name)),
+                        ("telemetry", t.to_json()),
+                    ])
+                })
+            })
+            .collect();
+        if rows.is_empty() {
+            return None;
+        }
+        Some(Json::obj([("name", Json::str(&self.name)), ("cells", Json::Arr(rows))]))
+    }
+
     /// Serializes the report — spec and all result rows — as JSON.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -997,6 +1146,81 @@ group_size = 256
             "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\nwidnow_us = 5.0\n";
         let err = SweepSpec::from_toml_str(doc).unwrap_err();
         assert!(err.to_string().contains("widnow_us"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_section_round_trips_and_applies() {
+        let doc = "name = \"t\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"hydra\"]\n\
+                   attacks = [\"cache-thrash\"]\nwindow_us = 100.0\n\
+                   [telemetry]\nwindow_us = 20.0\nrecorders = [\"time-series\", \"slowdown\"]\n\
+                   out = \"transient\"\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let t = spec.telemetry.as_ref().expect("telemetry section parsed");
+        assert!(t.spec.time_series && t.spec.slowdown && !t.spec.mitigation_log);
+        assert_eq!(t.spec.window_us, Some(20.0));
+        assert_eq!(t.out.as_deref(), Some("transient"));
+        // Round trip through TOML and JSON.
+        let back = SweepSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(back, spec);
+        let json_back = SweepSpec::from_json_str(&spec.to_json().render()).unwrap();
+        assert_eq!(json_back, spec);
+        // The section lands on every expanded experiment.
+        let experiments = spec.expand().unwrap();
+        assert!(experiments.iter().all(|e| e.telemetry.slowdown));
+        assert!(experiments.iter().all(|e| e.telemetry.window_us == Some(20.0)));
+    }
+
+    #[test]
+    fn telemetry_window_must_be_positive_at_parse_time() {
+        // Regression: window_us = 0 used to pass --validate and panic
+        // inside every sweep worker at build time.
+        for bad in ["0.0", "-5.0"] {
+            let doc = format!(
+                "name = \"t\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+                 [telemetry]\nwindow_us = {bad}\nrecorders = [\"slowdown\"]\n"
+            );
+            let err = SweepSpec::from_toml_str(&doc).unwrap_err();
+            assert!(err.to_string().contains("telemetry.window_us"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn telemetry_section_rejects_unknown_recorders_and_fields() {
+        let doc = "name = \"t\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+                   [telemetry]\nrecorders = [\"sloowdown\"]\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap_err();
+        assert!(err.to_string().contains("sloowdown"), "{err}");
+        assert!(err.to_string().contains("slowdown"), "must list known recorders: {err}");
+        let doc = "name = \"t\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+                   [telemetry]\nwidnow_us = 5.0\n";
+        let err = SweepSpec::from_toml_str(doc).unwrap_err();
+        assert!(err.to_string().contains("widnow_us"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_sweep_produces_per_cell_series() {
+        let doc = "name = \"tiny-telemetry\"\nworkloads = [\"povray_like\"]\n\
+                   trackers = [\"none\", \"para\"]\nwindow_us = 90.0\n\
+                   [telemetry]\nwindow_us = 30.0\nrecorders = [\"all\"]\n";
+        let report = SweepSpec::from_toml_str(doc).unwrap().run().unwrap();
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            let t = r.telemetry.as_ref().expect("every cell records");
+            assert_eq!(t.windows.len(), 3, "90 us / 30 us windows");
+            assert!(t.slowdown.is_some());
+        }
+        let telemetry = report.telemetry_json().expect("telemetry export present");
+        let rendered = telemetry.render();
+        assert!(rendered.contains("\"cells\""));
+        assert!(Json::parse(&rendered).is_ok());
+        // A recorder-free sweep exports nothing.
+        let plain = SweepSpec::from_toml_str(
+            "name = \"p\"\nworkloads = [\"povray_like\"]\ntrackers = [\"none\"]\nwindow_us = 60.0\n",
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(plain.telemetry_json().is_none());
     }
 
     #[test]

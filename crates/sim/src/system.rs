@@ -12,8 +12,17 @@
 //!   engines produce **bit-identical** [`RunStats`] by construction; the
 //!   cross-engine equivalence suite (`tests/engine_equivalence.rs`) holds
 //!   that line.
+//!
+//! Observation rides the [`sim_core::telemetry`] probe API: a
+//! [`Telemetry`] configuration attaches any number of probes to a run —
+//! event sinks (the ground-truth oracle is one such client), per-window
+//! counter samplers, run-lifecycle hooks. Probes only read: `RunStats`
+//! stays bit-identical with and without them (`tests/telemetry_equivalence.rs`),
+//! and the event engine keeps skipping — it merely caps each jump at the
+//! next window boundary so samples land exactly where the dense loop
+//! would take them.
 
-use analysis::Oracle;
+use analysis::OracleProbe;
 use cpu::{ClockRatio, Core, MemoryPort, PortResponse, Quiescence, TraceSource};
 use dram::{DramChannel, TimingParams};
 use llcache::{Llc, LookupResult};
@@ -22,6 +31,8 @@ use sim_core::addr::PhysAddr;
 use sim_core::config::SystemConfig;
 use sim_core::req::{AccessKind, MemRequest, SourceId};
 use sim_core::sched::NextEvent;
+use sim_core::stats::MemStats;
+use sim_core::telemetry::{Probe, RunMeta, Telemetry, WindowSample};
 use sim_core::time::Cycle;
 use sim_core::tracker::RowHammerTracker;
 
@@ -143,7 +154,31 @@ pub struct System {
     cores: Vec<Core>,
     hierarchy: Hierarchy,
     ratio: ClockRatio,
-    oracles: Option<Vec<Oracle>>,
+    /// Attached observers (the ground-truth oracle rides here as an
+    /// ordinary event probe). Probes only read; `RunStats` is bit-identical
+    /// with and without them, on both engines.
+    probes: Vec<Box<dyn Probe>>,
+    /// Indices into `probes` of event subscribers.
+    event_probes: Vec<usize>,
+    /// Indices into `probes` of window subscribers.
+    window_probes: Vec<usize>,
+    /// Window length in bus cycles (default: one tREFW).
+    window_len: Cycle,
+    /// Next window boundary (only meaningful while `window_probes` is
+    /// non-empty).
+    next_window: Cycle,
+    /// Start cycle of the in-flight window.
+    window_start: Cycle,
+    /// Index of the in-flight window.
+    window_index: u64,
+    /// Per-core retired count at the last window boundary.
+    win_prev_retired: Vec<u64>,
+    /// Per-core core-cycle count at the last window boundary.
+    win_prev_core_cycles: Vec<u64>,
+    /// Merged memory counters at the last window boundary.
+    win_prev_mem: MemStats,
+    /// Set once `on_run_end` has fired.
+    run_ended: bool,
     completions_buf: Vec<u64>,
     /// Issuing core per request id, indexed by `id - 1`: demand ids are
     /// allocated densely from 1 by `Hierarchy::enqueue_dram`, so a flat
@@ -180,7 +215,9 @@ impl System {
     /// * `traces` — one trace source per core.
     /// * `bypass_llc` — per-core LLC bypass (attacker cores).
     /// * `trackers` — one tracker per channel.
-    /// * `collect_events` — enable the ground-truth oracle.
+    /// * `telemetry` — the attached probes ([`Telemetry::none`] for the
+    ///   zero-overhead fast path; [`Telemetry::oracle`] requests the
+    ///   ground-truth auditor as an event-sink probe).
     ///
     /// # Panics
     ///
@@ -191,7 +228,7 @@ impl System {
         traces: Vec<Box<dyn TraceSource>>,
         bypass_llc: Vec<bool>,
         trackers: Vec<Box<dyn RowHammerTracker>>,
-        collect_events: bool,
+        telemetry: Telemetry,
     ) -> Self {
         assert_eq!(traces.len(), cfg.cpu.cores as usize, "one trace per core");
         assert_eq!(bypass_llc.len(), traces.len(), "one bypass flag per core");
@@ -204,8 +241,7 @@ impl System {
             })
             .collect();
         let timing = TimingParams::ddr5_6400();
-        let mut ctrl_cfg = CtrlConfig::new(cfg.nrh, cfg.blast_radius, cfg.mitigation);
-        ctrl_cfg.collect_events = collect_events;
+        let ctrl_cfg = CtrlConfig::new(cfg.nrh, cfg.blast_radius, cfg.mitigation);
         let ctrls: Vec<ChannelController> = trackers
             .into_iter()
             .enumerate()
@@ -218,17 +254,27 @@ impl System {
                 )
             })
             .collect();
-        let oracles = collect_events.then(|| {
-            (0..cfg.geometry.channels)
-                .map(|_| Oracle::new(cfg.nrh, cfg.blast_radius, cfg.geometry))
-                .collect()
-        });
+        let ncores = cores.len();
+        let oracle = telemetry
+            .oracle_requested()
+            .then(|| Box::new(OracleProbe::new(cfg.nrh, cfg.blast_radius, cfg.geometry)));
+        let window_len = telemetry.window_len_override().unwrap_or(timing.t_refw);
         let llc = Llc::new(cfg.llc, cfg.seed ^ 0x11C);
-        Self {
+        let mut sys = Self {
             cores,
             hierarchy: Hierarchy { cfg, llc, ctrls, bypass_llc, next_req: 1, now: 0 },
             ratio: ClockRatio::core_over_bus(),
-            oracles,
+            probes: Vec::new(),
+            event_probes: Vec::new(),
+            window_probes: Vec::new(),
+            window_len,
+            next_window: window_len,
+            window_start: 0,
+            window_index: 0,
+            win_prev_retired: vec![0; ncores],
+            win_prev_core_cycles: vec![0; ncores],
+            win_prev_mem: MemStats::default(),
+            run_ended: false,
             completions_buf: Vec::new(),
             core_of_req: Vec::new(),
             skip_cooldown: 0,
@@ -236,12 +282,68 @@ impl System {
             dense_steps: 0,
             skipped_cycles: 0,
             skips: 0,
+        };
+        if let Some(oracle) = oracle {
+            sys.attach_probe(oracle);
         }
+        for probe in telemetry.into_probes() {
+            sys.attach_probe(probe);
+        }
+        sys
     }
 
     /// Current bus cycle.
     pub fn cycle(&self) -> Cycle {
         self.hierarchy.now
+    }
+
+    /// Immutable facts delivered to probes at attach time.
+    fn run_meta(&self) -> RunMeta {
+        RunMeta {
+            tracker: self.hierarchy.ctrls[0].tracker().name().to_string(),
+            cores: self.cores.len(),
+            channels: self.hierarchy.ctrls.len(),
+            window_len: self.window_len,
+        }
+    }
+
+    /// Attaches one more probe; its subscriptions take effect immediately
+    /// (event capture in the controllers, window bookkeeping in the
+    /// engines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run has already started — mid-run attachment would
+    /// see a partial stream and (for window probes) a torn first sample.
+    pub fn attach_probe(&mut self, probe: Box<dyn Probe>) {
+        assert_eq!(self.hierarchy.now, 0, "attach probes before the run starts");
+        let idx = self.probes.len();
+        if probe.wants_events() {
+            self.event_probes.push(idx);
+            for ctrl in &mut self.hierarchy.ctrls {
+                ctrl.set_event_capture(true);
+            }
+        }
+        if probe.wants_windows() {
+            self.window_probes.push(idx);
+        }
+        self.probes.push(probe);
+        let meta = self.run_meta();
+        self.probes[idx].on_run_start(&meta);
+    }
+
+    /// Removes and returns every attached probe (for recorder readout
+    /// after the run; [`System::stats`] must be taken first if the
+    /// oracle's verdict is wanted in the `RunStats`).
+    pub fn take_probes(&mut self) -> Vec<Box<dyn Probe>> {
+        self.event_probes.clear();
+        self.window_probes.clear();
+        // No drainer remains: stop the controllers buffering events, or
+        // further `step` calls would grow the buffers unboundedly.
+        for ctrl in &mut self.hierarchy.ctrls {
+            ctrl.set_event_capture(false);
+        }
+        std::mem::take(&mut self.probes)
     }
 
     /// Advances the machine one bus cycle.
@@ -259,12 +361,18 @@ impl System {
             }
         }
 
-        // Oracle consumes the event log.
-        if let Some(oracles) = &mut self.oracles {
+        // Fan the event stream out to every subscribed probe (the oracle
+        // among them). No subscribers means the controllers buffered
+        // nothing and this is a no-op.
+        if !self.event_probes.is_empty() {
+            let probes = &mut self.probes;
+            let event_probes = &self.event_probes;
             for (ch, ctrl) in self.hierarchy.ctrls.iter_mut().enumerate() {
-                for ev in ctrl.events.drain(..) {
-                    oracles[ch].observe(&ev);
-                }
+                ctrl.drain_events(&mut |ev| {
+                    for &i in event_probes {
+                        probes[i].on_event(ch as u8, ev);
+                    }
+                });
             }
         }
 
@@ -307,11 +415,82 @@ impl System {
                 self.step();
                 self.dense_steps += 1;
             }
+            if !self.window_probes.is_empty() {
+                self.pump_windows();
+            }
             if max_inst != u64::MAX && self.cores.iter().all(|c| c.retired() >= max_inst) {
                 break;
             }
         }
+        self.finish_run();
         self.stats()
+    }
+
+    /// Emits a [`WindowSample`] for every boundary `now` has reached.
+    /// Both engines pass through every boundary cycle (the skip engine
+    /// caps its horizon at the next boundary while window probes are
+    /// attached), so the samples are bit-identical across engines.
+    fn pump_windows(&mut self) {
+        while self.hierarchy.now >= self.next_window {
+            let end = self.next_window;
+            self.emit_window(end);
+            self.next_window += self.window_len;
+        }
+    }
+
+    /// Closes the in-flight window at `end` and hands the delta sample to
+    /// every window probe.
+    fn emit_window(&mut self, end: Cycle) {
+        let mut mem = MemStats::default();
+        for ctrl in &self.hierarchy.ctrls {
+            mem.merge(&ctrl.stats);
+        }
+        let sample = WindowSample {
+            index: self.window_index,
+            start: self.window_start,
+            end,
+            retired: self
+                .cores
+                .iter()
+                .zip(&self.win_prev_retired)
+                .map(|(c, prev)| c.retired() - prev)
+                .collect(),
+            core_cycles: self
+                .cores
+                .iter()
+                .zip(&self.win_prev_core_cycles)
+                .map(|(c, prev)| c.cycles() - prev)
+                .collect(),
+            mem: mem.delta_since(&self.win_prev_mem),
+        };
+        for &i in &self.window_probes {
+            self.probes[i].on_window(&sample);
+        }
+        for (slot, core) in self.win_prev_retired.iter_mut().zip(&self.cores) {
+            *slot = core.retired();
+        }
+        for (slot, core) in self.win_prev_core_cycles.iter_mut().zip(&self.cores) {
+            *slot = core.cycles();
+        }
+        self.win_prev_mem = mem;
+        self.window_start = end;
+        self.window_index += 1;
+    }
+
+    /// Flushes the final (possibly partial) window and fires every
+    /// probe's `on_run_end` exactly once.
+    fn finish_run(&mut self) {
+        if self.run_ended {
+            return;
+        }
+        self.run_ended = true;
+        let now = self.hierarchy.now;
+        if !self.window_probes.is_empty() && now > self.window_start {
+            self.emit_window(now);
+        }
+        for p in &mut self.probes {
+            p.on_run_end(now);
+        }
     }
 
     /// `(dense bus cycles, skipped bus cycles, skips)` executed so far —
@@ -343,6 +522,13 @@ impl System {
         }
         let now = self.hierarchy.now;
         let mut horizon = self.hierarchy.cfg.window_cycles;
+        if !self.window_probes.is_empty() {
+            // Window samples must be taken exactly at boundary cycles, so
+            // a skip may reach but never cross the next boundary. Splitting
+            // a would-be longer skip in two is still an exact no-op, so
+            // `RunStats` stays bit-identical with probes attached.
+            horizon = horizon.min(self.next_window);
+        }
         for ctrl in &self.hierarchy.ctrls {
             horizon = horizon.min(NextEvent::next_event(ctrl, now));
             if horizon <= now + 1 {
@@ -399,10 +585,9 @@ impl System {
                 .energy
                 .total_mj(self.hierarchy.now, self.hierarchy.cfg.geometry.ranks as u32);
         }
-        let oracle = self.oracles.as_ref().map(|os| {
-            let max = os.iter().map(|o| o.max_damage()).max().unwrap_or(0);
-            let v: u64 = os.iter().map(|o| o.violations()).sum();
-            (max, v)
+        // The oracle is an ordinary probe; find it among the clients.
+        let oracle = self.probes.iter().find_map(|p| {
+            p.as_any().downcast_ref::<OracleProbe>().map(|o| (o.max_damage(), o.violations()))
         });
         RunStats {
             tracker: self.hierarchy.ctrls[0].tracker().name().to_string(),
@@ -459,7 +644,7 @@ mod tests {
         let trackers: Vec<Box<dyn RowHammerTracker>> = (0..cfg.geometry.channels)
             .map(|_| Box::new(NullTracker) as Box<dyn RowHammerTracker>)
             .collect();
-        System::new(cfg, traces, vec![false; cores], trackers, collect)
+        System::new(cfg, traces, vec![false; cores], trackers, Telemetry::none().oracle(collect))
     }
 
     #[test]
@@ -541,6 +726,97 @@ mod tests {
         let event = build(cfg, 20_000, false).run();
         assert_eq!(dense, event);
         assert_eq!(event.cycles, 200_000);
+    }
+
+    fn build_with_telemetry(cfg: SystemConfig, bubbles: u32, t: Telemetry) -> System {
+        let cores = cfg.cpu.cores as usize;
+        let traces: Vec<Box<dyn TraceSource>> = (0..cores)
+            .map(|i| {
+                Box::new(Stride { next: i as u64 * (16 << 30), step: 64, bubbles })
+                    as Box<dyn TraceSource>
+            })
+            .collect();
+        let trackers: Vec<Box<dyn RowHammerTracker>> = (0..cfg.geometry.channels)
+            .map(|_| Box::new(NullTracker) as Box<dyn RowHammerTracker>)
+            .collect();
+        System::new(cfg, traces, vec![false; cores], trackers, t)
+    }
+
+    #[test]
+    fn window_probes_sample_every_boundary_plus_final_partial() {
+        use sim_core::telemetry::TimeSeriesRecorder;
+        let mut cfg = small_cfg(); // 60_000-cycle run
+        cfg.window_cycles = 60_000;
+        let t = Telemetry::none().probe(TimeSeriesRecorder::new()).window_len(25_000);
+        let mut sys = build_with_telemetry(cfg, 10, t);
+        let stats = sys.run();
+        let probes = sys.take_probes();
+        let rec = probes[0].as_any().downcast_ref::<TimeSeriesRecorder>().unwrap();
+        let samples = rec.samples();
+        assert_eq!(samples.len(), 3, "two full windows + one partial");
+        assert_eq!((samples[0].start, samples[0].end), (0, 25_000));
+        assert_eq!((samples[1].start, samples[1].end), (25_000, 50_000));
+        assert_eq!((samples[2].start, samples[2].end), (50_000, 60_000));
+        // Deltas must sum back to the run totals.
+        let retired: u64 = samples.iter().map(|s| s.retired[0]).sum();
+        assert_eq!(retired, stats.retired[0]);
+        let acts: u64 = samples.iter().map(|s| s.mem.activations).sum();
+        assert_eq!(acts, stats.mem.activations);
+        assert!(samples.iter().all(|s| s.ipc(0) > 0.0));
+        assert_eq!(rec.meta().unwrap().window_len, 25_000);
+    }
+
+    #[test]
+    fn window_samples_are_engine_identical() {
+        use sim_core::telemetry::TimeSeriesRecorder;
+        for bubbles in [5, 2_000] {
+            let run = |engine: Engine| {
+                let t = Telemetry::none().probe(TimeSeriesRecorder::new()).window_len(10_000);
+                let mut sys = build_with_telemetry(small_cfg(), bubbles, t);
+                let stats = sys.run_engine(engine);
+                let probes = sys.take_probes();
+                let rec = probes[0].as_any().downcast_ref::<TimeSeriesRecorder>().unwrap().clone();
+                (stats, rec.into_samples())
+            };
+            let (dense_stats, dense_windows) = run(Engine::Dense);
+            let (event_stats, event_windows) = run(Engine::EventDriven);
+            assert_eq!(dense_stats, event_stats, "bubbles={bubbles}");
+            assert_eq!(dense_windows, event_windows, "bubbles={bubbles}");
+            assert_eq!(dense_windows.len(), 6);
+        }
+    }
+
+    #[test]
+    fn probes_do_not_perturb_runstats() {
+        use sim_core::telemetry::{MitigationLog, NullProbe, TimeSeriesRecorder};
+        let plain = build(small_cfg(), 100, false).run();
+        let t = Telemetry::none()
+            .probe(TimeSeriesRecorder::new())
+            .probe(MitigationLog::new())
+            .probe(NullProbe)
+            .window_len(7_001);
+        let probed = build_with_telemetry(small_cfg(), 100, t).run();
+        assert_eq!(plain, probed, "attaching probes must not change results");
+    }
+
+    #[test]
+    fn idle_runs_still_skip_with_window_probes_attached() {
+        use sim_core::telemetry::TimeSeriesRecorder;
+        let mut cfg = small_cfg();
+        cfg.window_cycles = 200_000;
+        let t = Telemetry::none().probe(TimeSeriesRecorder::new()).window_len(50_000);
+        let mut sys = build_with_telemetry(cfg, 20_000, t);
+        let _ = sys.run();
+        let (dense, skipped, _) = sys.engine_stats();
+        assert!(skipped > dense, "windows must cap skips, not forbid them: {dense} vs {skipped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "attach probes before the run starts")]
+    fn mid_run_probe_attachment_is_rejected() {
+        let mut sys = build(small_cfg(), 100, false);
+        sys.step();
+        sys.attach_probe(Box::new(sim_core::telemetry::NullProbe));
     }
 
     #[test]

@@ -60,6 +60,20 @@ fn fig09_spec_reproduces_the_figure_matrix() {
 }
 
 #[test]
+fn transient_spec_attaches_telemetry_to_every_cell() {
+    let text = std::fs::read_to_string(spec_dir().join("transient_telemetry.toml")).unwrap();
+    let spec = SweepSpec::from_toml_str(&text).unwrap();
+    let telemetry = spec.telemetry.as_ref().expect("[telemetry] section present");
+    assert!(telemetry.spec.time_series && telemetry.spec.slowdown);
+    assert_eq!(telemetry.spec.window_us, Some(20.0));
+    assert_eq!(telemetry.out.as_deref(), Some("transient_quick"));
+    let experiments = spec.expand().unwrap();
+    assert_eq!(experiments.len(), 6, "1 workload x 3 trackers x 2 attacks");
+    assert!(experiments.iter().all(|e| e.telemetry.slowdown && e.telemetry.time_series));
+    assert!(experiments.iter().all(|e| e.telemetry.window_us == Some(20.0)));
+}
+
+#[test]
 fn sensitivity_spec_carries_param_overrides() {
     let text = std::fs::read_to_string(spec_dir().join("hydra_rcc_sensitivity.toml")).unwrap();
     let spec = SweepSpec::from_toml_str(&text).unwrap();

@@ -1,0 +1,138 @@
+//! Criterion microbenchmarks for the memory-side hot path, so scheduler
+//! and tracker changes are measurable in isolation from full-system runs:
+//!
+//! * `ctrl_tick/*` — [`memctrl::ChannelController::tick`] under saturated
+//!   queues (the FR-FCFS scan + cached-decision-bound maintenance), for
+//!   the indexed production scheduler, the retained naive-scan oracle,
+//!   and the quiet-tick early-out.
+//! * `on_activation_attack/*` — the per-ACT path of the trackers the
+//!   Perf-Attacks lean on (Hydra's RCC/RCT, CoMeT's CMS+RAT, DAPPER-H's
+//!   double-hashed groups) under an attack-shaped access pattern (a small
+//!   aggressor set hammered hard), which drives Hydra into per-row mode
+//!   and CoMeT into RAT churn — the regimes that dominate
+//!   `tailored_attack_*` wall-clock.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dapper::{DapperConfig, DapperH};
+use dram::{DramChannel, TimingParams};
+use memctrl::{ChannelController, CtrlConfig};
+use sim_core::addr::{DramAddr, Geometry, PhysAddr};
+use sim_core::config::MitigationKind;
+use sim_core::req::{AccessKind, MemRequest, SourceId};
+use sim_core::rng::Xoshiro256;
+use sim_core::time::Cycle;
+use sim_core::tracker::{Activation, NullTracker, RowHammerTracker};
+use trackers::{Comet, Hydra, TrackerParams};
+
+/// A controller with both demand queues saturated by a conflict-heavy,
+/// hit-sprinkled request mix.
+fn saturated_controller(naive: bool) -> (ChannelController, Xoshiro256, u64) {
+    let dram = DramChannel::new(Geometry::paper_baseline(), TimingParams::ddr5_6400());
+    let cfg = CtrlConfig::new(500, 1, MitigationKind::Vrr);
+    let mut c = ChannelController::new(0, dram, Box::new(NullTracker), cfg);
+    c.set_naive_scan(naive);
+    let mut rng = Xoshiro256::seed_from(0xbeef);
+    let mut id = 1;
+    refill(&mut c, &mut rng, &mut id, 0);
+    (c, rng, id)
+}
+
+/// Tops both queues up to their caps.
+fn refill(c: &mut ChannelController, rng: &mut Xoshiro256, id: &mut u64, now: Cycle) {
+    let geom = Geometry::paper_baseline();
+    loop {
+        let kind = if rng.gen_range(100) < 30 { AccessKind::Write } else { AccessKind::Read };
+        let addr = DramAddr::new(
+            0,
+            rng.gen_range(2) as u8,
+            rng.gen_range(geom.bank_groups as u64) as u8,
+            rng.gen_range(geom.banks_per_group as u64) as u8,
+            rng.gen_range(8) as u32,
+            rng.gen_range(64) as u16,
+        );
+        if !c.enqueue(MemRequest::new(*id, SourceId(0), kind, PhysAddr(0), addr, now)) {
+            break;
+        }
+        *id += 1;
+    }
+}
+
+fn bench_ctrl_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctrl_tick");
+    for (name, naive) in [("indexed_saturated", false), ("naive_scan_saturated", true)] {
+        group.bench_function(name, |b| {
+            let (mut ctrl, mut rng, mut id) = saturated_controller(naive);
+            let mut now: Cycle = 0;
+            let mut done = Vec::new();
+            b.iter(|| {
+                ctrl.tick(now);
+                ctrl.pop_completions(now, &mut done);
+                done.clear();
+                if now.is_multiple_of(16) {
+                    refill(&mut ctrl, &mut rng, &mut id, now);
+                }
+                now += 1;
+                black_box(now)
+            });
+        });
+    }
+    // The quiet-tick fast path: an idle controller right after its bound
+    // was refreshed — every tick must early-out in O(1).
+    group.bench_function("quiet_early_out", |b| {
+        let dram = DramChannel::new(Geometry::paper_baseline(), TimingParams::ddr5_6400());
+        let cfg = CtrlConfig::new(500, 1, MitigationKind::Vrr);
+        let mut ctrl = ChannelController::new(0, dram, Box::new(NullTracker), cfg);
+        ctrl.tick(0);
+        b.iter(|| {
+            ctrl.tick(black_box(1));
+        });
+    });
+    group.finish();
+}
+
+/// Attack-shaped activation stream: a small aggressor set hammered in
+/// round-robin across two ranks (what tailored attacks and the red-team
+/// scenarios produce at the controller).
+fn attack_acts(n: usize, aggressors: u64, seed: u64) -> Vec<Activation> {
+    let geom = Geometry::paper_baseline();
+    let mut rng = Xoshiro256::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let idx = (rng.gen_range(aggressors)) * 64 + 7;
+            let rank = (i & 1) as u8;
+            Activation {
+                addr: geom.addr_from_rank_row_index(0, rank, idx % geom.rows_per_rank()),
+                source: SourceId(0),
+                cycle: i as u64 * 8,
+            }
+        })
+        .collect()
+}
+
+fn bench_tracker_attack_path(c: &mut Criterion) {
+    let acts = attack_acts(4096, 192, 0x5eed);
+    let mut group = c.benchmark_group("on_activation_attack");
+    macro_rules! bench_tracker {
+        ($name:literal, $mk:expr) => {
+            group.bench_function($name, |b| {
+                let mut t = $mk;
+                let mut out = Vec::new();
+                let mut i = 0;
+                b.iter(|| {
+                    out.clear();
+                    t.on_activation(black_box(acts[i & 4095]), &mut out);
+                    i += 1;
+                    black_box(out.len())
+                });
+            });
+        };
+    }
+    let p = TrackerParams::baseline(500, 0, 7);
+    bench_tracker!("hydra", Hydra::new(p));
+    bench_tracker!("comet", Comet::new(p));
+    bench_tracker!("dapper_h", DapperH::new(DapperConfig::baseline(500, 0, 7)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctrl_tick, bench_tracker_attack_path);
+criterion_main!(benches);

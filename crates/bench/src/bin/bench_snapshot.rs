@@ -1,19 +1,31 @@
 //! Machine-readable throughput snapshot: dense vs. event-driven engine.
 //!
 //! Writes `BENCH_system_throughput.json` (cycles simulated, wall time,
-//! simulated-cycles-per-second, and the event/dense speedup per scenario)
-//! so successive PRs accumulate a performance trajectory. CI runs this in
-//! `--smoke` mode; locally, run without arguments for the full windows:
+//! simulated-cycles-per-second, the event/dense speedup, the deterministic
+//! dense-step fraction, and the hot-path speedup against the recorded
+//! pre-indexed-scheduler baseline) so successive PRs accumulate a
+//! performance trajectory. CI runs this in `--smoke` (alias `--quick`)
+//! mode with `--enforce-floors`; locally, run without arguments for the
+//! full windows:
 //!
 //! ```text
-//! cargo run --release --bin bench_snapshot [-- --smoke] [--out PATH]
+//! cargo run --release --bin bench_snapshot [-- --smoke|--quick] [--enforce-floors] [--out PATH]
 //! ```
 //!
-//! The idle-heavy scenario (`povray_like`, ~0.4 LLC accesses per kilo-
-//! instruction) is the headline: quiet bus stretches are exactly what the
-//! time-skipping engine elides, and the acceptance bar is a >= 3x
-//! wall-clock improvement there. Saturated scenarios are included to track
-//! that the skip probing does not regress dense-bound workloads.
+//! Two families of acceptance bars:
+//!
+//! * **Idle scenarios** (`idle_povray_dapper_h`): quiet bus stretches are
+//!   what the time-skipping engine elides; the bar is a >= 3x event/dense
+//!   wall-clock ratio.
+//! * **Saturated/attack scenarios**: since the dense engine shares the
+//!   indexed FR-FCFS scheduler, both engines speed up together and the
+//!   within-build ratio hovers near 1. The hot-path win is therefore
+//!   measured against `BASELINE_MCPS` — the event-engine throughput this
+//!   machine recorded *before* the indexed scheduler and
+//!   command-granularity stepping landed — with a >= 2x bar, plus the
+//!   noise-free structural guard that the event engine simulates at most
+//!   a per-scenario `dense_fraction_max` of bus cycles densely (the
+//!   fraction is bit-deterministic, so CI can check it on any machine).
 
 use sim::experiment::{AttackChoice, Experiment, TelemetrySpec};
 use sim::{Engine, RunStats};
@@ -24,6 +36,13 @@ struct Scenario {
     build: fn(f64) -> Experiment,
     /// Window in microseconds (full mode); smoke mode quarters it.
     window_us: f64,
+    /// Event-engine Mc/s recorded on the reference machine before the
+    /// indexed-scheduler PR (the seed of the >= 2x hot-path acceptance);
+    /// `None` for scenarios judged by the event/dense ratio instead.
+    baseline_mcps: Option<f64>,
+    /// Structural floor: maximum fraction of bus cycles the event engine
+    /// may simulate densely (deterministic, so enforced even in smoke).
+    dense_fraction_max: Option<f64>,
 }
 
 fn idle_povray(window_us: f64) -> Experiment {
@@ -43,51 +62,132 @@ fn attacked_gcc(window_us: f64) -> Experiment {
 }
 
 const SCENARIOS: &[Scenario] = &[
-    Scenario { name: "idle_povray_dapper_h", build: idle_povray, window_us: 2_000.0 },
-    Scenario { name: "idle_namd_insecure", build: idle_namd, window_us: 2_000.0 },
-    Scenario { name: "saturated_mcf_dapper_h", build: saturated_mcf, window_us: 500.0 },
-    Scenario { name: "tailored_attack_gcc_hydra", build: attacked_gcc, window_us: 500.0 },
+    Scenario {
+        name: "idle_povray_dapper_h",
+        build: idle_povray,
+        window_us: 2_000.0,
+        baseline_mcps: None,
+        dense_fraction_max: Some(0.10),
+    },
+    Scenario {
+        name: "idle_namd_insecure",
+        build: idle_namd,
+        window_us: 2_000.0,
+        baseline_mcps: None,
+        dense_fraction_max: Some(0.15),
+    },
+    Scenario {
+        name: "saturated_mcf_dapper_h",
+        build: saturated_mcf,
+        window_us: 500.0,
+        // PR-4-era snapshot on this machine: event 2.17 Mc/s (dense 2.05).
+        baseline_mcps: Some(2.17),
+        dense_fraction_max: Some(0.60),
+    },
+    Scenario {
+        name: "tailored_attack_gcc_hydra",
+        build: attacked_gcc,
+        window_us: 500.0,
+        // PR-4-era snapshot on this machine: event 1.21 Mc/s (dense 1.26).
+        baseline_mcps: Some(1.21),
+        dense_fraction_max: Some(0.60),
+    },
 ];
 
-fn time_run(e: &Experiment, engine: Engine) -> (RunStats, f64) {
-    let mut sys = e.build_system(false);
-    let t = Instant::now();
-    let stats = sys.run_engine(engine);
-    (stats, t.elapsed().as_secs_f64())
+/// Hot-path acceptance bar against the recorded baselines (full mode).
+const HOTPATH_SPEEDUP_FLOOR: f64 = 2.0;
+/// Event/dense ratio floor on saturated scenarios: the event engine must
+/// never lose to dense (the seed regressed to 0.956x on the attack run).
+const SATURATED_RATIO_FLOOR: f64 = 0.85;
+
+/// Best-of-N wall-clock measurement (the machine is shared and noisy; the
+/// minimum is the least-perturbed sample).
+fn time_run(e: &Experiment, engine: Engine, reps: u32) -> (RunStats, f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut stats = None;
+    let mut dense_fraction = 0.0;
+    for _ in 0..reps {
+        let mut sys = e.build_system(false);
+        let t = Instant::now();
+        let s = sys.run_engine(engine);
+        let dt = t.elapsed().as_secs_f64();
+        let (dense, _, _) = sys.engine_stats();
+        dense_fraction = dense as f64 / s.cycles.max(1) as f64;
+        if let Some(prev) = &stats {
+            assert_eq!(prev, &s, "nondeterministic run");
+        }
+        stats = Some(s);
+        best = best.min(dt);
+    }
+    (stats.expect("at least one rep"), best, dense_fraction)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let enforce_floors = args.iter().any(|a| a == "--enforce-floors");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_system_throughput.json".to_string());
+    let reps = if smoke { 2 } else { 3 };
 
     let mut entries = Vec::new();
     let mut idle_speedup: f64 = 0.0;
+    let mut failures: Vec<String> = Vec::new();
     for sc in SCENARIOS {
         let window = if smoke { sc.window_us / 4.0 } else { sc.window_us };
         let e = (sc.build)(window);
         // Warm once (allocator, page faults), then measure each engine.
-        let _ = time_run(&e, Engine::EventDriven);
-        let (dense_stats, dense_s) = time_run(&e, Engine::Dense);
-        let (event_stats, event_s) = time_run(&e, Engine::EventDriven);
+        let _ = time_run(&e, Engine::EventDriven, 1);
+        let (dense_stats, dense_s, _) = time_run(&e, Engine::Dense, reps);
+        let (event_stats, event_s, dense_fraction) = time_run(&e, Engine::EventDriven, reps);
         assert_eq!(dense_stats, event_stats, "{}: engines diverged", sc.name);
         let speedup = dense_s / event_s.max(1e-12);
         if sc.name.starts_with("idle_povray") {
             idle_speedup = speedup;
         }
         let cycles = dense_stats.cycles;
+        let event_mcps = cycles as f64 / event_s / 1e6;
+        let vs_baseline = sc.baseline_mcps.map(|b| event_mcps / b);
         println!(
-            "{:<28} {:>11} cycles  dense {:>8.1} Mc/s  event {:>8.1} Mc/s  speedup {:>5.2}x",
+            "{:<28} {:>11} cycles  dense {:>8.1} Mc/s  event {:>8.1} Mc/s  ratio {:>5.2}x  dense-steps {:>5.1}%{}",
             sc.name,
             cycles,
             cycles as f64 / dense_s / 1e6,
-            cycles as f64 / event_s / 1e6,
-            speedup
+            event_mcps,
+            speedup,
+            100.0 * dense_fraction,
+            vs_baseline.map_or(String::new(), |v| format!("  vs-baseline {v:.2}x")),
         );
+        if let Some(maxf) = sc.dense_fraction_max {
+            if dense_fraction > maxf {
+                failures.push(format!(
+                    "{}: dense-step fraction {:.3} above the {maxf:.2} floor",
+                    sc.name, dense_fraction
+                ));
+            }
+        }
+        // Wall-clock floors only run on the full windows: smoke samples
+        // are ~0.1 s on possibly noisy shared runners, where only the
+        // bit-deterministic dense-step fractions are trustworthy.
+        if !smoke && sc.baseline_mcps.is_some() && speedup < SATURATED_RATIO_FLOOR {
+            failures.push(format!(
+                "{}: event/dense ratio {speedup:.3} below the {SATURATED_RATIO_FLOOR} floor",
+                sc.name
+            ));
+        }
+        if !smoke {
+            if let Some(v) = vs_baseline {
+                if v < HOTPATH_SPEEDUP_FLOOR {
+                    failures.push(format!(
+                        "{}: hot-path speedup {v:.2}x vs recorded baseline below {HOTPATH_SPEEDUP_FLOOR}x",
+                        sc.name
+                    ));
+                }
+            }
+        }
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -98,7 +198,8 @@ fn main() {
                 "      \"event_seconds\": {:.6},\n",
                 "      \"dense_mcycles_per_s\": {:.2},\n",
                 "      \"event_mcycles_per_s\": {:.2},\n",
-                "      \"event_speedup\": {:.3}\n",
+                "      \"event_speedup\": {:.3},\n",
+                "      \"event_dense_step_fraction\": {:.4}{}\n",
                 "    }}"
             ),
             sc.name,
@@ -107,8 +208,15 @@ fn main() {
             dense_s,
             event_s,
             cycles as f64 / dense_s / 1e6,
-            cycles as f64 / event_s / 1e6,
-            speedup
+            event_mcps,
+            speedup,
+            dense_fraction,
+            match (sc.baseline_mcps, vs_baseline) {
+                (Some(b), Some(v)) => format!(
+                    ",\n      \"baseline_event_mcycles_per_s\": {b:.2},\n      \"hot_path_speedup_vs_baseline\": {v:.3}"
+                ),
+                _ => String::new(),
+            },
         ));
     }
 
@@ -122,27 +230,32 @@ fn main() {
         let plain = idle_povray(window);
         let probed =
             idle_povray(window).with_telemetry(TelemetrySpec::all_recorders(window / 20.0));
-        let _ = time_run(&plain, Engine::EventDriven); // warm
-        let (off_stats, off_s) = time_run(&plain, Engine::EventDriven);
+        let _ = time_run(&plain, Engine::EventDriven, 1); // warm
+        let (off_stats, off_s, _) = time_run(&plain, Engine::EventDriven, reps);
         // `build_system` attaches the time-series + mitigation recorders;
         // the slowdown trace (normally attached by `run_against`) is added
         // by hand so every built-in recorder is live.
-        let mut sys = probed.build_system(false);
-        let cores = probed.cfg.cpu.cores as usize;
-        sys.attach_probe(Box::new(sim_core::telemetry::SlowdownTrace::flat(
-            vec![1.0; cores],
-            (0..cores).collect(),
-        )));
-        let t0 = Instant::now();
-        let on_stats = sys.run_engine(Engine::EventDriven);
-        let on_s = t0.elapsed().as_secs_f64();
-        assert_eq!(off_stats, on_stats, "recorders perturbed the run");
-        let ratio = on_s / off_s.max(1e-12);
+        let mut best = f64::INFINITY;
+        let mut on_stats = None;
+        for _ in 0..reps {
+            let mut sys = probed.build_system(false);
+            let cores = probed.cfg.cpu.cores as usize;
+            sys.attach_probe(Box::new(sim_core::telemetry::SlowdownTrace::flat(
+                vec![1.0; cores],
+                (0..cores).collect(),
+            )));
+            let t0 = Instant::now();
+            let s = sys.run_engine(Engine::EventDriven);
+            best = best.min(t0.elapsed().as_secs_f64());
+            on_stats = Some(s);
+        }
+        assert_eq!(off_stats, on_stats.expect("probed rep"), "recorders perturbed the run");
+        let ratio = best / off_s.max(1e-12);
         println!(
             "telemetry overhead: probe-off {:.4}s  probe-on (all recorders) {:.4}s  ratio {:.3}x",
-            off_s, on_s, ratio
+            off_s, best, ratio
         );
-        (off_s, on_s, ratio)
+        (off_s, best, ratio)
     };
 
     let json = format!(
@@ -152,6 +265,7 @@ fn main() {
             "  \"mode\": \"{}\",\n",
             "  \"engines\": [\"dense\", \"event_driven\"],\n",
             "  \"idle_povray_event_speedup\": {:.3},\n",
+            "  \"note\": \"dense shares the indexed scheduler, so saturated/attack wins are tracked by hot_path_speedup_vs_baseline (recorded pre-indexed-scheduler event Mc/s) and the deterministic event_dense_step_fraction\",\n",
             "  \"telemetry\": {{\n",
             "    \"scenario\": \"idle_povray_dapper_h\",\n",
             "    \"recorders\": [\"time-series\", \"slowdown\", \"mitigation-log\"],\n",
@@ -171,12 +285,28 @@ fn main() {
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("wrote {out_path}");
+
     if idle_speedup < 3.0 {
-        // Smoke mode measures a single ~ms-scale sample on possibly noisy
-        // shared runners; flag without failing there. Full mode is the
-        // acceptance measurement and enforces the bar.
+        // Smoke mode measures ~ms-scale samples on possibly noisy shared
+        // runners; flag without failing there. Full mode is the acceptance
+        // measurement and enforces the bar.
         let msg = format!("idle-heavy speedup {idle_speedup:.2}x below the 3x acceptance bar");
         assert!(smoke, "{msg}");
         eprintln!("warning: {msg} (smoke mode — not enforced)");
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("floor violation: {f}");
+        }
+        // Wall-clock floors are enforced in full mode and whenever CI asks
+        // for it; structural (deterministic) floors are among them either
+        // way, so a hot-path regression cannot slip through as noise.
+        assert!(
+            smoke && !enforce_floors,
+            "{} floor violation(s), first: {}",
+            failures.len(),
+            failures[0]
+        );
+        eprintln!("warning: floors not enforced (smoke mode without --enforce-floors)");
     }
 }

@@ -125,6 +125,18 @@ pub enum Quiescence {
         /// Exact number of fast-forwardable core cycles.
         cycles: u64,
     },
+    /// The core has an access parked after a Busy answer and no staged
+    /// bubbles: every coming cycle retries exactly that access and
+    /// dispatches nothing else. **If** the engine can prove the port would
+    /// keep answering Busy (the target queues cannot drain before its
+    /// horizon) and no completion arrives, any number of cycles can be
+    /// replayed in closed form with [`Core::port_blocked_forward`] —
+    /// retire keeps draining ready window slots exactly as dense stepping
+    /// would, and the Busy retries themselves are side-effect-free. This
+    /// is the state saturated memory-bound cores live in, and what lets
+    /// the time-skipping engine advance them between command-issue
+    /// decision points instead of bus cycle by bus cycle.
+    PortBlocked,
 }
 
 /// Accumulated effect of a virtual (no-memory) run over a core: shared by
@@ -497,6 +509,50 @@ impl Core {
     /// at most this many cycles produces bit-identical retire/stall/cycle
     /// counters and a behaviourally equivalent window.
     pub fn quiescence(&self) -> Quiescence {
+        // O(1) first: an access parked with no staged bubbles means every
+        // coming cycle is retire-plus-one-port-retry, whatever the window
+        // holds — if the port provably keeps refusing, any horizon replays
+        // in closed form, so no budget and no phase walk are needed. The
+        // engine validates the refusal; when the port might accept it
+        // falls back to [`Core::quiescence_unparked`].
+        if self.is_port_blocked() {
+            return Quiescence::PortBlocked;
+        }
+        self.quiescence_unparked()
+    }
+
+    /// O(1): true when the core sits in the [`Quiescence::PortBlocked`]
+    /// state (an access parked behind a Busy answer with no staged
+    /// bubbles). Engines poll this every cycle when deciding whether a
+    /// core can be frozen, so it must not walk the window.
+    pub fn is_port_blocked(&self) -> bool {
+        self.staged_access.is_some() && self.bubbles_left == 0
+    }
+
+    /// O(1): true when the window is full behind a pending head — the
+    /// [`Quiescence::Stalled`] shape. Nothing but a completion can change
+    /// the core's state from here (the full window fences dispatch off
+    /// entirely), so an engine may freeze such a core with no standing
+    /// condition at all and replay the elided span as pure stall cycles.
+    pub fn is_fully_stalled(&self) -> bool {
+        self.window.len() == self.rob && matches!(self.window.front(), Some(Slot::Pending))
+    }
+
+    /// [`Core::quiescence`] without the port-blocked short-circuit: how
+    /// far the core can go *never touching the port at all*. This is the
+    /// valid classification when a parked access might be accepted (the
+    /// engine could not prove the port stays Busy); a parked core that
+    /// cannot even reach its next dispatch attempt may still stream or
+    /// stall for a bounded stretch.
+    pub fn quiescence_unparked(&self) -> Quiescence {
+        // O(1) Busy detection: out of bubbles with nothing parked and room
+        // to dispatch means the very next cycle consults the trace (retire
+        // only shrinks the window, so dispatch cannot be fenced off).
+        // Actively-running cores answer here, which keeps failed skip
+        // probes on saturated-but-churning phases cheap.
+        if self.bubbles_left == 0 && self.staged_access.is_none() && self.window.len() < self.rob {
+            return Quiescence::Busy;
+        }
         // Fast path: whole window retireable and enough bubbles for at
         // least one full-width cycle — the steady drain needs no phase
         // walk; its horizon is purely bubble-bounded.
@@ -513,6 +569,76 @@ impl Core {
             Quiescence::Busy
         } else {
             Quiescence::Streaming { cycles: r.cycles }
+        }
+    }
+
+    /// The access a [`Quiescence::PortBlocked`] core retries every cycle:
+    /// `(address, is_write)`. `None` unless an access is parked with no
+    /// staged bubbles ahead of it.
+    pub fn blocked_access(&self) -> Option<(PhysAddr, bool)> {
+        if self.bubbles_left == 0 {
+            self.staged_access
+        } else {
+            None
+        }
+    }
+
+    /// Advances a [`Quiescence::PortBlocked`] core `n` core cycles in
+    /// closed form, assuming every retry of the parked access answers Busy
+    /// and no completion arrives — the caller must have proven both (queue
+    /// state frozen through its horizon). The effect is exactly that of
+    /// `n` dense [`Core::cycle`] calls: ready window slots retire oldest
+    /// first at up to `width` per cycle, stall cycles accrue while the
+    /// head is blocked, and the Busy retries touch nothing.
+    pub fn port_blocked_forward(&mut self, n: u64) {
+        debug_assert!(
+            self.is_port_blocked() || self.is_fully_stalled(),
+            "port_blocked_forward outside the port-blocked/fully-stalled states"
+        );
+        let mut left = n;
+        while left > 0 {
+            match self.window.front() {
+                None => {
+                    // Empty window: nothing retires, nothing stalls (the
+                    // stall counter only runs against a non-empty window).
+                    self.cycle += left;
+                    break;
+                }
+                Some(Slot::Pending) => {
+                    // Only a completion could unwedge the head, and none
+                    // arrives within the caller's horizon.
+                    self.stall_cycles += left;
+                    self.cycle += left;
+                    break;
+                }
+                Some(Slot::DoneAt(t)) if *t > self.cycle => {
+                    // Head completes at a known future cycle: stall up to
+                    // it in one jump.
+                    let m = (*t - self.cycle).min(left);
+                    self.stall_cycles += m;
+                    self.cycle += m;
+                    left -= m;
+                }
+                Some(Slot::DoneAt(_)) => {
+                    // Ready head: replay one dense retire cycle (at most
+                    // `width` pops), then reclassify — slots further back
+                    // may become ready as the clock advances.
+                    let mut retired_now = 0;
+                    while retired_now < self.width {
+                        match self.window.front() {
+                            Some(Slot::DoneAt(t)) if *t <= self.cycle => {
+                                self.window.pop_front();
+                                self.head_seq += 1;
+                                self.retired += 1;
+                                retired_now += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    self.cycle += 1;
+                    left -= 1;
+                }
+            }
         }
     }
 
@@ -603,6 +729,16 @@ impl ClockRatio {
     /// The 4 GHz-over-3.2 GHz ratio used by the baseline system.
     pub fn core_over_bus() -> Self {
         Self { acc: 0 }
+    }
+
+    /// Total core cycles emitted for the first `bus` bus cycles of a run
+    /// (phase starting at zero): the per-cycle recurrence conserves
+    /// `acc + 4 * emitted = 5 * bus`, so the sum telescopes to
+    /// `floor(5 * bus / 4)`. Closed-form and path-independent — engines
+    /// use it to replay a frozen component's span `[a, b)` as
+    /// `at(b) - at(a)` without sharing ratio state.
+    pub fn cumulative_core_cycles(bus: u64) -> u64 {
+        5 * bus / 4
     }
 
     /// Core cycles to run for the next bus cycle (1 or 2; averages 1.25).
@@ -765,6 +901,16 @@ mod tests {
     }
 
     #[test]
+    fn clock_ratio_cumulative_matches_the_recurrence() {
+        let mut r = ClockRatio::core_over_bus();
+        let mut emitted = 0u64;
+        for bus in 0..100u64 {
+            assert_eq!(ClockRatio::cumulative_core_cycles(bus), emitted, "bus {bus}");
+            emitted += r.core_cycles_for_bus_cycle() as u64;
+        }
+    }
+
+    #[test]
     fn clock_ratio_batch_matches_dense_sequence() {
         for lead in 0..7u64 {
             for k in 0..23u64 {
@@ -915,6 +1061,89 @@ mod tests {
             skip.cycle(&mut port_b);
         }
         assert_eq!(snapshot(&dense), snapshot(&skip));
+    }
+
+    /// Answers `Done` for the first few accesses, then `Busy` forever —
+    /// parks the core in the port-blocked state with work in flight.
+    struct FlakyPort {
+        grants_left: u32,
+    }
+    impl MemoryPort for FlakyPort {
+        fn access(&mut self, _s: SourceId, _a: PhysAddr, _k: AccessKind) -> PortResponse {
+            if self.grants_left > 0 {
+                self.grants_left -= 1;
+                PortResponse::Done { latency: 25 }
+            } else {
+                PortResponse::Busy
+            }
+        }
+    }
+
+    #[test]
+    fn port_blocked_forward_matches_dense_busy_port() {
+        // Prime two identical cores until an access is parked behind a Busy
+        // port while completed-but-unretired work sits in the window, then
+        // advance one densely (port still Busy) and one in closed form.
+        let mk = || Core::new(SourceId(0), 4, 16, Box::new(Bubbles(3)));
+        let mut dense = mk();
+        let mut skip = mk();
+        let mut flaky_a = FlakyPort { grants_left: 6 };
+        let mut flaky_b = FlakyPort { grants_left: 6 };
+        for _ in 0..12 {
+            dense.cycle(&mut flaky_a);
+            skip.cycle(&mut flaky_b);
+        }
+        // Step densely through any residual streaming headroom until the
+        // parked access is the only thing left to do.
+        let mut park_a = FlakyPort { grants_left: 0 };
+        let mut park_b = FlakyPort { grants_left: 0 };
+        for _ in 0..64 {
+            if skip.quiescence() == Quiescence::PortBlocked {
+                break;
+            }
+            dense.cycle(&mut park_a);
+            skip.cycle(&mut park_b);
+        }
+        assert_eq!(skip.quiescence(), Quiescence::PortBlocked, "setup must park the core");
+        let (addr, is_write) = skip.blocked_access().expect("a parked access");
+        assert_eq!((addr, is_write), (PhysAddr(64), false));
+        // Walk uneven horizons, comparing against dense stepping with a
+        // port that keeps answering Busy.
+        let mut busy = NeverReady;
+        for chunk in [1u64, 3, 10, 100, 5000] {
+            skip.port_blocked_forward(chunk);
+            for _ in 0..chunk {
+                dense.cycle(&mut busy);
+            }
+            assert_eq!(snapshot(&dense), snapshot(&skip), "diverged after chunk {chunk}");
+        }
+        // Once the port opens up again both resume identically.
+        let mut mem_a = FixedLatency(9);
+        let mut mem_b = FixedLatency(9);
+        for _ in 0..60 {
+            dense.cycle(&mut mem_a);
+            skip.cycle(&mut mem_b);
+        }
+        assert_eq!(snapshot(&dense), snapshot(&skip));
+        assert!(dense.retired() > 0);
+    }
+
+    #[test]
+    fn port_blocked_pending_head_absorbs_everything() {
+        // Pending head + parked access in a *non-full* window (a full one
+        // is the stronger `Stalled` state): the whole horizon is one stall.
+        let mut core = Core::new(SourceId(0), 4, 8, Box::new(Bubbles(0)));
+        let mut pend = PendingPort { next_id: 0, issued: vec![] };
+        core.cycle(&mut pend);
+        // Park the next access behind a Busy port.
+        let mut busy = NeverReady;
+        core.cycle(&mut busy);
+        assert_eq!(core.quiescence(), Quiescence::PortBlocked);
+        let before_retired = core.retired();
+        let before_stalls = core.stall_cycles();
+        core.port_blocked_forward(1_000_000);
+        assert_eq!(core.retired(), before_retired, "pending head cannot retire");
+        assert_eq!(core.stall_cycles(), before_stalls + 1_000_000);
     }
 
     #[test]

@@ -103,6 +103,42 @@ impl DramChannel {
         self.bank(a).open_row
     }
 
+    /// The row currently open in bank `(rank, bank-in-rank)`, if any.
+    ///
+    /// The `*_at` accessors are the scheduler's fast paths: its per-bank
+    /// scan already knows the coordinates, so they skip the address
+    /// re-decode the [`DramAddr`]-keyed variants pay.
+    pub fn open_row_at(&self, rank: u8, bank: u32) -> Option<u32> {
+        self.ranks[rank as usize].banks[bank as usize].open_row
+    }
+
+    /// [`DramChannel::earliest_col`] keyed by (rank, bank-in-rank).
+    pub fn earliest_col_at(&self, rank: u8, bank: u32, now: Cycle) -> Cycle {
+        let r = &self.ranks[rank as usize];
+        let b = &r.banks[bank as usize];
+        let bus_gate = self.data_bus_free.saturating_sub(self.timing.t_cl);
+        now.max(b.next_col).max(r.blocked_until).max(bus_gate)
+    }
+
+    /// [`DramChannel::earliest_act`] keyed by (rank, bank-in-rank, group).
+    pub fn earliest_act_at(&self, rank: u8, bank: u32, bg: u8, now: Cycle) -> Cycle {
+        let r = &self.ranks[rank as usize];
+        let b = &r.banks[bank as usize];
+        debug_assert!(b.open_row.is_none(), "ACT to an open bank; PRE first");
+        let faw_gate = if r.faw_count >= 4 { r.faw[r.faw_idx] + self.timing.t_faw } else { 0 };
+        now.max(b.next_act)
+            .max(r.next_act_any)
+            .max(r.next_act_bg[bg as usize])
+            .max(faw_gate)
+            .max(r.blocked_until)
+    }
+
+    /// [`DramChannel::earliest_pre`] keyed by (rank, bank-in-rank).
+    pub fn earliest_pre_at(&self, rank: u8, bank: u32, now: Cycle) -> Cycle {
+        let r = &self.ranks[rank as usize];
+        now.max(r.banks[bank as usize].next_pre).max(r.blocked_until)
+    }
+
     /// True if the addressed bank has `a.row` open (a row-buffer hit).
     pub fn is_row_hit(&self, a: &DramAddr) -> bool {
         self.open_row(a) == Some(a.row)

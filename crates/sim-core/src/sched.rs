@@ -1,20 +1,31 @@
 //! Event-driven scheduling vocabulary.
 //!
 //! The simulator's time-skipping engine asks each component when it next
-//! has something to do and advances the clock straight to the earliest such
-//! cycle instead of ticking every bus cycle. [`NextEvent`] is the contract
-//! a component must uphold to participate:
+//! has something to do and advances the clock straight to that cycle
+//! instead of ticking every bus cycle. [`NextEvent`] is the contract a
+//! component must uphold to participate:
 //!
-//! * `next_event(now)` returns a **lower bound** on the first cycle
-//!   `> now` at which ticking the component could have any observable
-//!   effect (issue a command, surface a completion, fire a refresh or
-//!   tracker hook, mutate statistics, consult the tracker, ...).
+//! * `next_event(now)` returns the component's next **decision point**: a
+//!   lower bound `>= now` on the first cycle at which ticking the
+//!   component could have any observable effect (issue a command, surface
+//!   a completion, fire a refresh or tracker hook, mutate statistics,
+//!   consult the tracker, ...).
+//! * Returning `now` means "tick me this very cycle" — the caller must
+//!   step densely. Returning `T > now` asserts that ticks at every cycle
+//!   in `now..T` are exact no-ops, so the engine may jump straight to `T`
+//!   and tick there; this is what lets a saturated controller advance in
+//!   command-granularity steps (one tick per command-issue decision)
+//!   rather than one tick per bus cycle.
 //! * Returning a bound that is *too small* merely costs a wasted dense
 //!   tick; returning a bound that is *too large* skips real work and
 //!   breaks bit-exact equivalence with the dense engine. When in doubt a
-//!   component must answer `now + 1` (dense fallback).
+//!   component must answer `now`.
 //! * The bound is computed against current state only; it must not mutate
-//!   the component.
+//!   the component. Implementations are expected to answer in O(1) — the
+//!   engine probes every component each iteration, so the probe must cost
+//!   less than the dense tick it hopes to elide (the memory controller
+//!   caches its bound and keeps it current across mutations for exactly
+//!   this reason).
 //!
 //! [`NEVER`] is the answer for "no pending work at all"; callers clamp it
 //! against their own horizon (simulation window end).
@@ -24,16 +35,18 @@ use crate::time::Cycle;
 /// "No event pending": the maximal cycle, to be clamped by the caller.
 pub const NEVER: Cycle = Cycle::MAX;
 
-/// A component that can report when it next needs to be ticked.
+/// A component that can report its next decision point.
 pub trait NextEvent {
-    /// Lower bound (`> now`) on the next cycle at which ticking this
-    /// component could have an observable effect. See the module docs for
-    /// the exact contract.
+    /// The first cycle `>= now` at which ticking this component could have
+    /// an observable effect; `now` itself means "cannot skip". See the
+    /// module docs for the exact contract.
     fn next_event(&self, now: Cycle) -> Cycle;
 }
 
-/// Clamps a candidate event time into the caller's valid range: at least
-/// `now + 1` (an event can never be due in the past) and at most `NEVER`.
+/// Clamps a candidate event time into the range callers that track
+/// "first effect strictly after the tick I just ran" expect: at least
+/// `now + 1` (the current cycle has already been processed) and at most
+/// [`NEVER`].
 pub fn at_least_next_cycle(t: Cycle, now: Cycle) -> Cycle {
     t.max(now.saturating_add(1))
 }

@@ -59,6 +59,23 @@ const MAX_SKIP_BACKOFF: u32 = 16;
 /// LLC hit latency in core cycles (tag + data array of a large shared LLC).
 const LLC_HIT_LATENCY: u32 = 30;
 
+/// A core frozen mid-run: parked behind a memory port that provably keeps
+/// answering Busy. Its dense evolution from `since` on is pure
+/// retire-plus-refused-retry, replayable in closed form at any later
+/// cycle, so the engine stops simulating it per cycle and remembers only
+/// where it stopped and which queue(s) must stay full.
+#[derive(Debug, Clone, Copy)]
+struct Frozen {
+    /// Bus cycle the core was frozen at (its state is "before `since`").
+    since: Cycle,
+    /// Standing condition: `Some((channel, is_write, bypass))` for a
+    /// port-blocked core, whose parked access must keep being refused by
+    /// that channel's queue(s) — re-checked each cycle, O(1). `None` for a
+    /// fully-stalled core (window full behind a pending head): nothing but
+    /// a completion can touch it, and completions unfreeze on delivery.
+    check: Option<(usize, bool, bool)>,
+}
+
 /// The memory hierarchy below the cores (split off so cores and hierarchy
 /// can be borrowed simultaneously).
 struct Hierarchy {
@@ -91,6 +108,38 @@ impl Hierarchy {
 
     fn channel_of(&self, addr: PhysAddr) -> usize {
         self.cfg.geometry.decode(addr).channel as usize
+    }
+
+    /// The queue coordinates `(channel, is_write, bypass)` that decide
+    /// whether [`MemoryPort::access`] refuses this request — precomputed
+    /// once so a standing freeze proof can re-check refusal in O(1).
+    fn stall_cond(&self, source: SourceId, addr: PhysAddr, is_write: bool) -> (usize, bool, bool) {
+        let bypass = self.bypass_llc.get(source.0 as usize).copied().unwrap_or(false);
+        (self.channel_of(addr), is_write, bypass)
+    }
+
+    /// True when [`MemoryPort::access`] for a request with these
+    /// coordinates is guaranteed to answer [`PortResponse::Busy`] — and to
+    /// keep answering Busy for as long as no controller issues a command
+    /// or accepts an enqueue (queue occupancy is the only input). This is
+    /// the proof obligation behind skipping or freezing a
+    /// [`Quiescence::PortBlocked`] core: its parked retries are no-ops
+    /// while this holds, and it can only stop holding at a controller
+    /// decision point. **This predicate must mirror the Busy pre-checks in
+    /// [`MemoryPort::access`] below exactly** — it is the single copy
+    /// every freeze/skip path consults.
+    fn queue_full_for(&self, (ch, is_write, bypass): (usize, bool, bool)) -> bool {
+        let ctrl = &self.ctrls[ch];
+        if is_write {
+            // Bypass and LLC write paths both refuse on a full write queue
+            // (a write-allocate miss also charges its writeback there).
+            !ctrl.can_accept_write()
+        } else if bypass {
+            !ctrl.can_accept_read()
+        } else {
+            // An LLC read miss needs a read slot plus a writeback slot.
+            !ctrl.can_accept_read() || !ctrl.can_accept_write()
+        }
     }
 }
 
@@ -186,6 +235,18 @@ pub struct System {
     /// (tracker metadata ids live in a disjoint high range and never
     /// complete back to a core).
     core_of_req: Vec<u8>,
+    /// Scratch: which cores the in-flight advance replays with
+    /// [`cpu::Core::port_blocked_forward`] (reused across attempts).
+    port_blocked: Vec<bool>,
+    /// Per-core freeze state (event engine only): a core parked behind a
+    /// provably-Busy port leaves the per-cycle loop entirely and is
+    /// replayed in closed form when something it can observe happens.
+    frozen: Vec<Option<Frozen>>,
+    /// Whether `step_cores` may freeze cores (event engine, no
+    /// instruction budget — a frozen core's retire counter lags reality).
+    freezing: bool,
+    /// Bus cycles of per-core execution elided by freezing (diagnostics).
+    frozen_core_cycles: u64,
     /// Dense steps to run before the next skip attempt (failed-probe
     /// backoff; purely a performance heuristic, never affects results).
     skip_cooldown: u32,
@@ -277,6 +338,10 @@ impl System {
             run_ended: false,
             completions_buf: Vec::new(),
             core_of_req: Vec::new(),
+            port_blocked: Vec::new(),
+            frozen: vec![None; ncores],
+            freezing: false,
+            frozen_core_cycles: 0,
             skip_cooldown: 0,
             skip_backoff: 1,
             dense_steps: 0,
@@ -295,6 +360,17 @@ impl System {
     /// Current bus cycle.
     pub fn cycle(&self) -> Cycle {
         self.hierarchy.now
+    }
+
+    /// Switches every channel controller between the indexed production
+    /// scheduler (default) and the retained naive-scan oracle — same
+    /// FR-FCFS semantics, re-derived from scratch every tick. The
+    /// differential suite runs whole workloads both ways and requires
+    /// bit-identical [`RunStats`].
+    pub fn set_naive_scan(&mut self, naive: bool) {
+        for ctrl in &mut self.hierarchy.ctrls {
+            ctrl.set_naive_scan(naive);
+        }
     }
 
     /// Immutable facts delivered to probes at attach time.
@@ -349,37 +425,116 @@ impl System {
     /// Advances the machine one bus cycle.
     pub fn step(&mut self) {
         let now = self.hierarchy.now;
+        self.step_memory(now);
+        self.step_cores();
+        self.hierarchy.now += 1;
+    }
 
+    /// The memory half of a bus cycle: controller ticks, completion
+    /// delivery, event fan-out.
+    fn step_memory(&mut self, now: Cycle) {
         // Memory controllers first: issue commands, surface completions.
-        for ctrl in &mut self.hierarchy.ctrls {
-            ctrl.tick(now);
+        for ch in 0..self.hierarchy.ctrls.len() {
+            self.hierarchy.ctrls[ch].tick(now);
+            if self.hierarchy.ctrls[ch].earliest_completion().is_none_or(|d| d > now) {
+                continue;
+            }
             self.completions_buf.clear();
-            ctrl.pop_completions(now, &mut self.completions_buf);
-            for &id in &self.completions_buf {
+            self.hierarchy.ctrls[ch].pop_completions(now, &mut self.completions_buf);
+            for i in 0..self.completions_buf.len() {
+                let id = self.completions_buf[i];
                 let core = self.core_of_req[(id - 1) as usize] as usize;
+                // A frozen core must observe the completion from its exact
+                // dense state: replay it up to this cycle first.
+                self.unfreeze(core, now);
                 self.cores[core].complete(id);
             }
         }
+        self.fan_out_events();
+    }
 
-        // Fan the event stream out to every subscribed probe (the oracle
-        // among them). No subscribers means the controllers buffered
-        // nothing and this is a no-op.
-        if !self.event_probes.is_empty() {
-            let probes = &mut self.probes;
-            let event_probes = &self.event_probes;
-            for (ch, ctrl) in self.hierarchy.ctrls.iter_mut().enumerate() {
-                ctrl.drain_events(&mut |ev| {
-                    for &i in event_probes {
-                        probes[i].on_event(ch as u8, ev);
+    /// Replays a frozen core's elided cycles (closed form) so its state is
+    /// exactly the dense state "before bus cycle `now`". No-op when the
+    /// core is not frozen.
+    fn unfreeze(&mut self, core: usize, now: Cycle) {
+        let Some(f) = self.frozen[core].take() else { return };
+        // The span's core-cycle total is path-independent
+        // ([`ClockRatio::cumulative_core_cycles`]), so per-core timelines
+        // need no shared ratio state.
+        let cc =
+            ClockRatio::cumulative_core_cycles(now) - ClockRatio::cumulative_core_cycles(f.since);
+        if cc > 0 {
+            self.cores[core].port_blocked_forward(cc);
+        }
+        self.frozen_core_cycles += now - f.since;
+    }
+
+    /// Replays every frozen core up to `now` (window boundaries, run end,
+    /// anything that observes core counters).
+    fn unfreeze_all(&mut self, now: Cycle) {
+        for i in 0..self.cores.len() {
+            self.unfreeze(i, now);
+        }
+    }
+
+    /// Fans the event stream out to every subscribed probe (the oracle
+    /// among them). No subscribers means the controllers buffered nothing
+    /// and this is a no-op.
+    fn fan_out_events(&mut self) {
+        if self.event_probes.is_empty() {
+            return;
+        }
+        let probes = &mut self.probes;
+        let event_probes = &self.event_probes;
+        for (ch, ctrl) in self.hierarchy.ctrls.iter_mut().enumerate() {
+            ctrl.drain_events(&mut |ev| {
+                for &i in event_probes {
+                    probes[i].on_event(ch as u8, ev);
+                }
+            });
+        }
+    }
+
+    /// The core half of a bus cycle: cores run in their own clock domain
+    /// (5 core cycles : 4 bus cycles). Under the event engine, a core
+    /// parked behind a provably-Busy port freezes instead of stepping:
+    /// queue occupancy can only shrink at a controller tick, so one O(1)
+    /// re-check per cycle keeps the proof current, and the core is
+    /// replayed in closed form the moment its queue opens.
+    fn step_cores(&mut self) {
+        let now = self.hierarchy.now;
+        if self.freezing {
+            for i in 0..self.cores.len() {
+                if let Some(f) = self.frozen[i] {
+                    match f.check {
+                        // Fully stalled: only a completion (which unfreezes
+                        // on delivery) can touch this core.
+                        None => continue,
+                        Some(cond) if self.hierarchy.queue_full_for(cond) => continue,
+                        // The queue opened this cycle: the retry may
+                        // succeed, so the core rejoins dense stepping now.
+                        Some(_) => self.unfreeze(i, now),
                     }
-                });
+                } else if self.cores[i].is_fully_stalled() {
+                    self.frozen[i] = Some(Frozen { since: now, check: None });
+                } else if self.cores[i].is_port_blocked() {
+                    let (addr, is_write) = self.cores[i].blocked_access().expect("parked access");
+                    let cond = self.hierarchy.stall_cond(self.cores[i].id(), addr, is_write);
+                    if self.hierarchy.queue_full_for(cond) {
+                        // Queues only grow during the core phase, so the
+                        // whole bus cycle is provably refused retries.
+                        self.frozen[i] = Some(Frozen { since: now, check: Some(cond) });
+                    }
+                }
             }
         }
-
-        // Cores run in their own clock domain (5 core cycles : 4 bus cycles).
         let n = self.ratio.core_cycles_for_bus_cycle();
         for _ in 0..n {
-            for core in &mut self.cores {
+            for i in 0..self.cores.len() {
+                if self.frozen[i].is_some() {
+                    continue;
+                }
+                let core = &mut self.cores[i];
                 let before = self.hierarchy.next_req;
                 core.cycle(&mut self.hierarchy);
                 // Register any requests this core just issued. Ids are
@@ -390,8 +545,6 @@ impl System {
                 }
             }
         }
-
-        self.hierarchy.now += 1;
     }
 
     /// Runs until the window closes or every core reaches `max_instructions`,
@@ -410,8 +563,12 @@ impl System {
     pub fn run_engine(&mut self, engine: Engine) -> RunStats {
         let window = self.hierarchy.cfg.window_cycles;
         let max_inst = self.hierarchy.cfg.max_instructions;
+        // Freezing defers per-core retire accounting, so it is off under
+        // an instruction budget (the run-loop break reads retired counts
+        // every iteration) and under the dense reference engine.
+        self.freezing = engine == Engine::EventDriven && max_inst == u64::MAX;
         while self.hierarchy.now < window {
-            if engine == Engine::Dense || !self.try_skip() {
+            if engine == Engine::Dense || !self.try_advance() {
                 self.step();
                 self.dense_steps += 1;
             }
@@ -441,6 +598,11 @@ impl System {
     /// Closes the in-flight window at `end` and hands the delta sample to
     /// every window probe.
     fn emit_window(&mut self, end: Cycle) {
+        // The sample reads core counters, so every frozen core must be at
+        // its exact dense state for the boundary (`end` is always the
+        // current cycle: jumps cap at the boundary and steps land on it).
+        debug_assert_eq!(end, self.hierarchy.now);
+        self.unfreeze_all(end);
         let mut mem = MemStats::default();
         for ctrl in &self.hierarchy.ctrls {
             mem.merge(&ctrl.stats);
@@ -485,6 +647,8 @@ impl System {
         }
         self.run_ended = true;
         let now = self.hierarchy.now;
+        self.unfreeze_all(now);
+        self.freezing = false;
         if !self.window_probes.is_empty() && now > self.window_start {
             self.emit_window(now);
         }
@@ -495,27 +659,37 @@ impl System {
 
     /// `(dense bus cycles, skipped bus cycles, skips)` executed so far —
     /// how much of the simulated time the event engine actually elided and
-    /// in how many jumps.
+    /// in how many jumps/bursts.
     pub fn engine_stats(&self) -> (u64, u64, u64) {
         (self.dense_steps, self.skipped_cycles, self.skips)
     }
 
-    /// Attempts one exact time skip; returns false when any component might
-    /// act within the next bus cycle (the caller then steps densely).
+    /// Bus cycles of per-core execution elided by freezing parked cores —
+    /// cycles the machine stepped densely for the memory side while one or
+    /// more cores were replayed in closed form later (diagnostics).
+    pub fn frozen_core_cycles(&self) -> u64 {
+        self.frozen_core_cycles
+    }
+
+    /// Attempts one exact time jump; returns false when the coming cycle
+    /// must be simulated (the caller then steps densely — cheaply, if the
+    /// cores are frozen and only a controller has work).
     ///
-    /// A skip of `k` bus cycles is performed only when:
+    /// A jump of `k >= 1` bus cycles is performed only when no controller
+    /// reports a decision point before `now + k`
+    /// ([`memctrl::ChannelController::next_event`], an O(1) probe — which
+    /// is what makes probing every cycle affordable) and every *running*
+    /// core can absorb the corresponding core-cycle total in closed form:
+    /// streaming/stalled cores via [`cpu::Quiescence`] /
+    /// [`cpu::Core::fast_forward`], port-blocked cores via
+    /// [`cpu::Core::port_blocked_forward`] when the hierarchy proves their
+    /// parked access keeps answering Busy. Frozen cores need nothing at
+    /// all: their standing proof only depends on queue occupancy, which
+    /// cannot change across a controller-quiet stretch.
     ///
-    /// * no controller reports an event before `now + k` (REF/hook
-    ///   deadlines, completions, schedulable requests — see
-    ///   [`memctrl::ChannelController::next_event`]), and
-    /// * every core can be advanced the corresponding core-cycle total in
-    ///   closed form ([`cpu::Quiescence`]), without crossing the
-    ///   instruction budget of a still-running core.
-    ///
-    /// Under those conditions the skipped cycles are provably no-ops for
-    /// the memory system and exactly summarizable for the cores, so dense
-    /// and skipped execution produce identical [`RunStats`].
-    fn try_skip(&mut self) -> bool {
+    /// The jump replays exactly what dense stepping would have done, so
+    /// dense and event-driven execution produce identical [`RunStats`].
+    fn try_advance(&mut self) -> bool {
         if self.skip_cooldown > 0 {
             self.skip_cooldown -= 1;
             return false;
@@ -529,23 +703,49 @@ impl System {
             // `RunStats` stays bit-identical with probes attached.
             horizon = horizon.min(self.next_window);
         }
+        let mut decision = horizon;
         for ctrl in &self.hierarchy.ctrls {
-            horizon = horizon.min(NextEvent::next_event(ctrl, now));
-            if horizon <= now + 1 {
-                return self.skip_failed();
-            }
+            decision = decision.min(NextEvent::next_event(ctrl, now));
         }
-        // Core-side budget, in core cycles.
+        if decision <= now {
+            // A controller has work this very cycle. That is a fact, not a
+            // failed guess — step densely once (cheap when the cores are
+            // frozen) and probe again next cycle, with no backoff.
+            return false;
+        }
+        // Classify the running cores (frozen ones need no attention).
         let max_inst = self.hierarchy.cfg.max_instructions;
         let mut budget = u64::MAX;
-        for core in &self.cores {
+        self.port_blocked.clear();
+        self.port_blocked.resize(self.cores.len(), false);
+        for (i, core) in self.cores.iter().enumerate() {
+            if self.frozen[i].is_some() {
+                continue;
+            }
             match core.quiescence() {
                 Quiescence::Busy => return self.skip_failed(),
+                Quiescence::PortBlocked => {
+                    let (addr, is_write) =
+                        core.blocked_access().expect("PortBlocked implies a parked access");
+                    let cond = self.hierarchy.stall_cond(core.id(), addr, is_write);
+                    if self.hierarchy.queue_full_for(cond) {
+                        self.port_blocked[i] = true;
+                    } else {
+                        // The parked access could be accepted: the core may
+                        // still stream/stall up to its next dispatch chance.
+                        match core.quiescence_unparked() {
+                            Quiescence::Busy => return self.skip_failed(),
+                            Quiescence::Stalled => {}
+                            Quiescence::Streaming { cycles } => budget = budget.min(cycles),
+                            Quiescence::PortBlocked => unreachable!("unparked never port-blocks"),
+                        }
+                    }
+                }
                 Quiescence::Stalled => {}
                 Quiescence::Streaming { cycles } => budget = budget.min(cycles),
             }
             if max_inst != u64::MAX && core.retired() < max_inst {
-                // Stop the skip no later than the first cycle this core
+                // Stop the advance no later than the first cycle this core
                 // could cross its instruction budget (retire rate is at
                 // most `width` per core cycle), so the run-loop break
                 // fires on the same step as under dense execution.
@@ -553,13 +753,22 @@ impl System {
                 budget = budget.min((max_inst - core.retired()).div_ceil(width));
             }
         }
-        let k = self.ratio.max_bus_cycles_within(budget).min(horizon - now);
-        if k < 2 {
+        let k = self.ratio.max_bus_cycles_within(budget).min(decision - now);
+        if k == 0 {
             return self.skip_failed();
         }
         let core_cycles = self.ratio.advance_bus_cycles(k);
-        for core in &mut self.cores {
-            core.fast_forward(core_cycles);
+        if core_cycles > 0 {
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if self.frozen[i].is_some() {
+                    continue;
+                }
+                if self.port_blocked[i] {
+                    core.port_blocked_forward(core_cycles);
+                } else {
+                    core.fast_forward(core_cycles);
+                }
+            }
         }
         self.hierarchy.now += k;
         self.skipped_cycles += k;

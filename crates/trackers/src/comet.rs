@@ -91,6 +91,9 @@ struct RankState {
     history: Vec<bool>,
     hist_idx: usize,
     hist_filled: bool,
+    /// Running count of misses in `history` (avoids a full ring scan per
+    /// mitigation event).
+    hist_misses: usize,
 }
 
 /// The CoMeT tracker for one channel.
@@ -126,6 +129,7 @@ impl Comet {
                 history: vec![false; cp.miss_history],
                 hist_idx: 0,
                 hist_filled: false,
+                hist_misses: 0,
             })
             .collect();
         Ok(Self {
@@ -152,10 +156,13 @@ impl Comet {
         r.history.fill(false);
         r.hist_idx = 0;
         r.hist_filled = false;
+        r.hist_misses = 0;
     }
 
     fn record_history(&mut self, rank: usize, miss: bool) -> bool {
         let r = &mut self.ranks[rank];
+        r.hist_misses += miss as usize;
+        r.hist_misses -= r.history[r.hist_idx] as usize;
         r.history[r.hist_idx] = miss;
         r.hist_idx = (r.hist_idx + 1) % self.miss_history;
         if r.hist_idx == 0 {
@@ -164,8 +171,7 @@ impl Comet {
         if !r.hist_filled {
             return false;
         }
-        let misses = r.history.iter().filter(|&&m| m).count();
-        misses as f64 / self.miss_history as f64 > self.miss_rate_reset
+        r.hist_misses as f64 / self.miss_history as f64 > self.miss_rate_reset
     }
 }
 
@@ -202,14 +208,18 @@ impl RowHammerTracker for Comet {
             return;
         }
 
-        // CMS conservative update.
+        // CMS conservative update. One hash call feeds all four lanes
+        // (rotations of the mixed word, reduced per lane): the 4x SipHash
+        // of the naive formulation dominated the per-ACT budget, and lane
+        // independence of a well-mixed word is ample for a sketch.
         let mut est = u16::MAX;
         let base = bank * CMS_HASHES * self.cms_width;
         let mut idxs = [0usize; CMS_HASHES];
+        let mixed = hash64(row, self.p.seed);
         for (h, idx) in idxs.iter_mut().enumerate() {
             *idx = base
                 + h * self.cms_width
-                + (hash64(row, self.p.seed ^ (h as u64) << 8) as usize) % self.cms_width;
+                + (mixed.rotate_left(17 * h as u32) as usize) % self.cms_width;
             est = est.min(self.ranks[rank].cms[*idx]);
         }
         let newv = est.saturating_add(1);

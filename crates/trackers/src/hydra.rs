@@ -12,14 +12,13 @@
 //!
 //! Everything resets at each tREFW boundary.
 
-use crate::util::{hash64, meta_addr};
+use crate::util::{hash64, meta_addr, RowMap};
 use crate::TrackerParams;
 use sim_core::addr::Geometry;
 use sim_core::registry::{ParamSpec, RegistryError, TrackerSpec};
 use sim_core::rng::Xoshiro256;
 use sim_core::time::Cycle;
 use sim_core::tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};
-use std::collections::HashMap;
 
 /// Rows sharing one group counter (the paper's Hydra configuration).
 pub const GROUP_SIZE: u32 = 128;
@@ -85,8 +84,10 @@ struct RankState {
     per_row_mode: Vec<bool>,
     /// The RCC: sets x ways.
     rcc: Vec<RccEntry>,
-    /// Ground-truth RCT contents (the DRAM-resident counters).
-    rct: HashMap<u64, u32>,
+    /// Ground-truth RCT contents (the DRAM-resident counters): an
+    /// open-addressed table — the per-ACT path under attack is RCC-miss
+    /// dominated, and the std map's SipHash showed up in profiles.
+    rct: RowMap,
 }
 
 /// The Hydra tracker for one channel.
@@ -122,7 +123,7 @@ impl Hydra {
                 gct: vec![0; groups],
                 per_row_mode: vec![false; groups],
                 rcc: vec![RccEntry::default(); hp.rcc_entries],
-                rct: HashMap::new(),
+                rct: RowMap::new(),
             })
             .collect();
         let n_gc = (0.8 * p.nm() as f64) as u32;
@@ -181,7 +182,7 @@ impl Hydra {
             )));
         }
         // Fetch the requested counter from DRAM.
-        let fetched = self.ranks[rank].rct.get(&row).copied().unwrap_or(self.n_gc);
+        let fetched = self.ranks[rank].rct.get(row).unwrap_or(self.n_gc);
         actions.push(TrackerAction::CounterRead(meta_addr(&geom, self.p.channel, rank as u8, row)));
         self.ranks[rank].rcc[slot] = RccEntry { valid: true, row, count: fetched };
         slot

@@ -29,9 +29,143 @@ pub fn meta_addr(geom: &Geometry, channel: u8, rank: u8, idx: u64) -> DramAddr {
     }
 }
 
+/// Open-addressed `u64 -> u32` map for DRAM-resident counter mirrors
+/// (Hydra's RCT and friends): splitmix-hashed linear probing, power-of-two
+/// capacity, no deletions (trackers only insert and clear wholesale at
+/// reset boundaries). Replaces `std::collections::HashMap` on the per-ACT
+/// hot path, where SipHash plus the std probe loop dominated the
+/// attack-scenario profile.
+#[derive(Debug, Clone)]
+pub struct RowMap {
+    /// Keys shifted by one so 0 marks an empty slot (row indices are
+    /// stored as `row + 1`, bounded far below `u64::MAX`).
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    len: usize,
+    mask: usize,
+}
+
+impl RowMap {
+    /// Creates an empty map with a small initial capacity.
+    pub fn new() -> Self {
+        const INIT: usize = 1024;
+        Self { keys: vec![0; INIT], vals: vec![0; INIT], len: 0, mask: INIT - 1 }
+    }
+
+    /// Entries currently stored.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is stored.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // The finaliser alone mixes well; the table index takes the low
+        // bits of the mixed word.
+        (hash64(key, 0x9E37) as usize) & self.mask
+    }
+
+    /// Looks up `row`.
+    #[inline]
+    pub fn get(&self, row: u64) -> Option<u32> {
+        let needle = row + 1;
+        let mut i = self.slot_of(needle);
+        loop {
+            let k = self.keys[i];
+            if k == needle {
+                return Some(self.vals[i]);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or overwrites `row`'s counter.
+    pub fn insert(&mut self, row: u64, val: u32) {
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let needle = row + 1;
+        let mut i = self.slot_of(needle);
+        loop {
+            let k = self.keys[i];
+            if k == needle {
+                self.vals[i] = val;
+                return;
+            }
+            if k == 0 {
+                self.keys[i] = needle;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes every entry, keeping the allocation (the tREFW reset).
+    pub fn clear(&mut self) {
+        self.keys.fill(0);
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                self.insert(k - 1, v);
+            }
+        }
+    }
+}
+
+impl Default for RowMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn row_map_behaves_like_a_map() {
+        let mut m = RowMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+        // Insert enough to force several growths; mirror with std.
+        let mut reference = std::collections::HashMap::new();
+        let mut x: u64 = 0x1234_5678;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let row = x % 2_097_152; // rank-row domain
+            m.insert(row, i as u32);
+            reference.insert(row, i as u32);
+        }
+        assert_eq!(m.len(), reference.len());
+        for (&k, &v) in &reference {
+            assert_eq!(m.get(k), Some(v), "row {k}");
+        }
+        assert_eq!(m.get(2_097_153), None);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(42), None);
+        m.insert(42, 7);
+        assert_eq!(m.get(42), Some(7));
+    }
 
     #[test]
     fn hash_is_deterministic_and_seed_sensitive() {

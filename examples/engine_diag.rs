@@ -7,6 +7,7 @@ fn main() {
         ("povray/dapper-h", Experiment::new("povray_like").tracker("dapper-h").window_us(500.0)),
         ("povray/none", Experiment::new("povray_like").tracker("none").window_us(500.0)),
         ("namd/none", Experiment::new("namd_like").tracker("none").window_us(500.0)),
+        ("mcf/dapper-h", Experiment::new("mcf_like").tracker("dapper-h").window_us(500.0)),
         (
             "gcc/hydra+att",
             Experiment::new("gcc_like")

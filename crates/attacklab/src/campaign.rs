@@ -9,8 +9,10 @@
 use crate::json::{csv_field, Json};
 use crate::scenario::ScenarioSpec;
 use crate::search::{
-    evaluate_specs, reference_run, search_against, EvalRecord, SearchConfig, SearchReport,
+    evaluate_specs, evaluate_specs_cached, reference_run, search_against, EvalRecord, SearchConfig,
+    SearchReport,
 };
+use sim::cache::RunCache;
 use sim::experiment::TrackerSel;
 use workloads::Attack;
 
@@ -32,6 +34,11 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worst-case-search evaluations per tracker (0 disables the search).
     pub search_budget: u32,
+    /// Content-addressed run-cache directory: when set, the fixed
+    /// scenario × tracker matrix reads through it (hits skip simulation).
+    /// Search evaluations are never cached — the mutation trajectory is
+    /// adaptive, so its cells rarely repeat across campaigns.
+    pub cache_dir: Option<String>,
 }
 
 impl CampaignConfig {
@@ -46,6 +53,7 @@ impl CampaignConfig {
             nrh: 500,
             seed: 0xDA99E5,
             search_budget: 50,
+            cache_dir: None,
         }
     }
 
@@ -96,9 +104,20 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         .first()
         .map(|t| reference_run(&cfg.search_config(t)))
         .expect("campaign needs at least one tracker");
+    let cache = cfg.cache_dir.as_ref().and_then(|dir| match RunCache::open(dir) {
+        Ok(cache) => Some(cache),
+        Err(e) => {
+            eprintln!("attacklab: cannot open run cache {dir}: {e}; running uncached");
+            None
+        }
+    });
     for tracker in &cfg.trackers {
         let scfg = cfg.search_config(tracker);
-        for record in evaluate_specs(&scfg, &reference, cfg.scenarios.clone()) {
+        let matrix = match &cache {
+            Some(cache) => evaluate_specs_cached(&scfg, &reference, cfg.scenarios.clone(), cache),
+            None => evaluate_specs(&scfg, &reference, cfg.scenarios.clone()),
+        };
+        for record in matrix {
             rows.push(CampaignRow { tracker: tracker.label(), origin: "fixed", record });
         }
         if cfg.search_budget > 0 {

@@ -31,6 +31,7 @@ const USAGE: &str = "redteam — adversarial scenario campaign runner
 
 USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
                [--window-us F] [--nrh N] [--seed N] [--out FILE] [--csv FILE]
+               [--cache-dir DIR]
 
   --trackers   comma-separated tracker list (default dapper-h,dapper-s,hydra,start,comet,abacus)
   --workload   benign co-running workload (default libquantum_like)
@@ -40,6 +41,8 @@ USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
   --seed       seed for simulation and search (default 0xDA99E5 as decimal)
   --out        JSON results path (default out/redteam_results.json)
   --csv        also write rows as CSV to this path
+  --cache-dir  read the fixed matrix through the content-addressed run
+               cache in DIR (search evaluations always simulate)
 
 Tracker names resolve through the open registry: any key, display name,
 or alias works, case- and separator-insensitively (dapper-h, DAPPER_H,
@@ -55,7 +58,7 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
     // Strict parse: every argument must be a known flag followed by its
     // value, so a typo'd flag or a forgotten value fails fast instead of
     // silently running a multi-minute campaign with defaults.
-    const FLAGS: [&str; 8] = [
+    const FLAGS: [&str; 9] = [
         "--trackers",
         "--workload",
         "--budget",
@@ -64,6 +67,7 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
         "--seed",
         "--out",
         "--csv",
+        "--cache-dir",
     ];
     let mut pairs: Vec<(&str, &String)> = Vec::new();
     let mut i = 0;
@@ -111,6 +115,7 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
         None => 0xDA99E5,
         Some(v) => v.parse().map_err(|_| format!("--seed: cannot parse '{v}'"))?,
     };
+    campaign.cache_dir = get("--cache-dir").cloned();
     Ok(RedteamOpts {
         campaign,
         out: get("--out").cloned().unwrap_or_else(|| "out/redteam_results.json".to_string()),

@@ -50,4 +50,4 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignRow};
 pub use compat::attack_pattern;
 pub use pattern::{BoxPattern, PatternGen, PatternTrace};
 pub use scenario::{ScenarioSpec, Shape};
-pub use search::{search, SearchConfig, SearchReport};
+pub use search::{evaluate_specs_cached, search, SearchConfig, SearchReport};

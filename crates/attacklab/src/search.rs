@@ -10,6 +10,7 @@
 //! reproduces its best scenario.
 
 use crate::scenario::ScenarioSpec;
+use sim::cache::{cell_key_with_attack_id, RunCache};
 use sim::experiment::{CustomAttack, Experiment, TrackerSel};
 use sim::metrics::RunStats;
 use sim::runner::parallel_map;
@@ -188,6 +189,60 @@ pub fn evaluate_specs(
         .collect()
 }
 
+/// [`evaluate_specs`] read through the content-addressed run cache.
+///
+/// The scenario genome's canonical JSON identifies the custom attack, so
+/// each (tracker, workload, scenario, window, seed, …) cell is keyed
+/// stably across processes. The shared reference run is *not* part of the
+/// key: it is a deterministic function of fields the key already covers
+/// (workload, window, N_RH, seed), so equal keys imply equal references.
+/// Hits skip simulation entirely; misses simulate and store.
+pub fn evaluate_specs_cached(
+    cfg: &SearchConfig,
+    reference: &RunStats,
+    specs: Vec<ScenarioSpec>,
+    cache: &RunCache,
+) -> Vec<EvalRecord> {
+    let keyed: Vec<(ScenarioSpec, Option<sim::cache::CellKey>)> = specs
+        .into_iter()
+        .map(|spec| {
+            let e = experiment_for(cfg, &spec);
+            let key = cell_key_with_attack_id(&e, Some(&spec.to_json().render()));
+            (spec, key)
+        })
+        .collect();
+    let mut records: Vec<Option<EvalRecord>> = Vec::with_capacity(keyed.len());
+    let mut miss_slots = Vec::new();
+    let mut miss_specs = Vec::new();
+    for (i, (spec, key)) in keyed.iter().enumerate() {
+        match key.as_ref().and_then(|k| cache.lookup(k)) {
+            Some(result) => records.push(Some(record(spec.clone(), &result))),
+            None => {
+                records.push(None);
+                miss_slots.push(i);
+                miss_specs.push(spec.clone());
+            }
+        }
+    }
+    let outcomes = parallel_map(miss_specs, |spec| {
+        let result = experiment_for(cfg, &spec).run_against(reference);
+        (spec, result)
+    });
+    for (j, outcome) in outcomes.into_iter().enumerate() {
+        let i = miss_slots[j];
+        match outcome {
+            Ok((spec, result)) => {
+                if let Some(key) = &keyed[i].1 {
+                    cache.save(key, &result);
+                }
+                records[i] = Some(record(spec, &result));
+            }
+            Err(e) => eprintln!("attacklab: scenario evaluation failed, skipping: {e}"),
+        }
+    }
+    records.into_iter().flatten().collect()
+}
+
 /// Runs the hill-climbing search and reports the worst case found.
 ///
 /// # Panics
@@ -334,6 +389,32 @@ mod tests {
         if let Some(rec) = r.recovery_us {
             assert!(rec > 0.0 && rec < cfg.window_us);
         }
+    }
+
+    #[test]
+    fn cached_evaluation_reproduces_the_uncached_records() {
+        let dir = std::env::temp_dir().join(format!("attacklab-eval-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::open(&dir).expect("open cache");
+        let cfg = tiny("hydra");
+        let reference = reference_run(&cfg);
+        let specs = vec![
+            ScenarioSpec::baseline(workloads::Attack::CacheThrash),
+            ScenarioSpec::baseline(workloads::Attack::Streaming),
+        ];
+        let plain = evaluate_specs(&cfg, &reference, specs.clone());
+        let cold = evaluate_specs_cached(&cfg, &reference, specs.clone(), &cache);
+        assert_eq!(cache.stats().misses, 2);
+        let warm = evaluate_specs_cached(&cfg, &reference, specs, &cache);
+        assert_eq!(cache.stats().hits, 2, "warm pass must answer from cache");
+        for (a, b) in plain.iter().zip(&cold).chain(cold.iter().zip(&warm)) {
+            assert_eq!(a.name, b.name);
+            assert!((a.slowdown - b.slowdown).abs() < 1e-12);
+            assert_eq!(a.mitigations, b.mitigations);
+            assert_eq!(a.counter_ops, b.counter_ops);
+            assert_eq!(a.time_to_max_slowdown_us, b.time_to_max_slowdown_us);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -14,15 +14,25 @@
 //! `--validate` parses and expands every spec — registry keys, parameter
 //! schemas, workload and attack names all checked — without running any
 //! simulation; CI uses it to keep the example specs honest.
+//!
+//! With `--cache-dir DIR` (or a `[cache]` section in the spec), cells are
+//! read through the content-addressed run cache: a warm re-run of an
+//! unchanged spec performs zero simulations and reproduces the cold
+//! run's report byte-identically, and an edited spec re-runs only the
+//! changed frontier.
 
+use sim::cache::RunCache;
 use sim::spec::{result_to_json, SweepSpec};
 
 const USAGE: &str = "spec_run — declarative experiment sweeps
 
-USAGE: spec_run [--validate] [--out DIR] SPEC.toml [SPEC.toml ...]
+USAGE: spec_run [--validate] [--out DIR] [--cache-dir DIR | --no-cache] SPEC.toml [...]
 
-  --validate   parse + expand every spec (no simulation)
-  --out DIR    output directory for <spec-name>.json results (default out/)
+  --validate       parse + expand every spec (no simulation)
+  --out DIR        output directory for <spec-name>.json results (default out/)
+  --cache-dir DIR  read/write the content-addressed run cache in DIR
+                   (overrides any [cache] section in the specs)
+  --no-cache       ignore [cache] sections; always simulate
 ";
 
 fn run() -> Result<i32, String> {
@@ -32,6 +42,8 @@ fn run() -> Result<i32, String> {
     }
     let mut validate = false;
     let mut out_dir = "out".to_string();
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -41,6 +53,11 @@ fn run() -> Result<i32, String> {
                 out_dir = args.get(i + 1).ok_or("--out requires a value")?.clone();
                 i += 1;
             }
+            "--cache-dir" => {
+                cache_dir = Some(args.get(i + 1).ok_or("--cache-dir requires a value")?.clone());
+                i += 1;
+            }
+            "--no-cache" => no_cache = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown argument '{flag}' (try --help)"));
             }
@@ -50,6 +67,9 @@ fn run() -> Result<i32, String> {
     }
     if files.is_empty() {
         return Err("no spec files given (try --help)".to_string());
+    }
+    if no_cache && cache_dir.is_some() {
+        return Err("--no-cache and --cache-dir are mutually exclusive".to_string());
     }
 
     let mut failed_cells = 0usize;
@@ -68,7 +88,25 @@ fn run() -> Result<i32, String> {
         if validate {
             continue;
         }
-        let report = spec.run().map_err(|e| format!("{file}: {e}"))?;
+        // CLI flag > spec [cache] section > no cache.
+        let effective_cache_dir = match (&cache_dir, no_cache) {
+            (Some(dir), _) => Some(dir.clone()),
+            (None, true) => None,
+            (None, false) => {
+                spec.cache.as_ref().and_then(|c| c.effective_dir()).map(str::to_string)
+            }
+        };
+        let report = match &effective_cache_dir {
+            Some(dir) => {
+                let cache =
+                    RunCache::open(dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
+                let (report, summary) =
+                    spec.run_cached(&cache).map_err(|e| format!("{file}: {e}"))?;
+                println!("  cache: {summary} in {dir}");
+                report
+            }
+            None => spec.run().map_err(|e| format!("{file}: {e}"))?,
+        };
         for r in &report.results {
             println!(
                 "  {:<22} {:<13} {:<14} {:.3}",

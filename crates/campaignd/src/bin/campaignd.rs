@@ -1,0 +1,54 @@
+//! `campaignd` — the campaign server daemon.
+//!
+//! ```text
+//! cargo run --release --bin campaignd -- --socket /tmp/campaignd.sock --cache-dir run_cache
+//! ```
+//!
+//! Serves sweep submissions over the unix socket until a client sends
+//! `shutdown` (`campaignctl shutdown`). See the crate docs for the
+//! protocol and single-flight semantics.
+
+use campaignd::{Server, ServerConfig};
+use std::path::PathBuf;
+
+const USAGE: &str = "campaignd — campaign-as-a-service sweep server
+
+USAGE: campaignd [--socket PATH] [--cache-dir DIR]
+
+  --socket PATH    unix socket to listen on (default /tmp/campaignd.sock)
+  --cache-dir DIR  persist results in a content-addressed run cache
+";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Err(USAGE.to_string());
+    }
+    let mut cfg = ServerConfig { socket: PathBuf::from("/tmp/campaignd.sock"), cache_dir: None };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                cfg.socket = PathBuf::from(args.get(i + 1).ok_or("--socket requires a value")?);
+                i += 1;
+            }
+            "--cache-dir" => {
+                cfg.cache_dir =
+                    Some(PathBuf::from(args.get(i + 1).ok_or("--cache-dir requires a value")?));
+                i += 1;
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    let server = Server::bind(cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    println!("campaignd listening on {}", server.socket().display());
+    server.serve().map_err(|e| format!("serve failed: {e}"))
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

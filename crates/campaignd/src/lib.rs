@@ -1,0 +1,608 @@
+//! campaignd — campaign-as-a-service over the content-addressed run
+//! cache.
+//!
+//! A long-running job-queue server accepts declarative sweep submissions
+//! ([`sim::spec::SweepSpec`] cells) from many concurrent clients over a
+//! unix socket, schedules cold cells on the panic-safe parallel worker
+//! pool, answers warm cells from the [`sim::cache::RunCache`] without
+//! simulation, and streams progress/completion events back. The
+//! `campaignctl` bin is the bundled client.
+//!
+//! # Protocol
+//!
+//! Line-delimited JSON (via [`sim_core::json`]), one request object per
+//! line, answered by one response object per line — except a
+//! `submit`-and-wait, which streams `{"event":"progress",...}` lines
+//! before the final response. Every final response carries `"ok"`
+//! (`true`/`false`); errors carry `"error"`.
+//!
+//! | request | response |
+//! |---|---|
+//! | `{"cmd":"ping"}` | `{"ok":true,"pong":true}` |
+//! | `{"cmd":"submit","spec":{...},"wait":true}` | progress events, then `{"ok":true,"job":N,"report":{...},"cells":C,"hits":H,"executed":X,"shared":S}` |
+//! | `{"cmd":"submit","spec":{...}}` | `{"ok":true,"job":N,"cells":C}` (job runs in the background) |
+//! | `{"cmd":"status","job":N}` | `{"ok":true,"job":N,"state":"running"\|"done"\|"failed","done":D,"cells":C}` |
+//! | `{"cmd":"wait","job":N}` | blocks, then the same completion object `submit`-and-wait ends with |
+//! | `{"cmd":"lookup","spec":{...ExperimentSpec...}}` | `{"ok":true,"cached":bool,"result":row\|null}` — never simulates |
+//! | `{"cmd":"stats"}` | `{"ok":true,"executed":X,"jobs":J,"cache":{...}\|null}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true,"stopping":true}`, then the server drains |
+//!
+//! # Single-flight
+//!
+//! Every cell canonicalizes to its [`sim::cache::CellKey`]. The server
+//! keeps one table of cell states (in-flight or done); the first
+//! submission to claim a key owns it and simulates, every other
+//! submission — concurrent or later — blocks on the same entry and
+//! shares the owner's result. The `executed` counter counts actual
+//! simulations, so two clients submitting the same sweep concurrently
+//! drive it up by the number of *unique* cells, not twice that.
+//! Completed cells also persist to the disk cache (when one is
+//! configured), so a restarted server stays warm; failed cells are
+//! memoized in memory for the server's lifetime but never written to
+//! disk, and anonymous custom attacks (no canonical key) always run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sim::cache::{cell_key, CellKey, RunCache};
+use sim::experiment::ExperimentResult;
+use sim::runner::{parallel_map, SweepError};
+use sim::spec::{result_to_json, ExperimentSpec, SweepReport, SweepSpec};
+use sim::Experiment;
+use sim_core::json::Json;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+fn relock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One simulated (or failed) cell, shared between every submission that
+/// canonicalizes to the same key.
+type CellOutcome = Result<ExperimentResult, String>;
+
+enum CellState {
+    /// Claimed by a submission that is simulating it right now.
+    InFlight,
+    /// Finished; every waiter shares this outcome.
+    Done(Arc<CellOutcome>),
+}
+
+/// A submitted sweep's lifecycle, observable via `status`/`wait`.
+struct Job {
+    id: u64,
+    cells: usize,
+    done: AtomicUsize,
+    /// Completion object (or submission-level error), set exactly once.
+    finished: Mutex<Option<Result<Json, String>>>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn finish(&self, outcome: Result<Json, String>) {
+        *relock(&self.finished) = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Json, String> {
+        let mut guard = relock(&self.finished);
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn state(&self) -> &'static str {
+        match relock(&self.finished).as_ref() {
+            None => "running",
+            Some(Ok(_)) => "done",
+            Some(Err(_)) => "failed",
+        }
+    }
+}
+
+struct Inner {
+    socket: PathBuf,
+    cache: Option<RunCache>,
+    cells: Mutex<HashMap<String, CellState>>,
+    cells_cv: Condvar,
+    executed: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_job: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn complete_cell(&self, key: &str, outcome: Arc<CellOutcome>) {
+        relock(&self.cells).insert(key.to_string(), CellState::Done(outcome));
+        self.cells_cv.notify_all();
+    }
+
+    /// Blocks until another submission finishes the cell. Sound because
+    /// an owner always completes every cell it claims: per-cell panics
+    /// are caught by the worker pool and recorded as `Done(Err(..))`.
+    fn wait_for_cell(&self, key: &str) -> Arc<CellOutcome> {
+        let mut table = relock(&self.cells);
+        loop {
+            if let Some(CellState::Done(outcome)) = table.get(key) {
+                return outcome.clone();
+            }
+            table = self.cells_cv.wait(table).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// How each cell of a submission will be satisfied.
+enum Slot {
+    /// Another submission already finished it.
+    Ready(Arc<CellOutcome>),
+    /// This submission claimed it (cache lookup, then simulate).
+    Owned,
+    /// Another submission is simulating it; wait and share.
+    Waiting,
+}
+
+/// Runs one submission to completion, returning the completion object.
+/// The claim/own/wait choreography is the single-flight core: each
+/// unique cell key is simulated by exactly one submission.
+fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experiment>) -> Json {
+    let keys: Vec<Option<CellKey>> = experiments.iter().map(cell_key).collect();
+    let mut shared = 0usize;
+    let mut slots: Vec<Slot> = Vec::with_capacity(experiments.len());
+    {
+        // One lock pass claims every unclaimed cell atomically, so two
+        // concurrent submissions of the same sweep partition it instead
+        // of both running it.
+        let mut table = relock(&inner.cells);
+        for key in &keys {
+            slots.push(match key {
+                None => Slot::Owned, // uncacheable: always simulate
+                Some(k) => match table.get(&k.key) {
+                    Some(CellState::Done(outcome)) => {
+                        shared += 1;
+                        job.done.fetch_add(1, Ordering::Relaxed);
+                        Slot::Ready(outcome.clone())
+                    }
+                    Some(CellState::InFlight) => {
+                        shared += 1;
+                        Slot::Waiting
+                    }
+                    None => {
+                        table.insert(k.key.clone(), CellState::InFlight);
+                        Slot::Owned
+                    }
+                },
+            });
+        }
+    }
+    // Owned cells try the disk cache first — a warm server answers them
+    // with zero simulation.
+    let mut hits = 0usize;
+    if let Some(cache) = &inner.cache {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if !matches!(slot, Slot::Owned) {
+                continue;
+            }
+            if let Some(key) = &keys[i] {
+                if let Some(result) = cache.lookup(key) {
+                    let outcome = Arc::new(Ok(result));
+                    inner.complete_cell(&key.key, outcome.clone());
+                    *slot = Slot::Ready(outcome);
+                    hits += 1;
+                    job.done.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    // Simulate the remaining owned cells on the parallel worker pool.
+    let mut run_cells = Vec::new();
+    let mut run_jobs = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        if matches!(slot, Slot::Owned) {
+            run_cells.push(i);
+            run_jobs.push(experiments[i].clone());
+        }
+    }
+    let executed = run_jobs.len();
+    inner.executed.fetch_add(executed as u64, Ordering::Relaxed);
+    for (j, outcome) in parallel_map(run_jobs, Experiment::run).into_iter().enumerate() {
+        let i = run_cells[j];
+        let outcome = Arc::new(match outcome {
+            Ok(result) => {
+                if let (Some(cache), Some(key)) = (&inner.cache, &keys[i]) {
+                    cache.save(key, &result);
+                }
+                Ok(result)
+            }
+            Err(e) => Err(e.message),
+        });
+        if let Some(key) = &keys[i] {
+            inner.complete_cell(&key.key, outcome.clone());
+        }
+        slots[i] = Slot::Ready(outcome);
+        job.done.fetch_add(1, Ordering::Relaxed);
+    }
+    // Collect the cells other submissions are simulating.
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if matches!(slot, Slot::Waiting) {
+            let key = keys[i].as_ref().expect("only keyed cells wait");
+            *slot = Slot::Ready(inner.wait_for_cell(&key.key));
+            job.done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Assemble the report in expansion order: identical submissions
+    // yield byte-identical reports regardless of who simulated what.
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for (i, slot) in slots.iter().enumerate() {
+        let Slot::Ready(outcome) = slot else { unreachable!("every slot resolves") };
+        match outcome.as_ref() {
+            Ok(result) => results.push(result.clone()),
+            Err(message) => failures.push(SweepError { index: i, message: message.clone() }),
+        }
+    }
+    let cells = slots.len();
+    let report = SweepReport { name: spec.name.clone(), spec: spec.clone(), results, failures };
+    Json::obj([
+        ("job", Json::count(job.id)),
+        ("cells", Json::count(cells as u64)),
+        ("hits", Json::count(hits as u64)),
+        ("executed", Json::count(executed as u64)),
+        ("shared", Json::count(shared as u64)),
+        ("report", report.to_json()),
+    ])
+}
+
+fn err_json(message: impl std::fmt::Display) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message.to_string()))])
+}
+
+fn ok_json(extra: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(pairs)
+}
+
+/// Merges a completion object into an `ok` response.
+fn completion_json(outcome: Result<Json, String>) -> Json {
+    match outcome {
+        Ok(Json::Obj(pairs)) => {
+            let mut merged = vec![("ok".to_string(), Json::Bool(true))];
+            merged.extend(pairs);
+            Json::Obj(merged)
+        }
+        Ok(other) => ok_json([("report", other)]),
+        Err(message) => err_json(message),
+    }
+}
+
+fn cache_stats_json(cache: &RunCache) -> Json {
+    let s = cache.stats();
+    Json::obj([
+        ("hits", Json::count(s.hits)),
+        ("misses", Json::count(s.misses)),
+        ("evictions", Json::count(s.evictions)),
+        ("corrupt", Json::count(s.corrupt)),
+    ])
+}
+
+fn write_line(stream: &mut UnixStream, msg: &Json) -> std::io::Result<()> {
+    let mut line = msg.render();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-socket path to listen on. The server owns the path: a stale
+    /// file from a previous run is replaced on bind.
+    pub socket: PathBuf,
+    /// Run-cache directory; `None` serves purely from the in-memory
+    /// cell table (single-flight still applies, nothing persists).
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The campaign server: bind once, then [`Server::serve`] until a
+/// `shutdown` request arrives.
+pub struct Server {
+    inner: Arc<Inner>,
+    listener: UnixListener,
+}
+
+impl Server {
+    /// Binds the socket and opens the cache.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        if cfg.socket.exists() {
+            std::fs::remove_file(&cfg.socket)?;
+        }
+        let listener = UnixListener::bind(&cfg.socket)?;
+        let cache = cfg.cache_dir.map(RunCache::open).transpose()?;
+        Ok(Server {
+            inner: Arc::new(Inner {
+                socket: cfg.socket,
+                cache,
+                cells: Mutex::new(HashMap::new()),
+                cells_cv: Condvar::new(),
+                executed: AtomicU64::new(0),
+                jobs: Mutex::new(HashMap::new()),
+                next_job: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+            }),
+            listener,
+        })
+    }
+
+    /// The socket path being served.
+    pub fn socket(&self) -> &Path {
+        &self.inner.socket
+    }
+
+    /// Total simulations performed since startup — the single-flight
+    /// witness: concurrent identical submissions move this by the number
+    /// of unique cells.
+    pub fn executed(&self) -> u64 {
+        self.inner.executed.load(Ordering::Relaxed)
+    }
+
+    /// Accepts connections (one thread each) until a `shutdown` request.
+    /// Removes the socket file on the way out.
+    pub fn serve(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let inner = self.inner.clone();
+            std::thread::spawn(move || handle_connection(&inner, stream));
+        }
+        let _ = std::fs::remove_file(&self.inner.socket);
+        Ok(())
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, mut stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let response = match Json::parse(text) {
+            Ok(request) => dispatch(inner, &request, &mut stream),
+            Err(e) => Some(err_json(format!("bad request: {e}"))),
+        };
+        if let Some(response) = response {
+            if write_line(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+        if inner.shutdown.load(Ordering::Relaxed) {
+            // Wake the acceptor so serve() can observe the flag.
+            let _ = UnixStream::connect(&inner.socket);
+            return;
+        }
+    }
+}
+
+/// Handles one request; `None` means the handler already wrote its
+/// response(s) (the streaming submit path).
+fn dispatch(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option<Json> {
+    let cmd = match request.get("cmd") {
+        Some(Json::Str(cmd)) => cmd.as_str(),
+        _ => return Some(err_json("missing 'cmd'")),
+    };
+    match cmd {
+        "ping" => Some(ok_json([("pong", Json::Bool(true))])),
+        "submit" => submit(inner, request, stream),
+        "status" => Some(match lookup_job(inner, request) {
+            Ok(job) => ok_json([
+                ("job", Json::count(job.id)),
+                ("state", Json::str(job.state())),
+                ("done", Json::count(job.done.load(Ordering::Relaxed) as u64)),
+                ("cells", Json::count(job.cells as u64)),
+            ]),
+            Err(e) => e,
+        }),
+        "wait" => Some(match lookup_job(inner, request) {
+            Ok(job) => completion_json(job.wait()),
+            Err(e) => e,
+        }),
+        "lookup" => Some(lookup_cell(inner, request)),
+        "stats" => Some(ok_json([
+            ("executed", Json::count(inner.executed.load(Ordering::Relaxed))),
+            ("jobs", Json::count(relock(&inner.jobs).len() as u64)),
+            ("cache", inner.cache.as_ref().map_or(Json::Null, cache_stats_json)),
+        ])),
+        "shutdown" => {
+            inner.shutdown.store(true, Ordering::Relaxed);
+            Some(ok_json([("stopping", Json::Bool(true))]))
+        }
+        other => Some(err_json(format!("unknown cmd '{other}'"))),
+    }
+}
+
+fn lookup_job(inner: &Inner, request: &Json) -> Result<Arc<Job>, Json> {
+    let id = match request.get("job") {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+        _ => return Err(err_json("missing or invalid 'job'")),
+    };
+    relock(&inner.jobs).get(&id).cloned().ok_or_else(|| err_json(format!("unknown job {id}")))
+}
+
+/// Answers a cache lookup for a single experiment cell — never
+/// simulates.
+fn lookup_cell(inner: &Inner, request: &Json) -> Json {
+    let Some(spec_json) = request.get("spec") else {
+        return err_json("missing 'spec'");
+    };
+    let experiment =
+        ExperimentSpec::from_json_str(&spec_json.render()).and_then(|s| s.to_experiment());
+    let experiment = match experiment {
+        Ok(e) => e,
+        Err(e) => return err_json(e),
+    };
+    let Some(key) = cell_key(&experiment) else {
+        return err_json("cell is uncacheable");
+    };
+    if let Some(CellState::Done(outcome)) = relock(&inner.cells).get(&key.key) {
+        if let Ok(result) = outcome.as_ref() {
+            return ok_json([("cached", Json::Bool(true)), ("result", result_to_json(result))]);
+        }
+    }
+    if let Some(result) = inner.cache.as_ref().and_then(|c| c.lookup(&key)) {
+        return ok_json([("cached", Json::Bool(true)), ("result", result_to_json(&result))]);
+    }
+    ok_json([("cached", Json::Bool(false)), ("result", Json::Null)])
+}
+
+fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option<Json> {
+    let Some(spec_json) = request.get("spec") else {
+        return Some(err_json("missing 'spec'"));
+    };
+    let spec = match SweepSpec::from_json_str(&spec_json.render()) {
+        Ok(spec) => spec,
+        Err(e) => return Some(err_json(e)),
+    };
+    // Expanding up front rejects broken specs before a job exists and
+    // fixes the cell count for progress reporting.
+    let experiments = match spec.expand() {
+        Ok(experiments) => experiments,
+        Err(e) => return Some(err_json(e)),
+    };
+    let job = Arc::new(Job {
+        id: inner.next_job.fetch_add(1, Ordering::Relaxed),
+        cells: experiments.len(),
+        done: AtomicUsize::new(0),
+        finished: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    relock(&inner.jobs).insert(job.id, job.clone());
+    let wait = matches!(request.get("wait"), Some(Json::Bool(true)));
+    if !wait {
+        let (job_id, cells) = (job.id, experiments.len());
+        let (inner, job) = (inner.clone(), job.clone());
+        std::thread::spawn(move || {
+            let completion = run_job(&inner, &job, &spec, experiments);
+            job.finish(Ok(completion));
+        });
+        return Some(ok_json([("job", Json::count(job_id)), ("cells", Json::count(cells as u64))]));
+    }
+    // Waiting submit: drive the job on a scoped worker while this thread
+    // streams progress events.
+    std::thread::scope(|scope| {
+        let worker_job = job.clone();
+        let worker_spec = &spec;
+        scope.spawn(move || {
+            let completion = run_job(inner, &worker_job, worker_spec, experiments);
+            worker_job.finish(Ok(completion));
+        });
+        let mut last = usize::MAX;
+        loop {
+            let finished = relock(&job.finished).is_some();
+            let done = job.done.load(Ordering::Relaxed);
+            if done != last && !finished {
+                last = done;
+                let event = Json::obj([
+                    ("event", Json::str("progress")),
+                    ("job", Json::count(job.id)),
+                    ("done", Json::count(done as u64)),
+                    ("cells", Json::count(job.cells as u64)),
+                ]);
+                // A vanished client must not wedge the job: keep driving
+                // it to completion (the cell table and cache still win).
+                let _ = write_line(stream, &event);
+            }
+            if finished {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    });
+    Some(completion_json(job.wait()))
+}
+
+/// A blocking line-protocol client (what `campaignctl` and the tests
+/// speak).
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a running server's socket.
+    pub fn connect(path: impl AsRef<Path>) -> std::io::Result<Client> {
+        let writer = UnixStream::connect(path)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Json) -> std::io::Result<()> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    /// Receives one response line.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            return Json::parse(text).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response: {e}"))
+            });
+        }
+    }
+
+    /// One request, one response.
+    pub fn request(&mut self, request: &Json) -> std::io::Result<Json> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// One request, streaming intermediate events (objects without an
+    /// `"ok"` member) to `on_event`, returning the final response.
+    pub fn request_streaming(
+        &mut self,
+        request: &Json,
+        mut on_event: impl FnMut(&Json),
+    ) -> std::io::Result<Json> {
+        self.send(request)?;
+        loop {
+            let msg = self.recv()?;
+            if msg.get("ok").is_some() {
+                return Ok(msg);
+            }
+            on_event(&msg);
+        }
+    }
+}
+
+/// Builds a `submit` request for a sweep spec.
+pub fn submit_request(spec: &SweepSpec, wait: bool) -> Json {
+    Json::obj([("cmd", Json::str("submit")), ("spec", spec.to_json()), ("wait", Json::Bool(wait))])
+}

@@ -1,0 +1,167 @@
+//! End-to-end exercises of the campaign server over a real unix socket:
+//! single-flight dedup between concurrent clients, warm-cache restarts,
+//! and the async submit/status/wait lifecycle.
+
+use campaignd::{submit_request, Client, Server, ServerConfig};
+use sim::spec::SweepSpec;
+use sim_core::json::Json;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("campaignd-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Two unique cells, short window: fast enough to simulate for real.
+fn tiny_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("campaignd_smoke");
+    spec.workloads = vec!["mcf_like".to_string()];
+    spec.trackers = vec!["none".to_string(), "para".to_string()];
+    spec.options.window_us = Some(20.0);
+    spec.options.seed = Some(7);
+    spec
+}
+
+fn start(dir: &std::path::Path, tag: &str) -> PathBuf {
+    let socket = dir.join(format!("{tag}.sock"));
+    let server =
+        Server::bind(ServerConfig { socket: socket.clone(), cache_dir: Some(dir.join("cache")) })
+            .expect("bind");
+    std::thread::spawn(move || server.serve().expect("serve"));
+    socket
+}
+
+fn field_u64(j: &Json, key: &str) -> u64 {
+    match j.get(key) {
+        Some(Json::Num(n)) => *n as u64,
+        _ => panic!("missing numeric '{key}' in {}", j.render()),
+    }
+}
+
+fn assert_ok(j: &Json) {
+    assert!(matches!(j.get("ok"), Some(Json::Bool(true))), "not ok: {}", j.render());
+}
+
+fn server_executed(socket: &std::path::Path) -> u64 {
+    let mut client = Client::connect(socket).expect("connect");
+    let stats = client.request(&Json::obj([("cmd", Json::str("stats"))])).expect("stats");
+    assert_ok(&stats);
+    field_u64(&stats, "executed")
+}
+
+fn shutdown(socket: &std::path::Path) {
+    let mut client = Client::connect(socket).expect("connect");
+    assert_ok(&client.request(&Json::obj([("cmd", Json::str("shutdown"))])).expect("shutdown"));
+}
+
+#[test]
+fn concurrent_identical_submissions_run_each_cell_once() {
+    let dir = scratch("single-flight");
+    let socket = start(&dir, "a");
+    let spec = tiny_spec();
+
+    // Two clients race the same two-cell sweep.
+    let completions: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let (socket, spec) = (socket.clone(), spec.clone());
+                scope.spawn(move || {
+                    let mut client = Client::connect(&socket).expect("connect");
+                    client
+                        .request_streaming(&submit_request(&spec, true), |_event| {})
+                        .expect("submit")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    for c in &completions {
+        assert_ok(c);
+        assert_eq!(field_u64(c, "cells"), 2);
+    }
+    // Byte-identical reports no matter which submission simulated what.
+    let reports: Vec<String> =
+        completions.iter().map(|c| c.get("report").expect("report").render()).collect();
+    assert_eq!(reports[0], reports[1]);
+    // Single-flight witness: 2 unique cells → exactly 2 simulations.
+    assert_eq!(server_executed(&socket), 2);
+    assert_eq!(field_u64(&completions[0], "executed") + field_u64(&completions[1], "executed"), 2);
+
+    // A third submission is answered wholly from the in-memory table.
+    let mut client = Client::connect(&socket).expect("connect");
+    let warm = client.request_streaming(&submit_request(&spec, true), |_| {}).expect("resubmit");
+    assert_ok(&warm);
+    assert_eq!(field_u64(&warm, "executed"), 0);
+    assert_eq!(field_u64(&warm, "shared"), 2);
+    assert_eq!(warm.get("report").expect("report").render(), reports[0]);
+    assert_eq!(server_executed(&socket), 2);
+
+    // A cell lookup answers from cache without simulating.
+    let cell = Json::obj([
+        ("workload", Json::str("mcf_like")),
+        ("tracker", Json::str("para")),
+        ("window_us", Json::Num(20.0)),
+        ("seed", Json::count(7)),
+    ]);
+    let looked =
+        client.request(&Json::obj([("cmd", Json::str("lookup")), ("spec", cell)])).expect("lookup");
+    assert_ok(&looked);
+    assert!(matches!(looked.get("cached"), Some(Json::Bool(true))), "{}", looked.render());
+    shutdown(&socket);
+
+    // A fresh server over the same cache dir serves the sweep from disk:
+    // still zero simulations.
+    let socket2 = start(&dir, "b");
+    let mut client = Client::connect(&socket2).expect("connect");
+    let restarted =
+        client.request_streaming(&submit_request(&spec, true), |_| {}).expect("warm submit");
+    assert_ok(&restarted);
+    assert_eq!(field_u64(&restarted, "executed"), 0);
+    assert_eq!(field_u64(&restarted, "hits"), 2);
+    assert_eq!(restarted.get("report").expect("report").render(), reports[0]);
+    assert_eq!(server_executed(&socket2), 0);
+    shutdown(&socket2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn async_submit_status_wait_lifecycle() {
+    let dir = scratch("async");
+    let socket = start(&dir, "a");
+    let mut client = Client::connect(&socket).expect("connect");
+
+    assert_ok(&client.request(&Json::obj([("cmd", Json::str("ping"))])).expect("ping"));
+
+    let queued = client.request(&submit_request(&tiny_spec(), false)).expect("submit");
+    assert_ok(&queued);
+    let job = field_u64(&queued, "job");
+    assert_eq!(field_u64(&queued, "cells"), 2);
+
+    let done = client
+        .request(&Json::obj([("cmd", Json::str("wait")), ("job", Json::count(job))]))
+        .expect("wait");
+    assert_ok(&done);
+    assert_eq!(field_u64(&done, "cells"), 2);
+    assert!(done.get("report").is_some());
+
+    let status = client
+        .request(&Json::obj([("cmd", Json::str("status")), ("job", Json::count(job))]))
+        .expect("status");
+    assert_ok(&status);
+    assert_eq!(status.get("state"), Some(&Json::str("done")));
+    assert_eq!(field_u64(&status, "done"), 2);
+
+    // Unknown jobs and malformed requests error without killing the
+    // connection.
+    let missing = client
+        .request(&Json::obj([("cmd", Json::str("status")), ("job", Json::count(999))]))
+        .expect("missing status");
+    assert!(matches!(missing.get("ok"), Some(Json::Bool(false))));
+    let bad = client.request(&Json::obj([("cmd", Json::str("no-such"))])).expect("bad cmd");
+    assert!(matches!(bad.get("ok"), Some(Json::Bool(false))));
+
+    shutdown(&socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,396 @@
+//! Content-addressed blob cache: stable hashing, a checksummed on-disk
+//! store with sharded layout and atomic writes, and an in-memory LRU
+//! front.
+//!
+//! This layer is deliberately generic — it maps hex string keys to string
+//! payloads and knows nothing about experiments. The `sim` crate builds
+//! the run cache on top of it (canonical cell descriptors hashed with
+//! [`content_key`], simulation results as payloads), and `campaignd`
+//! serves lookups from the same store.
+//!
+//! Guarantees:
+//!
+//! * **Stable keys.** [`content_key`] is a hand-rolled 128-bit FNV-1a
+//!   variant with a splitmix64 finalizer — no `DefaultHasher`, whose
+//!   output is explicitly unstable across releases. The same bytes hash
+//!   to the same key on every platform and toolchain, which is what makes
+//!   committed golden keys (and cross-machine cache sharing) sound.
+//! * **Crash safety.** Entries are written to a temporary file and
+//!   renamed into place, so a reader never observes a half-written
+//!   entry under the final name. Every entry carries a checksum and
+//!   length header; a truncated or bit-flipped entry fails decoding, is
+//!   evicted from disk, and reads as a miss — corruption is never
+//!   returned as a result.
+//! * **Thread safety.** [`DiskStore`] takes `&self` everywhere; the LRU
+//!   front is mutex-guarded and the counters are atomics, so one store
+//!   can be shared across sweep workers and server connections.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// splitmix64 finalizer: avalanches the weakly-mixed FNV state so nearby
+/// inputs (one-character spec edits) land in unrelated shards.
+fn mix(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// 64-bit content checksum (FNV-1a + finalizer). Used inside entry
+/// headers to detect truncation and bit rot.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    mix(fnv1a(FNV_OFFSET, bytes))
+}
+
+/// Stable 128-bit content hash rendered as 32 lowercase hex characters —
+/// the cache key for a canonical descriptor. Two independently-seeded
+/// FNV-1a lanes (the second also folds in the length) make accidental
+/// collisions across a sweep matrix vanishingly unlikely; the run-cache
+/// layer additionally stores the full descriptor inside each entry and
+/// compares it on read, so even a collision cannot alias results.
+pub fn content_key(bytes: &[u8]) -> String {
+    let lane0 = mix(fnv1a(FNV_OFFSET, bytes));
+    let lane1 =
+        mix(fnv1a(FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15, bytes).wrapping_add(bytes.len() as u64));
+    format!("{lane0:016x}{lane1:016x}")
+}
+
+/// Entry-format magic, bumped if the envelope (not the payload) changes.
+const MAGIC: &str = "dapper-cache1";
+
+/// Wraps a payload in the checksummed entry envelope:
+/// `dapper-cache1 <checksum-hex16> <payload-len>\n<payload>`.
+pub fn encode_entry(payload: &str) -> String {
+    format!("{MAGIC} {:016x} {}\n{payload}", checksum64(payload.as_bytes()), payload.len())
+}
+
+/// Unwraps an entry envelope, returning the payload only if the magic,
+/// length, and checksum all verify. `None` means the entry is corrupt
+/// (truncated, bit-flipped, or from a different envelope version).
+pub fn decode_entry(text: &str) -> Option<&str> {
+    let (header, payload) = text.split_once('\n')?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(MAGIC) {
+        return None;
+    }
+    let checksum = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let len: usize = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || payload.len() != len {
+        return None;
+    }
+    (checksum64(payload.as_bytes()) == checksum).then_some(payload)
+}
+
+/// Snapshot of a store's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered (from the LRU front or disk).
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries dropped from the in-memory LRU front (still on disk).
+    pub evictions: u64,
+    /// Corrupt entries detected, evicted from disk, and reported as
+    /// misses (each also counts under `misses`).
+    pub corrupt: u64,
+}
+
+/// The in-memory LRU front: a small map of the hottest entries so warm
+/// re-runs skip disk entirely.
+struct LruFront {
+    map: HashMap<String, (u64, String)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl LruFront {
+    fn get(&mut self, key: &str) -> Option<String> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Inserts, returning how many entries were evicted to stay within
+    /// capacity.
+    fn put(&mut self, key: &str, payload: &str) -> u64 {
+        self.tick += 1;
+        self.map.insert(key.to_string(), (self.tick, payload.to_string()));
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            // O(n) scan; the front is small (hundreds of entries).
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty over capacity");
+            self.map.remove(&coldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn remove(&mut self, key: &str) {
+        self.map.remove(key);
+    }
+}
+
+/// A content-addressed key → payload store: sharded directory layout
+/// (`<root>/<key[0..2]>/<key>.entry`), atomic writes, checksummed
+/// entries, an LRU front, and hit/miss/evict/corrupt counters.
+pub struct DiskStore {
+    root: PathBuf,
+    front: Mutex<LruFront>,
+    tmp_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl DiskStore {
+    /// Default number of entries kept in the in-memory front.
+    pub const DEFAULT_FRONT_CAPACITY: usize = 512;
+
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        DiskStore::with_front_capacity(root, DiskStore::DEFAULT_FRONT_CAPACITY)
+    }
+
+    /// Opens a store with an explicit LRU front capacity (0 disables the
+    /// front entirely; every hit then reads disk).
+    pub fn with_front_capacity(
+        root: impl Into<PathBuf>,
+        capacity: usize,
+    ) -> std::io::Result<DiskStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskStore {
+            root,
+            front: Mutex::new(LruFront { map: HashMap::new(), tick: 0, capacity }),
+            tmp_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// On-disk path of a key's entry.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        let shard = if key.len() >= 2 { &key[..2] } else { "xx" };
+        self.root.join(shard).join(format!("{key}.entry"))
+    }
+
+    fn lock_front(&self) -> std::sync::MutexGuard<'_, LruFront> {
+        self.front.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks a key up: LRU front first, then disk. A corrupt disk entry
+    /// (checksum or length mismatch) is evicted and reported as a miss —
+    /// never returned.
+    pub fn get(&self, key: &str) -> Option<String> {
+        if let Some(payload) = self.lock_front().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(payload);
+        }
+        let path = self.entry_path(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match decode_entry(&text) {
+            Some(payload) => {
+                let payload = payload.to_string();
+                let evicted = self.lock_front().put(key, &payload);
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                // Quarantine by deletion: the entry can never be served,
+                // so the next put recomputes and rewrites it.
+                let _ = std::fs::remove_file(&path);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Removes a key from disk and the front (used by higher layers when
+    /// an entry decodes at this layer but fails semantic validation).
+    pub fn evict(&self, key: &str) {
+        self.lock_front().remove(key);
+        let _ = std::fs::remove_file(self.entry_path(key));
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores a payload under a key: temp file + rename, so concurrent
+    /// readers see either the old entry or the new one, never a torn
+    /// write. Last writer wins (all writers of one key hold the same
+    /// deterministic payload, so the race is benign).
+    pub fn put(&self, key: &str, payload: &str) -> std::io::Result<()> {
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry paths always have a shard dir");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{key}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, encode_entry(payload))?;
+        std::fs::rename(&tmp, &path)?;
+        let evicted = self.lock_front().put(key, payload);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStore")
+            .field("root", &self.root)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dapper-cache-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn content_key_is_stable_and_collision_resistant_enough() {
+        // Golden value: this constant is the committed contract. If it
+        // changes, every on-disk cache key changes — bump the run-cache
+        // epoch rather than silently re-keying.
+        assert_eq!(content_key(b"dapper-cache-probe"), "c4c9498e34d7d6ee4e4898247f7fa54a");
+        assert_eq!(content_key(b""), content_key(b""));
+        assert_ne!(content_key(b"a"), content_key(b"b"));
+        // Nearby inputs land far apart (finalizer avalanche).
+        let a = content_key(b"spec seed=1");
+        let b = content_key(b"spec seed=2");
+        assert_ne!(&a[..8], &b[..8], "shard prefixes must decorrelate: {a} vs {b}");
+        assert_eq!(a.len(), 32);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn entry_envelope_round_trips_and_rejects_damage() {
+        let entry = encode_entry("{\"x\":1}");
+        assert_eq!(decode_entry(&entry), Some("{\"x\":1}"));
+        // Truncation (the crash case): length check fails.
+        assert_eq!(decode_entry(&entry[..entry.len() - 2]), None);
+        // Bit flip in the payload: checksum fails.
+        let flipped = entry.replace("{\"x\":1}", "{\"x\":2}");
+        assert_eq!(decode_entry(&flipped), None);
+        // Foreign format: magic fails.
+        assert_eq!(decode_entry("other-format 00 7\n{\"x\":1}"), None);
+        assert_eq!(decode_entry("no newline at all"), None);
+    }
+
+    #[test]
+    fn store_round_trips_and_counts() {
+        let store = DiskStore::open(scratch("roundtrip")).unwrap();
+        assert_eq!(store.get("k1"), None);
+        store.put("k1", "payload-one").unwrap();
+        assert_eq!(store.get("k1").as_deref(), Some("payload-one"));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt), (1, 1, 0));
+        // A second store over the same directory reads the entry cold.
+        let reopened = DiskStore::open(store.root()).unwrap();
+        assert_eq!(reopened.get("k1").as_deref(), Some("payload-one"));
+        assert_eq!(reopened.stats().hits, 1);
+    }
+
+    #[test]
+    fn corrupt_entries_are_evicted_not_returned() {
+        let store = DiskStore::with_front_capacity(scratch("corrupt"), 0).unwrap();
+        store.put("deadbeef", "the-truth").unwrap();
+        let path = store.entry_path("deadbeef");
+        // Truncate the file mid-payload, as a crash between write and
+        // rename cannot (rename is atomic) but a torn disk can.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 4]).unwrap();
+        assert_eq!(store.get("deadbeef"), None, "corruption must read as a miss");
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(!path.exists(), "corrupt entry must be evicted from disk");
+        // Recompute-and-store works again.
+        store.put("deadbeef", "the-truth").unwrap();
+        assert_eq!(store.get("deadbeef").as_deref(), Some("the-truth"));
+    }
+
+    #[test]
+    fn lru_front_evicts_cold_entries_but_disk_retains_them() {
+        let store = DiskStore::with_front_capacity(scratch("lru"), 2).unwrap();
+        for (k, v) in [("aa", "1"), ("bb", "2"), ("cc", "3")] {
+            store.put(k, v).unwrap();
+        }
+        assert!(store.stats().evictions >= 1, "front capacity 2 must evict");
+        // Evicted from the front, still served from disk.
+        assert_eq!(store.get("aa").as_deref(), Some("1"));
+        assert_eq!(store.get("bb").as_deref(), Some("2"));
+        assert_eq!(store.get("cc").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn concurrent_writers_of_one_key_stay_consistent() {
+        let store = DiskStore::open(scratch("concurrent")).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        store.put("shared", "same-deterministic-payload").unwrap();
+                        assert_eq!(
+                            store.get("shared").as_deref(),
+                            Some("same-deterministic-payload")
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stats().corrupt, 0);
+    }
+}

@@ -3,6 +3,9 @@
 //! This crate defines the types every other crate in the workspace speaks:
 //!
 //! * [`addr`] — physical and DRAM coordinates plus the address-mapping scheme,
+//! * [`cache`] — a content-addressed blob cache (stable hashing, checksummed
+//!   atomic disk store, LRU front) underpinning the run cache and
+//!   `campaignd`,
 //! * [`time`] — the global clock domain (DDR5 memory-bus cycles) and unit
 //!   conversions,
 //! * [`config`] — the system configuration mirroring Table I of the paper,
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod cache;
 pub mod config;
 pub mod events;
 pub mod json;
@@ -52,6 +56,7 @@ pub mod time;
 pub mod tracker;
 
 pub use addr::{DramAddr, Geometry, PhysAddr};
+pub use cache::{CacheStats, DiskStore};
 pub use config::SystemConfig;
 pub use events::MemEvent;
 pub use registry::{

@@ -422,6 +422,22 @@ impl SlowdownTrace {
         }
     }
 
+    /// Reassembles a trace from previously recorded parts (the shape a
+    /// deserialized run cache entry holds). The inverse of reading
+    /// [`Self::reference`], [`Self::benign_cores`], and [`Self::points`].
+    pub fn from_parts(
+        reference: SlowdownReference,
+        benign: Vec<usize>,
+        points: Vec<SlowdownPoint>,
+    ) -> Self {
+        Self { reference, benign, points }
+    }
+
+    /// What this trace normalizes against.
+    pub fn reference(&self) -> &SlowdownReference {
+        &self.reference
+    }
+
     /// The recorded points, in window order.
     pub fn points(&self) -> &[SlowdownPoint] {
         &self.points

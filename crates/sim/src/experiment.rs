@@ -308,7 +308,12 @@ pub enum AttackChoice {
 }
 
 impl AttackChoice {
-    fn resolve(self, tracker: &TrackerSel) -> Option<Attack> {
+    /// The concrete [`Attack`] this choice denotes against `tracker`
+    /// (`None` for the benign setting). `Tailored` resolves to the
+    /// specific pattern selected for the tracker under test, which is why
+    /// the run cache canonicalizes through this method: `tailored` and an
+    /// explicit naming of the same pattern are the same cell.
+    pub fn resolve(self, tracker: &TrackerSel) -> Option<Attack> {
         match self {
             AttackChoice::None => None,
             AttackChoice::CacheThrash => Some(Attack::CacheThrash),

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiment;
 pub mod metrics;
 pub mod registry;
@@ -50,6 +51,7 @@ pub mod spec;
 pub mod system;
 pub mod toml;
 
+pub use cache::{cell_key, cell_key_with_attack_id, CacheRunSummary, CellKey, RunCache};
 #[allow(deprecated)]
 pub use experiment::TrackerChoice;
 pub use experiment::{
@@ -58,5 +60,5 @@ pub use experiment::{
 pub use metrics::{RunStats, RunTelemetry, RECOVERY_THRESHOLD};
 pub use registry::{register_tracker, tracker_keys, with_registry};
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
-pub use spec::{ExperimentSpec, SpecError, SweepSpec, TelemetryOptions};
+pub use spec::{CacheOptions, ExperimentSpec, SpecError, SweepSpec, TelemetryOptions};
 pub use system::{Engine, System};

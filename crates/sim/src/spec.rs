@@ -499,6 +499,59 @@ impl TelemetryOptions {
     }
 }
 
+/// The `[cache]` spec section: where (and whether) to read results
+/// through the content-addressed run cache
+/// ([`crate::cache::RunCache`]).
+///
+/// ```toml
+/// [cache]
+/// dir = "run_cache"   # relative paths resolve against the working dir
+/// enabled = true      # default; set false to keep the section but opt out
+/// ```
+///
+/// Runners honour the section when expanding the sweep through
+/// [`SweepSpec::run_cached`]; `spec_run`'s `--cache-dir`/`--no-cache`
+/// flags override it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CacheOptions {
+    /// Cache directory.
+    pub dir: Option<String>,
+    /// Explicit opt-out that survives round-trips (`Some(false)` keeps
+    /// the directory configured but disables reads and writes).
+    pub enabled: Option<bool>,
+}
+
+impl CacheOptions {
+    fn from_value(v: &TomlValue) -> Result<Self, SpecError> {
+        let TomlValue::Table(table) = v else {
+            return Err(field_err("cache", format!("expected a table, got {}", v.kind())));
+        };
+        let f = Fields { table };
+        f.reject_unknown(&["dir", "enabled"])?;
+        Ok(Self { dir: f.opt_str("dir")?, enabled: f.opt_bool("enabled")? })
+    }
+
+    fn to_value(&self) -> TomlValue {
+        let mut t = BTreeMap::new();
+        if let Some(dir) = &self.dir {
+            t.insert("dir".into(), TomlValue::Str(dir.clone()));
+        }
+        if let Some(enabled) = self.enabled {
+            t.insert("enabled".into(), TomlValue::Bool(enabled));
+        }
+        TomlValue::Table(t)
+    }
+
+    /// The configured directory, unless the section opts out with
+    /// `enabled = false`.
+    pub fn effective_dir(&self) -> Option<&str> {
+        if self.enabled == Some(false) {
+            return None;
+        }
+        self.dir.as_deref()
+    }
+}
+
 fn check_workload(name: &str) -> Result<(), SpecError> {
     if workloads::spec_by_name(name).is_none() {
         return Err(SpecError::UnknownWorkload { name: name.to_string() });
@@ -689,6 +742,9 @@ pub struct SweepSpec {
     pub options: SpecOptions,
     /// Telemetry section (`[telemetry]`) applied to every cell.
     pub telemetry: Option<TelemetryOptions>,
+    /// Run-cache section (`[cache]`): where cache-aware runners read
+    /// results through.
+    pub cache: Option<CacheOptions>,
 }
 
 impl PartialEq for SweepSpec {
@@ -699,6 +755,7 @@ impl PartialEq for SweepSpec {
             && self.attacks == other.attacks
             && self.options == other.options
             && self.telemetry == other.telemetry
+            && self.cache == other.cache
             && self.params.len() == other.params.len()
             && self
                 .params
@@ -719,12 +776,14 @@ impl SweepSpec {
             attacks: vec!["none".to_string()],
             options: SpecOptions::default(),
             telemetry: None,
+            cache: None,
         }
     }
 
     fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
         let f = Fields { table };
-        let mut allowed = vec!["name", "workloads", "trackers", "params", "attacks", "telemetry"];
+        let mut allowed =
+            vec!["name", "workloads", "trackers", "params", "attacks", "telemetry", "cache"];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
         let mut params = BTreeMap::new();
@@ -756,6 +815,7 @@ impl SweepSpec {
             attacks: f.str_list("attacks")?.unwrap_or_else(|| vec!["none".to_string()]),
             options: SpecOptions::from_fields(&f)?,
             telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
+            cache: table.get("cache").map(CacheOptions::from_value).transpose()?,
         })
     }
 
@@ -777,6 +837,9 @@ impl SweepSpec {
         self.options.write(&mut t);
         if let Some(telemetry) = &self.telemetry {
             t.insert("telemetry".into(), telemetry.to_value());
+        }
+        if let Some(cache) = &self.cache {
+            t.insert("cache".into(), cache.to_value());
         }
         if !self.params.is_empty() {
             let params = self
@@ -874,6 +937,10 @@ impl SweepSpec {
             return Err(field_err("attacks", "must name at least one attack"));
         }
         let mut out = Vec::with_capacity(workloads.len() * trackers.len() * attacks.len());
+        // Cells that canonicalize identically (an alias tracker name next
+        // to its primary key, `tailored` next to the pattern it resolves
+        // to) are one cell and run once; the first occurrence wins.
+        let mut seen = std::collections::BTreeSet::new();
         for workload in &workloads {
             for tracker in &trackers {
                 for attack in &attacks {
@@ -881,7 +948,10 @@ impl SweepSpec {
                     if let Some(telemetry) = &self.telemetry {
                         e = telemetry.apply(e);
                     }
-                    out.push(self.options.apply(e));
+                    let e = self.options.apply(e);
+                    if crate::cache::cell_identity(&e).is_none_or(|id| seen.insert(id)) {
+                        out.push(e);
+                    }
                 }
             }
         }
@@ -1013,6 +1083,44 @@ group_size = 256
         assert_eq!(experiments[0].workload, "gcc_like");
         assert_eq!(experiments[0].attack, AttackChoice::Specific(Attack::Streaming));
         assert_eq!(experiments[1].attack, AttackChoice::Specific(Attack::RefreshAttack));
+    }
+
+    #[test]
+    fn expand_dedupes_cells_that_canonicalize_identically() {
+        // `DAPPER_S` is an accepted spelling of `dapper-s`, and `benign`
+        // of `none`: all four nominal cells canonicalize to one, which
+        // must run once (regression: aliases used to simulate twice).
+        let doc = "name = \"dedupe\"\nworkloads = [\"mcf_like\"]\n\
+                   trackers = [\"dapper-s\", \"DAPPER_S\"]\nattacks = [\"none\", \"benign\"]\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let experiments = spec.expand().unwrap();
+        assert_eq!(experiments.len(), 1, "aliases are the same cell");
+        assert_eq!(experiments[0].tracker.key(), "dapper-s");
+    }
+
+    #[test]
+    fn cache_section_round_trips_and_resolves() {
+        let doc = "name = \"cached\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+                   [cache]\ndir = \"run_cache\"\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let cache = spec.cache.as_ref().expect("[cache] section present");
+        assert_eq!(cache.effective_dir(), Some("run_cache"));
+        let toml_back = SweepSpec::from_toml_str(&spec.to_toml()).unwrap();
+        assert_eq!(toml_back, spec);
+        let json_back = SweepSpec::from_json_str(&spec.to_json().render()).unwrap();
+        assert_eq!(json_back, spec);
+        // An explicit opt-out disables the directory but survives
+        // round-trips.
+        let off =
+            SweepSpec::from_toml_str(&doc.replace("[cache]", "[cache]\nenabled = false")).unwrap();
+        assert_eq!(off.cache.as_ref().unwrap().effective_dir(), None);
+        assert_eq!(SweepSpec::from_toml_str(&off.to_toml()).unwrap(), off);
+        // Unknown keys in the section are rejected loudly.
+        let err = SweepSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n[cache]\ndyr = \"d\"\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("dyr"), "{err}");
     }
 
     #[test]

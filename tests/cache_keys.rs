@@ -1,0 +1,110 @@
+//! Cache-key stability goldens and crash-safety of the run cache.
+//!
+//! The golden constants pin the content-addressed cell keys for a fixed
+//! experiment matrix. They must only change when the cache format changes
+//! *intentionally* — in which case bump [`sim::cache::CACHE_EPOCH`] in the
+//! same commit and refresh the constants below. An accidental key change
+//! (a refactor that perturbs canonicalization) silently invalidates every
+//! cache on disk, so this test treats any drift as a failure.
+
+use sim::cache::{cell_key, RunCache, CACHE_EPOCH};
+use sim::experiment::{AttackChoice, Experiment};
+use sim::spec::SweepSpec;
+
+/// The pinned matrix: one golden per canonicalization feature (defaults,
+/// parameter overrides, tailored-attack resolution, engine/seed knobs).
+fn golden_matrix() -> Vec<(&'static str, Experiment, &'static str)> {
+    vec![
+        (
+            "defaults",
+            Experiment::new("mcf_like").tracker("para"),
+            "532bbf365a9ad9615e9bba3c06d860e3",
+        ),
+        (
+            "param-override",
+            Experiment::new("mcf_like").tracker("hydra").tracker_param("rcc_entries", 4096i64),
+            "aeaf43d27c6fceaf69452897db277db5",
+        ),
+        (
+            "tailored-attack",
+            Experiment::new("libquantum_like").tracker("dapper-s").attack(AttackChoice::Tailored),
+            "c0c8211340fa096157f37d81079b25ad",
+        ),
+        (
+            "event-driven-seeded",
+            Experiment::new("gups_like")
+                .tracker("comet")
+                .engine(sim::Engine::EventDriven)
+                .seed(0xFEED)
+                .nrh(750),
+            "36c9f421c0dab90a1115e1baa27ada74",
+        ),
+    ]
+}
+
+#[test]
+fn cell_keys_are_stable_across_releases() {
+    assert_eq!(CACHE_EPOCH, 1, "epoch bumped: refresh the golden keys below in the same commit");
+    for (label, experiment, golden) in golden_matrix() {
+        let key = cell_key(&experiment).expect("matrix cells are cacheable").key;
+        assert_eq!(
+            key, golden,
+            "cell key drifted for '{label}': either revert the canonicalization \
+             change or bump CACHE_EPOCH and refresh this golden"
+        );
+    }
+}
+
+#[test]
+fn corrupt_entries_are_evicted_and_recomputed() {
+    let dir = std::env::temp_dir().join(format!("cache-crash-safety-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut spec = SweepSpec::new("crash_safety");
+    spec.workloads = vec!["mcf_like".to_string()];
+    spec.trackers = vec!["none".to_string(), "para".to_string()];
+    spec.options.window_us = Some(20.0);
+
+    let cache = RunCache::open(&dir).expect("open cache");
+    let (cold, summary) = spec.run_cached(&cache).expect("cold run");
+    assert_eq!((summary.hits, summary.misses), (0, 2));
+    let cold_json = cold.to_json().render();
+
+    // Simulate a crash mid-write: truncate one entry to half its length.
+    let entries: Vec<std::path::PathBuf> = walk_entries(&dir);
+    assert_eq!(entries.len(), 2, "one entry file per cell");
+    let victim = &entries[0];
+    let text = std::fs::read_to_string(victim).expect("read entry");
+    std::fs::write(victim, &text[..text.len() / 2]).expect("truncate entry");
+
+    // A fresh cache over the same dir detects the bad checksum, evicts the
+    // entry, recomputes the cell, and reproduces the report byte-for-byte.
+    let cache = RunCache::open(&dir).expect("reopen cache");
+    let (warm, summary) = spec.run_cached(&cache).expect("warm run");
+    assert_eq!((summary.hits, summary.misses), (1, 1), "only the corrupt cell recomputes");
+    assert_eq!(cache.stats().corrupt, 1, "the truncated entry must be counted");
+    assert_eq!(warm.to_json().render(), cold_json, "recomputed report is byte-identical");
+
+    // The recomputed entry was re-stored: a third pass is all hits.
+    let cache = RunCache::open(&dir).expect("reopen again");
+    let (_, summary) = spec.run_cached(&cache).expect("third run");
+    assert_eq!((summary.hits, summary.misses), (2, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn walk_entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("read_dir").flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "entry") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

@@ -62,6 +62,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shard;
+
+pub use shard::ChannelShard;
+
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -335,11 +339,13 @@ impl ChannelController {
     }
 
     /// True if a read can be accepted.
+    #[inline]
     pub fn can_accept_read(&self) -> bool {
         self.nreads < self.cfg.read_queue_cap
     }
 
     /// True if a write can be accepted.
+    #[inline]
     pub fn can_accept_write(&self) -> bool {
         self.nwrites < self.cfg.write_queue_cap
     }
@@ -400,11 +406,13 @@ impl ChannelController {
     /// Due time of the earliest queued completion, if any. Ticking only
     /// ever enqueues completions with later due-times, so a caller may
     /// peek before ticking to learn whether the coming cycle delivers.
+    #[inline]
     pub fn earliest_completion(&self) -> Option<Cycle> {
         self.completions.peek().map(|&Reverse((c, _))| c)
     }
 
     /// Completed demand-read request ids due at or before `now`.
+    #[inline]
     pub fn pop_completions(&mut self, now: Cycle, out: &mut Vec<u64>) {
         while let Some(Reverse((t, id))) = self.completions.peek().copied() {
             if t > now {
@@ -951,6 +959,14 @@ impl ChannelController {
             }
         }
         if q.req.is_demand_read() {
+            // The lookahead contract the sharded executor leans on: no
+            // completion may land earlier than arrival + the advertised
+            // inject-to-complete floor.
+            debug_assert!(
+                done >= q.req.arrival + self.min_inject_latency(),
+                "completion at {done} violates the lookahead bound for a request arriving at {}",
+                q.req.arrival
+            );
             self.completions.push(Reverse((done, q.req.id)));
         }
     }
@@ -1078,6 +1094,7 @@ impl ChannelController {
     /// cycle without paying a queue walk.
     ///
     /// Returning `now` means "tick me this very cycle".
+    #[inline]
     pub fn next_event(&self, now: Cycle) -> Cycle {
         let mut t = self.quiet_until;
         if let Some(&Reverse((c, _))) = self.completions.peek() {
@@ -1085,11 +1102,31 @@ impl ChannelController {
         }
         t.max(now)
     }
+
+    /// Lookahead bound (see [`sim_core::sched::NextEvent`]): a request
+    /// enqueued at cycle `t` cannot complete before `t + tCL + tBL` — the
+    /// CAS-to-data latency plus the burst, which every demand read pays
+    /// even on a row hit issued the same cycle it arrives. A read that
+    /// must open its row additionally pays tRCD (and possibly tRP), so
+    /// the true floor for cold rows is `tRCD + tCL + tBL`; the controller
+    /// reports the guaranteed row-hit floor. `issue_column` asserts the
+    /// bound against every completion it schedules.
+    #[inline]
+    pub fn min_inject_latency(&self) -> Cycle {
+        let t = self.dram.timing();
+        t.t_cl + t.t_bl
+    }
 }
 
 impl sched::NextEvent for ChannelController {
+    #[inline]
     fn next_event(&self, now: Cycle) -> Cycle {
         ChannelController::next_event(self, now)
+    }
+
+    #[inline]
+    fn min_inject_latency(&self) -> Cycle {
+        ChannelController::min_inject_latency(self)
     }
 }
 
@@ -1340,11 +1377,13 @@ mod tests {
         assert_eq!(ds.len(), 1);
     }
 
-    /// Counts every hook invocation through shared cells so the test can
-    /// read them after the tracker moves into the controller.
+    /// Counts every hook invocation through shared counters so the test
+    /// can read them after the tracker moves into the controller
+    /// (`Arc`/atomics rather than `Rc`/`Cell` because `RowHammerTracker`
+    /// is `Send` — shards travel to worker threads).
     struct HookCounter {
-        trefi: std::rc::Rc<std::cell::Cell<u64>>,
-        trefw: std::rc::Rc<std::cell::Cell<u64>>,
+        trefi: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        trefw: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
     impl RowHammerTracker for HookCounter {
         fn name(&self) -> &'static str {
@@ -1352,10 +1391,10 @@ mod tests {
         }
         fn on_activation(&mut self, _: Activation, _: &mut Vec<TrackerAction>) {}
         fn on_trefi(&mut self, _c: Cycle, _a: &mut Vec<TrackerAction>) {
-            self.trefi.set(self.trefi.get() + 1);
+            self.trefi.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         fn on_refresh_window(&mut self, _c: Cycle, _a: &mut Vec<TrackerAction>) {
-            self.trefw.set(self.trefw.get() + 1);
+            self.trefw.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         fn storage_overhead(&self) -> StorageOverhead {
             StorageOverhead::default()
@@ -1364,26 +1403,31 @@ mod tests {
 
     #[test]
     fn time_jump_owes_every_hook_boundary() {
+        use std::sync::atomic::{AtomicU64, Ordering};
         // A tick landing several tREFI/tREFW past the deadlines must fire
         // one hook per owed boundary, not one per call.
-        let trefi_count = std::rc::Rc::new(std::cell::Cell::new(0));
-        let trefw_count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let trefi_count = std::sync::Arc::new(AtomicU64::new(0));
+        let trefw_count = std::sync::Arc::new(AtomicU64::new(0));
         let tracker = HookCounter {
-            trefi: std::rc::Rc::clone(&trefi_count),
-            trefw: std::rc::Rc::clone(&trefw_count),
+            trefi: std::sync::Arc::clone(&trefi_count),
+            trefw: std::sync::Arc::clone(&trefw_count),
         };
         let mut c = mk(Box::new(tracker), false);
         let trefi = c.dram().timing().t_refi;
         let trefw = c.dram().timing().t_refw;
         c.tick(0);
-        assert_eq!(trefi_count.get(), 0, "no boundary owed at cycle 0");
+        assert_eq!(trefi_count.load(Ordering::Relaxed), 0, "no boundary owed at cycle 0");
         // Jump straight past 5 tREFI boundaries in one call.
         c.tick(5 * trefi + 1);
-        assert_eq!(trefi_count.get(), 5, "every owed tREFI hook must fire");
+        assert_eq!(trefi_count.load(Ordering::Relaxed), 5, "every owed tREFI hook must fire");
         // Jump past 3 tREFW boundaries; tREFI hooks catch up alongside.
         c.tick(3 * trefw + 1);
-        assert_eq!(trefw_count.get(), 3, "every owed tREFW hook must fire");
-        assert_eq!(trefi_count.get(), (3 * trefw + 1) / trefi, "tREFI hooks catch up too");
+        assert_eq!(trefw_count.load(Ordering::Relaxed), 3, "every owed tREFW hook must fire");
+        assert_eq!(
+            trefi_count.load(Ordering::Relaxed),
+            (3 * trefw + 1) / trefi,
+            "tREFI hooks catch up too"
+        );
         // REF boundaries also catch up. A full back-payment is not owed —
         // once the pile of instantaneous REFs blocks the rank further than
         // 8 tREFI out, the catch-up loop deliberately skips the rest (the

@@ -113,6 +113,14 @@ impl Geometry {
         Self { channels: 8, ..Self::paper_baseline() }
     }
 
+    /// The server-class preset name used by the `[system]` spec section
+    /// (`geometry = "enlarged-8ch"`): the Section III-D enlarged system.
+    /// Alias of [`Geometry::eight_channel`], named for what it selects
+    /// rather than how it differs from the baseline.
+    pub fn enlarged_8ch() -> Self {
+        Self::eight_channel()
+    }
+
     /// A miniature geometry for fast unit tests (2 ch x 1 rank x 2x2 banks,
     /// 1K rows). Not representative of any real part.
     pub fn tiny() -> Self {

@@ -76,6 +76,73 @@ impl CpuConfig {
     }
 }
 
+/// Worker-thread policy for stepping per-channel memory shards.
+///
+/// This is an **execution** knob, not a **model** knob: every simulated
+/// result (RunStats, telemetry windows, sweep reports) is bit-identical
+/// across all variants, enforced by the engine-equivalence suite. For
+/// exactly that reason the run-cache cell descriptor deliberately omits
+/// it — a cached result is valid regardless of how many threads produced
+/// it.
+///
+/// In specs and serialized configs this is spelled `"seq"`, `"auto"`, or
+/// a positive integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Threads {
+    /// Step every shard on the calling thread (the reference executor).
+    #[default]
+    Seq,
+    /// One stepping thread per channel, capped by the host's available
+    /// parallelism.
+    Auto,
+    /// Exactly this many stepping threads (clamped to the channel count;
+    /// `0` and `1` both mean sequential).
+    N(usize),
+}
+
+impl Threads {
+    /// The resolved number of stepping threads for `channels` shards on
+    /// this host. Always `>= 1`; `1` means the sequential executor.
+    pub fn worker_count(self, channels: usize) -> usize {
+        let cap = channels.max(1);
+        match self {
+            Threads::Seq => 1,
+            Threads::Auto => std::thread::available_parallelism().map_or(1, usize::from).min(cap),
+            Threads::N(n) => n.clamp(1, cap),
+        }
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Threads::Seq => write!(f, "seq"),
+            Threads::Auto => write!(f, "auto"),
+            Threads::N(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl Threads {
+    /// Parses the spec spelling: `"seq"`, `"auto"`, or a positive integer
+    /// rendered as a string. The inverse of [`Display`](std::fmt::Display).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "seq" => Ok(Threads::Seq),
+            "auto" => Ok(Threads::Auto),
+            other => match other.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Threads::N(n)),
+                _ => Err(format!("'{other}' is not 'seq', 'auto', or a thread count >= 1")),
+            },
+        }
+    }
+}
+
+// Marker impls for the serde shim (the spec layer's hand-rolled TOML/JSON
+// is the real serialization path; see `Threads::parse` / `Display`).
+impl Serialize for Threads {}
+impl<'de> Deserialize<'de> for Threads {}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -98,6 +165,11 @@ pub struct SystemConfig {
     pub max_instructions: u64,
     /// RNG seed controlling every stochastic element of the run.
     pub seed: u64,
+    /// Worker-thread policy for the sharded channel executor. Pure
+    /// execution knob: results are bit-identical across variants and the
+    /// run-cache descriptor excludes it.
+    #[serde(default)]
+    pub threads: Threads,
 }
 
 impl SystemConfig {
@@ -114,6 +186,7 @@ impl SystemConfig {
             window_cycles: ms_to_cycles(4.0),
             max_instructions: u64::MAX,
             seed: 0xDA99E5,
+            threads: Threads::Seq,
         }
     }
 
@@ -149,6 +222,12 @@ impl SystemConfig {
     /// Builder-style override of the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of the shard-thread policy.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -188,6 +267,26 @@ mod tests {
         assert_eq!(c.blast_radius, 2);
         assert_eq!(c.mitigation, MitigationKind::DrfmSb);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn threads_resolve_and_default_to_seq() {
+        assert_eq!(SystemConfig::paper_baseline().threads, Threads::Seq);
+        assert_eq!(Threads::Seq.worker_count(8), 1);
+        assert_eq!(Threads::N(0).worker_count(8), 1, "0 means sequential");
+        assert_eq!(Threads::N(3).worker_count(8), 3);
+        assert_eq!(Threads::N(64).worker_count(8), 8, "clamped to channel count");
+        let auto = Threads::Auto.worker_count(8);
+        assert!((1..=8).contains(&auto), "{auto}");
+    }
+
+    #[test]
+    fn threads_parse_inverts_display() {
+        for t in [Threads::Seq, Threads::Auto, Threads::N(4)] {
+            assert_eq!(Threads::parse(&t.to_string()), Ok(t));
+        }
+        assert!(Threads::parse("0").is_err(), "0 threads is a config error, not Seq");
+        assert!(Threads::parse("fast").is_err());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod tracker;
 
 pub use addr::{DramAddr, Geometry, PhysAddr};
 pub use cache::{CacheStats, DiskStore};
-pub use config::SystemConfig;
+pub use config::{SystemConfig, Threads};
 pub use events::MemEvent;
 pub use registry::{
     ParamSpec, ParamValue, RegistryError, TrackerParams, TrackerRegistry, TrackerSpec,

@@ -41,6 +41,30 @@ pub trait NextEvent {
     /// an observable effect; `now` itself means "cannot skip". See the
     /// module docs for the exact contract.
     fn next_event(&self, now: Cycle) -> Cycle;
+
+    /// Lookahead bound: a lower bound on the component's
+    /// *inject-to-complete* latency. A request handed to the component at
+    /// cycle `t` must not surface a completion before `t +
+    /// min_inject_latency()`.
+    ///
+    /// This is what makes conservative parallel stepping safe: when the
+    /// system splits each bus cycle into a core phase (which injects
+    /// requests) and a memory phase (which consumes them), the executor
+    /// may advance every shard through cycle `t` concurrently, knowing
+    /// that nothing injected during the core phase of cycle `t` can
+    /// produce a completion at or before `t` — so the set of completions
+    /// the rendezvous delivers is fixed before the phase starts, on any
+    /// thread interleaving.
+    ///
+    /// The bound must be conservative (small is safe, large is wrong). A
+    /// memory controller's true floor is `tRCD + tCL + tBL` for a request
+    /// that must open its row; the guaranteed bound is the row-hit floor
+    /// `tCL + tBL`, which is what the DDR5 controller reports. The
+    /// default claims nothing (`0` — only same-cycle completion is
+    /// excluded by the phase ordering itself).
+    fn min_inject_latency(&self) -> Cycle {
+        0
+    }
 }
 
 /// Clamps a candidate event time into the range callers that track

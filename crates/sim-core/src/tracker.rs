@@ -100,7 +100,14 @@ impl StorageOverhead {
 ///
 /// Implementations must be deterministic given their construction seed; the
 /// simulator relies on replayability.
-pub trait RowHammerTracker {
+///
+/// `Send` is a supertrait because a tracker lives inside a channel shard
+/// (`memctrl::ChannelShard`) that the sharded executor hands to worker
+/// threads; trackers own their state (no `Rc`, no thread-local aliasing)
+/// and shards are never aliased across threads, so this costs
+/// implementations nothing beyond using `Arc` where a test double might
+/// have reached for `Rc`.
+pub trait RowHammerTracker: Send {
     /// Short display name ("Hydra", "DAPPER-H", ...).
     fn name(&self) -> &'static str;
 

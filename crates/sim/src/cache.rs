@@ -28,8 +28,13 @@
 //!   explicit naming of that pattern); custom attacks are uncacheable
 //!   unless the caller supplies an identity string covering the whole
 //!   trace-generation genome (see [`cell_key_with_attack_id`]),
-//! * every [`sim_core::SystemConfig`] field (geometry, CPU, LLC, N_RH,
-//!   blast radius, mitigation kind, window, instruction budget, seed),
+//! * every [`sim_core::SystemConfig`] field that shapes results
+//!   (geometry, CPU, LLC, N_RH, blast radius, mitigation kind, window,
+//!   instruction budget, seed) — but **not**
+//!   [`Threads`](sim_core::config::Threads): the executor produces
+//!   bit-identical results at any lane count, so a sequential and a
+//!   sharded run of the same cell share one cache entry by design
+//!   (`tests/cache_keys.rs` pins this),
 //! * the engine, the normalization mode, and the full telemetry spec
 //!   (recorders change what a result *carries*, so they are part of
 //!   identity, not just presentation).

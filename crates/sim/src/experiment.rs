@@ -10,7 +10,7 @@
 
 use cpu::{TraceEntry, TraceSource};
 use sim_core::addr::{Geometry, PhysAddr};
-use sim_core::config::{MitigationKind, SystemConfig};
+use sim_core::config::{MitigationKind, SystemConfig, Threads};
 use sim_core::registry::{ParamValue, RegistryError, TrackerParams, TrackerSpec};
 use sim_core::telemetry::{
     MitigationLog, Probe, SlowdownTrace, Telemetry, TimeSeriesRecorder, WindowSample,
@@ -580,6 +580,15 @@ impl Experiment {
     pub fn eight_channel(mut self, llc_per_core_mib: u64) -> Self {
         self.cfg.geometry = Geometry::eight_channel();
         self.cfg.llc.capacity_bytes = llc_per_core_mib << 20 << 2; // x4 cores
+        self
+    }
+
+    /// Sets the memory-phase execution lanes ([`Threads::Seq`] by
+    /// default). An execution knob, not a model knob: results are
+    /// bit-identical for every setting, only wall-clock changes, and the
+    /// run-cache cell key deliberately ignores it.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.cfg.threads = threads;
         self
     }
 

@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod experiment;
 pub mod metrics;
+mod pool;
 pub mod registry;
 pub mod runner;
 pub mod spec;
@@ -60,5 +61,8 @@ pub use experiment::{
 pub use metrics::{RunStats, RunTelemetry, RECOVERY_THRESHOLD};
 pub use registry::{register_tracker, tracker_keys, with_registry};
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
-pub use spec::{CacheOptions, ExperimentSpec, SpecError, SweepSpec, TelemetryOptions};
-pub use system::{Engine, System};
+pub use sim_core::config::Threads;
+pub use spec::{
+    CacheOptions, ExperimentSpec, SpecError, SweepSpec, SystemOptions, TelemetryOptions,
+};
+pub use system::{Engine, EngineStats, System};

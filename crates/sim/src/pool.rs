@@ -1,0 +1,169 @@
+//! The sharded memory-phase executor.
+//!
+//! A [`ShardPool`] is a persistent set of worker threads that
+//! [`memctrl::ChannelShard`]s are handed to for one bus cycle at a time:
+//! the coordinator moves each active shard's box to a worker
+//! ([`ShardPool::dispatch`]), advances its own share inline, and blocks
+//! until every dispatched shard comes home ([`ShardPool::collect`]).
+//! Ownership transfer is the whole synchronization story — a shard is
+//! never aliased, so there are no locks and no ordering hazards; the
+//! deterministic merge happens afterwards, when the system drains
+//! completion buffers in channel-index order.
+//!
+//! Panic safety mirrors [`crate::runner`]: a worker catches the unwinding
+//! panic, stringifies the payload, and sends it back in the shard's place,
+//! so the coordinator can re-raise it with channel attribution instead of
+//! deadlocking on a result that will never arrive.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+
+use memctrl::ChannelShard;
+use sim_core::time::Cycle;
+
+use crate::runner::panic_message;
+
+/// A dispatched job: `(channel index, the shard, the cycle to advance to)`.
+type Job = (usize, Box<ChannelShard>, Cycle);
+
+/// A finished job: the shard coming home, or the worker's panic message
+/// (the shard itself is lost to the unwind in that case — the coordinator
+/// re-raises, it never keeps simulating).
+type Outcome = (usize, Result<Box<ChannelShard>, String>);
+
+/// A persistent pool of shard workers (see the module docs).
+///
+/// Workers park on their private channel between cycles; dropping the pool
+/// hangs up every channel and joins the threads.
+pub(crate) struct ShardPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    results: mpsc::Receiver<Outcome>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `workers` (>= 1) shard workers.
+    pub(crate) fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool without workers cannot make progress");
+        let (result_tx, results) = mpsc::channel::<Outcome>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let result_tx = result_tx.clone();
+            let handle = thread::Builder::new()
+                .name(format!("shard-worker-{w}"))
+                .spawn(move || {
+                    while let Ok((ch, mut shard, now)) = rx.recv() {
+                        let outcome = catch_unwind(AssertUnwindSafe(move || {
+                            shard.advance_to(now);
+                            shard
+                        }))
+                        .map_err(panic_message);
+                        if result_tx.send((ch, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, results, handles }
+    }
+
+    /// Number of worker lanes.
+    pub(crate) fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Hands `shard` to worker `lane` to advance through bus cycle `now`.
+    pub(crate) fn dispatch(&self, lane: usize, ch: usize, shard: Box<ChannelShard>, now: Cycle) {
+        self.senders[lane].send((ch, shard, now)).expect("shard worker alive");
+    }
+
+    /// Blocks until one dispatched shard comes home. Call exactly once per
+    /// [`ShardPool::dispatch`] before reading any shard state.
+    pub(crate) fn collect(&self) -> Outcome {
+        self.results.recv().expect("a dispatched shard always reports back")
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Hanging up the job channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside catch_unwind (impossible by
+            // construction, but cheap to tolerate) must not abort drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::{DramChannel, TimingParams};
+    use memctrl::{ChannelController, CtrlConfig};
+    use sim_core::addr::{DramAddr, Geometry, PhysAddr};
+    use sim_core::config::MitigationKind;
+    use sim_core::req::{AccessKind, MemRequest, SourceId};
+    use sim_core::tracker::NullTracker;
+
+    fn shard(ch: u8) -> Box<ChannelShard> {
+        let dram = DramChannel::new(Geometry::tiny(), TimingParams::ddr5_6400());
+        let cfg = CtrlConfig::new(500, 1, MitigationKind::Vrr);
+        Box::new(ChannelShard::new(ChannelController::new(ch, dram, Box::new(NullTracker), cfg)))
+    }
+
+    fn rd(ch: u8, id: u64, row: u32) -> MemRequest {
+        let d = DramAddr::new(ch, 0, 0, 0, row, 0);
+        MemRequest::new(id, SourceId(0), AccessKind::Read, PhysAddr(0), d, 0)
+    }
+
+    #[test]
+    fn pooled_advance_matches_inline_advance() {
+        let pool = ShardPool::new(2);
+        let mut pooled: Vec<Option<Box<ChannelShard>>> = (0..4).map(|ch| Some(shard(ch))).collect();
+        let mut inline: Vec<Box<ChannelShard>> = (0..4).map(shard).collect();
+        for (ch, slot) in pooled.iter_mut().enumerate() {
+            assert!(slot.as_mut().unwrap().inject(rd(ch as u8, 1 + ch as u64, 7)));
+        }
+        for (ch, s) in inline.iter_mut().enumerate() {
+            assert!(s.inject(rd(ch as u8, 1 + ch as u64, 7)));
+        }
+        for now in 0..400 {
+            for (ch, slot) in pooled.iter_mut().enumerate() {
+                let s = slot.take().unwrap();
+                pool.dispatch(ch % pool.workers(), ch, s, now);
+            }
+            for _ in 0..4 {
+                let (ch, outcome) = pool.collect();
+                pooled[ch] = Some(outcome.expect("no panic"));
+            }
+            for s in inline.iter_mut() {
+                s.advance_to(now);
+            }
+        }
+        for (slot, s) in pooled.iter_mut().zip(inline.iter_mut()) {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            slot.as_mut().unwrap().drain_completions_into(&mut a);
+            s.drain_completions_into(&mut b);
+            assert_eq!(a, b, "pooled and inline advance agree");
+            assert!(!a.is_empty(), "the read completed");
+            assert_eq!(slot.as_ref().unwrap().step_counts(), s.step_counts());
+        }
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let pool = ShardPool::new(3);
+        pool.dispatch(1, 0, shard(0), 0);
+        let (ch, outcome) = pool.collect();
+        assert_eq!(ch, 0);
+        assert!(outcome.is_ok());
+        drop(pool); // must not hang
+    }
+}

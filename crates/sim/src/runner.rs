@@ -43,7 +43,7 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// anything else reports its `TypeId` (the concrete type *name* is erased
 /// by `Box<dyn Any>`, but a stable id still distinguishes payload kinds
 /// across a sweep), so failures never collapse into one opaque label.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     macro_rules! try_display {
         ($($ty:ty),+ $(,)?) => {
             $(

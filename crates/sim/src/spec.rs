@@ -26,6 +26,7 @@ use crate::experiment::{AttackChoice, Experiment, ExperimentResult, TelemetrySpe
 use crate::runner::{try_run_parallel, SweepError};
 use crate::system::Engine;
 use crate::toml::{self, TomlError, TomlValue};
+use sim_core::config::Threads;
 use sim_core::json::{Json, JsonError};
 use sim_core::registry::{ParamValue, RegistryError};
 use std::collections::BTreeMap;
@@ -552,6 +553,109 @@ impl CacheOptions {
     }
 }
 
+/// The `[system]` spec section: machine-level knobs that are neither
+/// tracker parameters nor run options.
+///
+/// ```toml
+/// [system]
+/// geometry = "enlarged-8ch"   # or "paper-baseline" (default)
+/// threads = "auto"            # "seq" (default), "auto", or a lane count
+/// ```
+///
+/// `geometry` selects a DRAM preset ([`Geometry::paper_baseline`] /
+/// [`Geometry::enlarged_8ch`]); the LLC stays at the baseline capacity
+/// either way. `threads` picks the memory-phase executor
+/// ([`sim_core::config::Threads`]) — an execution knob with bit-identical
+/// results, so it is deliberately **excluded** from the run-cache cell
+/// key, while `geometry` (which changes what is simulated) is part of it.
+///
+/// [`Geometry::paper_baseline`]: sim_core::addr::Geometry::paper_baseline
+/// [`Geometry::enlarged_8ch`]: sim_core::addr::Geometry::enlarged_8ch
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemOptions {
+    /// Canonical geometry preset name (`paper-baseline` / `enlarged-8ch`).
+    pub geometry: Option<String>,
+    /// Memory-phase execution lanes.
+    pub threads: Option<Threads>,
+}
+
+/// The geometry preset names `[system] geometry = "..."` accepts.
+pub const KNOWN_GEOMETRIES: [&str; 2] = ["paper-baseline", "enlarged-8ch"];
+
+impl SystemOptions {
+    fn from_value(v: &TomlValue) -> Result<Self, SpecError> {
+        let TomlValue::Table(table) = v else {
+            return Err(field_err("system", format!("expected a table, got {}", v.kind())));
+        };
+        let f = Fields { table };
+        f.reject_unknown(&["geometry", "threads"])?;
+        let geometry = match f.opt_str("geometry")? {
+            None => None,
+            Some(name) => Some(parse_geometry(&name)?.to_string()),
+        };
+        let threads = match table.get("threads") {
+            None => None,
+            Some(TomlValue::Str(s)) => {
+                Some(Threads::parse(s).map_err(|m| field_err("system.threads", m))?)
+            }
+            Some(TomlValue::Int(i)) => {
+                let n = usize::try_from(*i).ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    field_err("system.threads", format!("lane count must be >= 1, got {i}"))
+                })?;
+                Some(Threads::N(n))
+            }
+            Some(other) => {
+                return Err(field_err(
+                    "system.threads",
+                    format!("expected \"seq\", \"auto\", or a lane count, got {}", other.kind()),
+                ))
+            }
+        };
+        Ok(Self { geometry, threads })
+    }
+
+    fn to_value(&self) -> TomlValue {
+        let mut t = BTreeMap::new();
+        if let Some(geometry) = &self.geometry {
+            t.insert("geometry".into(), TomlValue::Str(geometry.clone()));
+        }
+        match self.threads {
+            None => {}
+            Some(Threads::N(n)) => {
+                t.insert("threads".into(), TomlValue::Int(n as i64));
+            }
+            Some(t_) => {
+                t.insert("threads".into(), TomlValue::Str(t_.to_string()));
+            }
+        }
+        TomlValue::Table(t)
+    }
+
+    fn apply(&self, mut e: Experiment) -> Experiment {
+        if self.geometry.as_deref() == Some("enlarged-8ch") {
+            // Baseline per-core LLC share (2 MiB x 4 cores = the 8 MiB
+            // baseline): geometry changes the memory system only.
+            e = e.eight_channel(2);
+        }
+        if let Some(threads) = self.threads {
+            e = e.threads(threads);
+        }
+        e
+    }
+}
+
+/// Resolves a geometry preset name to its canonical spelling.
+fn parse_geometry(name: &str) -> Result<&'static str, SpecError> {
+    match sim_core::registry::normalize_key(name).as_str() {
+        "paperbaseline" | "baseline" => Ok("paper-baseline"),
+        "enlarged8ch" | "eightchannel" | "8ch" => Ok("enlarged-8ch"),
+        _ => Err(field_err(
+            "system.geometry",
+            format!("unknown geometry '{name}'; known: {}", KNOWN_GEOMETRIES.join(", ")),
+        )),
+    }
+}
+
 fn check_workload(name: &str) -> Result<(), SpecError> {
     if workloads::spec_by_name(name).is_none() {
         return Err(SpecError::UnknownWorkload { name: name.to_string() });
@@ -616,6 +720,8 @@ pub struct ExperimentSpec {
     pub options: SpecOptions,
     /// Telemetry section (`[telemetry]`), if present.
     pub telemetry: Option<TelemetryOptions>,
+    /// Machine section (`[system]`), if present.
+    pub system: Option<SystemOptions>,
 }
 
 impl ExperimentSpec {
@@ -628,12 +734,13 @@ impl ExperimentSpec {
             attack: "none".to_string(),
             options: SpecOptions::default(),
             telemetry: None,
+            system: None,
         }
     }
 
     fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
         let f = Fields { table };
-        let mut allowed = vec!["workload", "tracker", "params", "attack", "telemetry"];
+        let mut allowed = vec!["workload", "tracker", "params", "attack", "telemetry", "system"];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
         let params = match table.get("params") {
@@ -647,6 +754,7 @@ impl ExperimentSpec {
             attack: f.opt_str("attack")?.unwrap_or_else(|| "none".to_string()),
             options: SpecOptions::from_fields(&f)?,
             telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
+            system: table.get("system").map(SystemOptions::from_value).transpose()?,
         })
     }
 
@@ -662,6 +770,9 @@ impl ExperimentSpec {
         }
         if let Some(telemetry) = &self.telemetry {
             t.insert("telemetry".into(), telemetry.to_value());
+        }
+        if let Some(system) = &self.system {
+            t.insert("system".into(), system.to_value());
         }
         t
     }
@@ -700,6 +811,9 @@ impl ExperimentSpec {
         if let Some(telemetry) = &self.telemetry {
             e = telemetry.apply(e);
         }
+        if let Some(system) = &self.system {
+            e = system.apply(e);
+        }
         Ok(self.options.apply(e))
     }
 
@@ -720,6 +834,7 @@ impl PartialEq for ExperimentSpec {
             && self.attack == other.attack
             && self.options == other.options
             && self.telemetry == other.telemetry
+            && self.system == other.system
             && param_map_eq(&self.params, &other.params)
     }
 }
@@ -742,6 +857,8 @@ pub struct SweepSpec {
     pub options: SpecOptions,
     /// Telemetry section (`[telemetry]`) applied to every cell.
     pub telemetry: Option<TelemetryOptions>,
+    /// Machine section (`[system]`) applied to every cell.
+    pub system: Option<SystemOptions>,
     /// Run-cache section (`[cache]`): where cache-aware runners read
     /// results through.
     pub cache: Option<CacheOptions>,
@@ -755,6 +872,7 @@ impl PartialEq for SweepSpec {
             && self.attacks == other.attacks
             && self.options == other.options
             && self.telemetry == other.telemetry
+            && self.system == other.system
             && self.cache == other.cache
             && self.params.len() == other.params.len()
             && self
@@ -776,14 +894,23 @@ impl SweepSpec {
             attacks: vec!["none".to_string()],
             options: SpecOptions::default(),
             telemetry: None,
+            system: None,
             cache: None,
         }
     }
 
     fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
         let f = Fields { table };
-        let mut allowed =
-            vec!["name", "workloads", "trackers", "params", "attacks", "telemetry", "cache"];
+        let mut allowed = vec![
+            "name",
+            "workloads",
+            "trackers",
+            "params",
+            "attacks",
+            "telemetry",
+            "system",
+            "cache",
+        ];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
         let mut params = BTreeMap::new();
@@ -815,6 +942,7 @@ impl SweepSpec {
             attacks: f.str_list("attacks")?.unwrap_or_else(|| vec!["none".to_string()]),
             options: SpecOptions::from_fields(&f)?,
             telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
+            system: table.get("system").map(SystemOptions::from_value).transpose()?,
             cache: table.get("cache").map(CacheOptions::from_value).transpose()?,
         })
     }
@@ -837,6 +965,9 @@ impl SweepSpec {
         self.options.write(&mut t);
         if let Some(telemetry) = &self.telemetry {
             t.insert("telemetry".into(), telemetry.to_value());
+        }
+        if let Some(system) = &self.system {
+            t.insert("system".into(), system.to_value());
         }
         if let Some(cache) = &self.cache {
             t.insert("cache".into(), cache.to_value());
@@ -947,6 +1078,9 @@ impl SweepSpec {
                     let mut e = Experiment::new(workload).tracker(tracker.clone()).attack(*attack);
                     if let Some(telemetry) = &self.telemetry {
                         e = telemetry.apply(e);
+                    }
+                    if let Some(system) = &self.system {
+                        e = system.apply(e);
                     }
                     let e = self.options.apply(e);
                     if crate::cache::cell_identity(&e).is_none_or(|id| seen.insert(id)) {
@@ -1121,6 +1255,51 @@ group_size = 256
         )
         .unwrap_err();
         assert!(err.to_string().contains("dyr"), "{err}");
+    }
+
+    #[test]
+    fn system_section_round_trips_and_applies() {
+        let doc = "name = \"sharded\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+                   [system]\ngeometry = \"enlarged-8ch\"\nthreads = \"auto\"\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let system = spec.system.as_ref().expect("[system] section present");
+        assert_eq!(system.geometry.as_deref(), Some("enlarged-8ch"));
+        assert_eq!(system.threads, Some(Threads::Auto));
+        assert_eq!(SweepSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(SweepSpec::from_json_str(&spec.to_json().render()).unwrap(), spec);
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells[0].cfg.geometry.channels, 8, "preset reaches the cell config");
+        assert_eq!(cells[0].cfg.threads, Threads::Auto);
+
+        // Integer lane counts and alias geometry spellings parse; both
+        // forms survive the round-trip.
+        let doc = "workload = \"gcc_like\"\ntracker = \"none\"\n\
+                   [system]\ngeometry = \"8ch\"\nthreads = 4\n";
+        let spec = ExperimentSpec::from_toml_str(doc).unwrap();
+        let system = spec.system.as_ref().unwrap();
+        assert_eq!(system.geometry.as_deref(), Some("enlarged-8ch"), "canonical spelling");
+        assert_eq!(system.threads, Some(Threads::N(4)));
+        assert_eq!(ExperimentSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        let e = spec.to_experiment().unwrap();
+        assert_eq!(e.cfg.geometry.channels, 8);
+        assert_eq!(e.cfg.threads, Threads::N(4));
+
+        // Unknown keys and bad values are rejected with the key named.
+        let err = ExperimentSpec::from_toml_str(
+            "workload = \"gcc_like\"\ntracker = \"none\"\n[system]\nthreds = 2\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("threds"), "{err}");
+        let err = ExperimentSpec::from_toml_str(
+            "workload = \"gcc_like\"\ntracker = \"none\"\n[system]\ngeometry = \"16ch\"\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("enlarged-8ch"), "must list known presets: {err}");
+        let err = ExperimentSpec::from_toml_str(
+            "workload = \"gcc_like\"\ntracker = \"none\"\n[system]\nthreads = 0\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("system.threads"), "{err}");
     }
 
     #[test]

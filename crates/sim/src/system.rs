@@ -13,6 +13,20 @@
 //!   cross-engine equivalence suite (`tests/engine_equivalence.rs`) holds
 //!   that line.
 //!
+//! Each bus cycle splits into a **memory phase** — every channel's
+//! [`memctrl::ChannelShard`] advances through the cycle, collecting due
+//! completions into its private buffer — and a **core phase** — the
+//! coordinator drains those buffers *in channel-index order*, delivers
+//! them, and steps the cores, which inject new requests into the shards.
+//! Shards share nothing, and the lookahead bound
+//! ([`sim_core::sched::NextEvent::min_inject_latency`]) guarantees
+//! nothing injected during the core phase of cycle `t` can complete at or
+//! before `t`, so the memory phase may run the shards concurrently
+//! ([`sim_core::config::Threads`]) with results **bit-identical** to
+//! sequential execution: the merge order is fixed by construction, not by
+//! thread scheduling. Telemetry window boundaries remain the hard global
+//! barrier — samples are taken only between cycles, with every shard home.
+//!
 //! Observation rides the [`sim_core::telemetry`] probe API: a
 //! [`Telemetry`] configuration attaches any number of probes to a run —
 //! event sinks (the ground-truth oracle is one such client), per-window
@@ -26,9 +40,10 @@ use analysis::OracleProbe;
 use cpu::{ClockRatio, Core, MemoryPort, PortResponse, Quiescence, TraceSource};
 use dram::{DramChannel, TimingParams};
 use llcache::{Llc, LookupResult};
-use memctrl::{ChannelController, CtrlConfig};
+use memctrl::{ChannelController, ChannelShard, CtrlConfig};
 use sim_core::addr::PhysAddr;
 use sim_core::config::SystemConfig;
+use sim_core::json::Json;
 use sim_core::req::{AccessKind, MemRequest, SourceId};
 use sim_core::sched::NextEvent;
 use sim_core::stats::MemStats;
@@ -37,6 +52,7 @@ use sim_core::time::Cycle;
 use sim_core::tracker::RowHammerTracker;
 
 use crate::metrics::RunStats;
+use crate::pool::ShardPool;
 
 /// Which simulation loop drives the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -48,6 +64,69 @@ pub enum Engine {
     /// idle-heavy workloads.
     #[default]
     EventDriven,
+}
+
+/// Execution-engine diagnostics ([`System::engine_stats`]): where the
+/// simulated bus cycles went. `dense_steps` / `skipped_cycles` / `skips`
+/// describe the whole-system time-skipping engine; `shard_ticks` /
+/// `shard_idle_skips` attribute the *dense* residue per channel — on each
+/// densely-stepped cycle, every shard either ticked its controller or
+/// proved the cycle a no-op in O(1) and skipped it.
+///
+/// Purely diagnostic: none of these numbers feed back into simulation, and
+/// they are identical across sequential and sharded execution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Bus cycles executed densely (one [`System::step`] each).
+    pub dense_steps: u64,
+    /// Bus cycles elided by whole-system exact time jumps.
+    pub skipped_cycles: u64,
+    /// Number of successful jumps (`skipped_cycles` spread over this many).
+    pub skips: u64,
+    /// Per-channel: memory-phase calls that ticked the controller.
+    pub shard_ticks: Vec<u64>,
+    /// Per-channel: memory-phase calls elided by the shard's decision bound.
+    pub shard_idle_skips: Vec<u64>,
+}
+
+impl EngineStats {
+    /// Fraction of simulated bus cycles stepped densely (0 when nothing
+    /// has run).
+    pub fn dense_fraction(&self) -> f64 {
+        let total = self.dense_steps + self.skipped_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.dense_steps as f64 / total as f64
+        }
+    }
+
+    /// Fraction of channel `ch`'s memory-phase calls that actually ticked
+    /// (0 when the channel never entered a memory phase).
+    pub fn shard_step_fraction(&self, ch: usize) -> f64 {
+        let total = self.shard_ticks[ch] + self.shard_idle_skips[ch];
+        if total == 0 {
+            0.0
+        } else {
+            self.shard_ticks[ch] as f64 / total as f64
+        }
+    }
+
+    /// Canonical JSON rendering (one key per field — the field-drift guard
+    /// test holds that line, so bench snapshots can never silently lose a
+    /// counter).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("dense_steps", Json::count(self.dense_steps)),
+            ("skipped_cycles", Json::count(self.skipped_cycles)),
+            ("skips", Json::count(self.skips)),
+            ("shard_ticks", Json::Arr(self.shard_ticks.iter().map(|&t| Json::count(t)).collect())),
+            (
+                "shard_idle_skips",
+                Json::Arr(self.shard_idle_skips.iter().map(|&t| Json::count(t)).collect()),
+            ),
+        ])
+    }
 }
 
 /// Maximum dense steps between failed skip attempts (exponential backoff
@@ -78,10 +157,16 @@ struct Frozen {
 
 /// The memory hierarchy below the cores (split off so cores and hierarchy
 /// can be borrowed simultaneously).
+///
+/// Each channel lives in its own [`ChannelShard`] slot. A slot is `None`
+/// only *inside* the memory phase, while the sharded executor has moved
+/// that box to a worker thread; every other line of code in this crate may
+/// assume the shard is home ([`Hierarchy::shard`] /
+/// [`Hierarchy::shard_mut`] encode that assumption).
 struct Hierarchy {
     cfg: SystemConfig,
     llc: Llc,
-    ctrls: Vec<ChannelController>,
+    shards: Vec<Option<Box<ChannelShard>>>,
     /// Per-core: skip the LLC (clflush-style attacker access).
     bypass_llc: Vec<bool>,
     next_req: u64,
@@ -89,15 +174,27 @@ struct Hierarchy {
 }
 
 impl Hierarchy {
+    fn channels(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, ch: usize) -> &ChannelShard {
+        self.shards[ch].as_deref().expect("shard home outside the memory phase")
+    }
+
+    fn shard_mut(&mut self, ch: usize) -> &mut ChannelShard {
+        self.shards[ch].as_deref_mut().expect("shard home outside the memory phase")
+    }
+
     fn enqueue_dram(&mut self, source: SourceId, addr: PhysAddr, kind: AccessKind) -> Option<u64> {
         let dram_addr = self.cfg.geometry.decode(addr);
         let ch = dram_addr.channel as usize;
         let id = self.next_req;
         let req = MemRequest::new(id, source, kind, addr, dram_addr, self.now);
         let ok = match kind {
-            AccessKind::Read => self.ctrls[ch].can_accept_read() && self.ctrls[ch].enqueue(req),
-            AccessKind::Write => self.ctrls[ch].can_accept_write() && self.ctrls[ch].enqueue(req),
-        };
+            AccessKind::Read => self.shard(ch).controller().can_accept_read(),
+            AccessKind::Write => self.shard(ch).controller().can_accept_write(),
+        } && self.shard_mut(ch).inject(req);
         if ok {
             self.next_req += 1;
             Some(id)
@@ -129,7 +226,7 @@ impl Hierarchy {
     /// [`MemoryPort::access`] below exactly** — it is the single copy
     /// every freeze/skip path consults.
     fn queue_full_for(&self, (ch, is_write, bypass): (usize, bool, bool)) -> bool {
-        let ctrl = &self.ctrls[ch];
+        let ctrl = self.shard(ch).controller();
         if is_write {
             // Bypass and LLC write paths both refuse on a full write queue
             // (a write-allocate miss also charges its writeback there).
@@ -158,14 +255,15 @@ impl MemoryPort for Hierarchy {
         // Capacity pre-check: a miss may need a read slot plus a writeback
         // slot; refuse before mutating the LLC so state stays consistent.
         let ch = self.channel_of(addr);
+        let ctrl = self.shard(ch).controller();
         match kind {
             AccessKind::Read => {
-                if !self.ctrls[ch].can_accept_read() || !self.ctrls[ch].can_accept_write() {
+                if !ctrl.can_accept_read() || !ctrl.can_accept_write() {
                     return PortResponse::Busy;
                 }
             }
             AccessKind::Write => {
-                if !self.ctrls[ch].can_accept_write() {
+                if !ctrl.can_accept_write() {
                     return PortResponse::Busy;
                 }
             }
@@ -203,6 +301,14 @@ pub struct System {
     cores: Vec<Core>,
     hierarchy: Hierarchy,
     ratio: ClockRatio,
+    /// The sharded memory-phase executor, created lazily by
+    /// [`System::run_engine`] when [`sim_core::config::Threads`] resolves
+    /// to more than one lane. `None` means every memory phase runs inline
+    /// on the coordinator (sequential execution — same results either way).
+    pool: Option<ShardPool>,
+    /// Scratch: channel indices with work this cycle (reused across the
+    /// memory phases of a pooled run).
+    active_shards: Vec<usize>,
     /// Attached observers (the ground-truth oracle rides here as an
     /// ordinary event probe). Probes only read; `RunStats` is bit-identical
     /// with and without them, on both engines.
@@ -303,16 +409,16 @@ impl System {
             .collect();
         let timing = TimingParams::ddr5_6400();
         let ctrl_cfg = CtrlConfig::new(cfg.nrh, cfg.blast_radius, cfg.mitigation);
-        let ctrls: Vec<ChannelController> = trackers
+        let shards: Vec<Option<Box<ChannelShard>>> = trackers
             .into_iter()
             .enumerate()
             .map(|(ch, tr)| {
-                ChannelController::new(
+                Some(Box::new(ChannelShard::new(ChannelController::new(
                     ch as u8,
                     DramChannel::new(cfg.geometry, timing),
                     tr,
                     ctrl_cfg,
-                )
+                ))))
             })
             .collect();
         let ncores = cores.len();
@@ -323,8 +429,10 @@ impl System {
         let llc = Llc::new(cfg.llc, cfg.seed ^ 0x11C);
         let mut sys = Self {
             cores,
-            hierarchy: Hierarchy { cfg, llc, ctrls, bypass_llc, next_req: 1, now: 0 },
+            hierarchy: Hierarchy { cfg, llc, shards, bypass_llc, next_req: 1, now: 0 },
             ratio: ClockRatio::core_over_bus(),
+            pool: None,
+            active_shards: Vec::new(),
             probes: Vec::new(),
             event_probes: Vec::new(),
             window_probes: Vec::new(),
@@ -368,17 +476,17 @@ impl System {
     /// differential suite runs whole workloads both ways and requires
     /// bit-identical [`RunStats`].
     pub fn set_naive_scan(&mut self, naive: bool) {
-        for ctrl in &mut self.hierarchy.ctrls {
-            ctrl.set_naive_scan(naive);
+        for ch in 0..self.hierarchy.channels() {
+            self.hierarchy.shard_mut(ch).controller_mut().set_naive_scan(naive);
         }
     }
 
     /// Immutable facts delivered to probes at attach time.
     fn run_meta(&self) -> RunMeta {
         RunMeta {
-            tracker: self.hierarchy.ctrls[0].tracker().name().to_string(),
+            tracker: self.hierarchy.shard(0).controller().tracker().name().to_string(),
             cores: self.cores.len(),
-            channels: self.hierarchy.ctrls.len(),
+            channels: self.hierarchy.channels(),
             window_len: self.window_len,
         }
     }
@@ -396,8 +504,8 @@ impl System {
         let idx = self.probes.len();
         if probe.wants_events() {
             self.event_probes.push(idx);
-            for ctrl in &mut self.hierarchy.ctrls {
-                ctrl.set_event_capture(true);
+            for ch in 0..self.hierarchy.channels() {
+                self.hierarchy.shard_mut(ch).controller_mut().set_event_capture(true);
             }
         }
         if probe.wants_windows() {
@@ -416,8 +524,8 @@ impl System {
         self.window_probes.clear();
         // No drainer remains: stop the controllers buffering events, or
         // further `step` calls would grow the buffers unboundedly.
-        for ctrl in &mut self.hierarchy.ctrls {
-            ctrl.set_event_capture(false);
+        for ch in 0..self.hierarchy.channels() {
+            self.hierarchy.shard_mut(ch).controller_mut().set_event_capture(false);
         }
         std::mem::take(&mut self.probes)
     }
@@ -430,17 +538,80 @@ impl System {
         self.hierarchy.now += 1;
     }
 
-    /// The memory half of a bus cycle: controller ticks, completion
-    /// delivery, event fan-out.
+    /// The memory half of a bus cycle: the memory phase (every shard
+    /// advances through `now`, concurrently when a pool is attached), then
+    /// the deterministic merge (completion delivery in channel-index
+    /// order), then event fan-out.
     fn step_memory(&mut self, now: Cycle) {
-        // Memory controllers first: issue commands, surface completions.
-        for ch in 0..self.hierarchy.ctrls.len() {
-            self.hierarchy.ctrls[ch].tick(now);
-            if self.hierarchy.ctrls[ch].earliest_completion().is_none_or(|d| d > now) {
-                continue;
+        self.mem_phase(now);
+        self.deliver_completions(now);
+        self.fan_out_events();
+    }
+
+    /// Memory phase of bus cycle `now`: every shard advances through the
+    /// cycle, collecting its due completions into its private buffer.
+    ///
+    /// Shards share nothing, so the order they advance in — and the thread
+    /// they advance on — is invisible to results; with a [`ShardPool`]
+    /// attached, active shards are handed out to workers and the
+    /// coordinator advances its own share (plus the idle shards, an O(1)
+    /// bump each) while they run. The phase ends only when every shard is
+    /// home: the rendezvous is per cycle.
+    fn mem_phase(&mut self, now: Cycle) {
+        if self.pool.is_none() {
+            for slot in self.hierarchy.shards.iter_mut() {
+                slot.as_deref_mut().expect("shard home outside the memory phase").advance_to(now);
             }
+            return;
+        }
+        let pool = self.pool.as_ref().expect("checked above");
+        let shards = &mut self.hierarchy.shards;
+        let active = &mut self.active_shards;
+        active.clear();
+        for (ch, slot) in shards.iter_mut().enumerate() {
+            let shard = slot.as_deref_mut().expect("shard home outside the memory phase");
+            if NextEvent::next_event(shard, now) <= now {
+                active.push(ch);
+            } else {
+                // Idle: the advance is a counted O(1) no-op; not worth a
+                // thread handoff.
+                shard.advance_to(now);
+            }
+        }
+        if active.len() < 2 {
+            // Nothing to overlap; skip the rendezvous entirely.
+            for &ch in active.iter() {
+                shards[ch].as_deref_mut().expect("classified above").advance_to(now);
+            }
+            return;
+        }
+        // The coordinator keeps the first active shard for itself and
+        // deals the rest out round-robin.
+        let mine = active[0];
+        let mut dispatched = 0;
+        for (i, &ch) in active[1..].iter().enumerate() {
+            let shard = shards[ch].take().expect("classified above");
+            pool.dispatch(i % pool.workers(), ch, shard, now);
+            dispatched += 1;
+        }
+        shards[mine].as_deref_mut().expect("classified above").advance_to(now);
+        for _ in 0..dispatched {
+            let (ch, outcome) = pool.collect();
+            match outcome {
+                Ok(shard) => shards[ch] = Some(shard),
+                Err(message) => panic!("channel {ch} shard worker panicked: {message}"),
+            }
+        }
+    }
+
+    /// Delivers every completion the memory phase collected, draining the
+    /// shard buffers **in channel-index order** (within a shard,
+    /// completions pop in `(due cycle, id)` order). This fixed merge order
+    /// is what makes sequential and sharded execution bit-identical.
+    fn deliver_completions(&mut self, now: Cycle) {
+        for ch in 0..self.hierarchy.channels() {
             self.completions_buf.clear();
-            self.hierarchy.ctrls[ch].pop_completions(now, &mut self.completions_buf);
+            self.hierarchy.shard_mut(ch).drain_completions_into(&mut self.completions_buf);
             for i in 0..self.completions_buf.len() {
                 let id = self.completions_buf[i];
                 let core = self.core_of_req[(id - 1) as usize] as usize;
@@ -450,7 +621,6 @@ impl System {
                 self.cores[core].complete(id);
             }
         }
-        self.fan_out_events();
     }
 
     /// Replays a frozen core's elided cycles (closed form) so its state is
@@ -486,8 +656,9 @@ impl System {
         }
         let probes = &mut self.probes;
         let event_probes = &self.event_probes;
-        for (ch, ctrl) in self.hierarchy.ctrls.iter_mut().enumerate() {
-            ctrl.drain_events(&mut |ev| {
+        for (ch, slot) in self.hierarchy.shards.iter_mut().enumerate() {
+            let ctrl = slot.as_deref_mut().expect("shard home outside the memory phase");
+            ctrl.controller_mut().drain_events(&mut |ev| {
                 for &i in event_probes {
                     probes[i].on_event(ch as u8, ev);
                 }
@@ -560,7 +731,19 @@ impl System {
     }
 
     /// Runs under the chosen engine.
+    ///
+    /// When the config's [`sim_core::config::Threads`] resolves to more
+    /// than one lane for this channel count, the memory phase runs on a
+    /// worker-lane shard pool — an execution detail: results are
+    /// bit-identical to [`Threads::Seq`](sim_core::config::Threads::Seq)
+    /// on either engine.
     pub fn run_engine(&mut self, engine: Engine) -> RunStats {
+        let lanes = self.hierarchy.cfg.threads.worker_count(self.hierarchy.channels());
+        if lanes >= 2 && self.pool.is_none() {
+            // The coordinator is a lane of its own; it advances its share
+            // of the active shards while the workers run theirs.
+            self.pool = Some(ShardPool::new(lanes - 1));
+        }
         let window = self.hierarchy.cfg.window_cycles;
         let max_inst = self.hierarchy.cfg.max_instructions;
         // Freezing defers per-core retire accounting, so it is off under
@@ -604,8 +787,8 @@ impl System {
         debug_assert_eq!(end, self.hierarchy.now);
         self.unfreeze_all(end);
         let mut mem = MemStats::default();
-        for ctrl in &self.hierarchy.ctrls {
-            mem.merge(&ctrl.stats);
+        for ch in 0..self.hierarchy.channels() {
+            mem.merge(&self.hierarchy.shard(ch).controller().stats);
         }
         let sample = WindowSample {
             index: self.window_index,
@@ -657,11 +840,33 @@ impl System {
         }
     }
 
-    /// `(dense bus cycles, skipped bus cycles, skips)` executed so far —
-    /// how much of the simulated time the event engine actually elided and
-    /// in how many jumps/bursts.
-    pub fn engine_stats(&self) -> (u64, u64, u64) {
-        (self.dense_steps, self.skipped_cycles, self.skips)
+    /// Execution-engine diagnostics so far: how much simulated time the
+    /// event engine elided, and how much of the dense residue each channel
+    /// shard elided on its own.
+    pub fn engine_stats(&self) -> EngineStats {
+        let mut shard_ticks = Vec::with_capacity(self.hierarchy.channels());
+        let mut shard_idle_skips = Vec::with_capacity(self.hierarchy.channels());
+        for ch in 0..self.hierarchy.channels() {
+            let (ticks, idles) = self.hierarchy.shard(ch).step_counts();
+            shard_ticks.push(ticks);
+            shard_idle_skips.push(idles);
+        }
+        EngineStats {
+            dense_steps: self.dense_steps,
+            skipped_cycles: self.skipped_cycles,
+            skips: self.skips,
+            shard_ticks,
+            shard_idle_skips,
+        }
+    }
+
+    /// Per-channel memory counters (the `RunStats::mem` merge, unmerged):
+    /// `channel_stats()[ch]` is channel `ch`'s own [`MemStats`], and their
+    /// merge equals the run-level aggregate exactly.
+    pub fn channel_stats(&self) -> Vec<MemStats> {
+        (0..self.hierarchy.channels())
+            .map(|ch| self.hierarchy.shard(ch).controller().stats)
+            .collect()
     }
 
     /// Bus cycles of per-core execution elided by freezing parked cores —
@@ -704,8 +909,9 @@ impl System {
             horizon = horizon.min(self.next_window);
         }
         let mut decision = horizon;
-        for ctrl in &self.hierarchy.ctrls {
-            decision = decision.min(NextEvent::next_event(ctrl, now));
+        for slot in &self.hierarchy.shards {
+            let shard = slot.as_deref().expect("shard home outside the memory phase");
+            decision = decision.min(NextEvent::next_event(shard, now));
         }
         if decision <= now {
             // A controller has work this very cycle. That is a fact, not a
@@ -787,7 +993,8 @@ impl System {
     pub fn stats(&self) -> RunStats {
         let mut mem = sim_core::stats::MemStats::default();
         let mut energy = 0.0;
-        for ctrl in &self.hierarchy.ctrls {
+        for ch in 0..self.hierarchy.channels() {
+            let ctrl = self.hierarchy.shard(ch).controller();
             mem.merge(&ctrl.stats);
             energy += ctrl
                 .dram()
@@ -799,7 +1006,7 @@ impl System {
             p.as_any().downcast_ref::<OracleProbe>().map(|o| (o.max_damage(), o.violations()))
         });
         RunStats {
-            tracker: self.hierarchy.ctrls[0].tracker().name().to_string(),
+            tracker: self.hierarchy.shard(0).controller().tracker().name().to_string(),
             cycles: self.hierarchy.now,
             retired: self.cores.iter().map(|c| c.retired()).collect(),
             core_cycles: self.cores.iter().map(|c| c.cycles()).collect(),
@@ -812,7 +1019,9 @@ impl System {
 
     /// Mitigation-queue / metadata backlog across channels (introspection).
     pub fn pending_mitigations(&self) -> usize {
-        self.hierarchy.ctrls.iter().map(|c| c.pending_mitigations()).sum()
+        (0..self.hierarchy.channels())
+            .map(|ch| self.hierarchy.shard(ch).controller().pending_mitigations())
+            .sum()
     }
 }
 
@@ -1016,8 +1225,13 @@ mod tests {
         let t = Telemetry::none().probe(TimeSeriesRecorder::new()).window_len(50_000);
         let mut sys = build_with_telemetry(cfg, 20_000, t);
         let _ = sys.run();
-        let (dense, skipped, _) = sys.engine_stats();
-        assert!(skipped > dense, "windows must cap skips, not forbid them: {dense} vs {skipped}");
+        let es = sys.engine_stats();
+        assert!(
+            es.skipped_cycles > es.dense_steps,
+            "windows must cap skips, not forbid them: {} vs {}",
+            es.dense_steps,
+            es.skipped_cycles
+        );
     }
 
     #[test]
@@ -1026,6 +1240,81 @@ mod tests {
         let mut sys = build(small_cfg(), 100, false);
         sys.step();
         sys.attach_probe(Box::new(sim_core::telemetry::NullProbe));
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_sequential() {
+        use sim_core::config::Threads;
+        for engine in [Engine::Dense, Engine::EventDriven] {
+            let mut seq_sys = build(small_cfg(), 20, true);
+            let seq = seq_sys.run_engine(engine);
+            let mut cfg = small_cfg();
+            cfg.threads = Threads::N(2);
+            let mut sharded_sys = build(cfg, 20, true);
+            let sharded = sharded_sys.run_engine(engine);
+            assert_eq!(seq, sharded, "{engine:?}: results must not depend on the executor");
+            assert_eq!(
+                seq_sys.engine_stats(),
+                sharded_sys.engine_stats(),
+                "{engine:?}: the executor may not change what was simulated"
+            );
+        }
+    }
+
+    #[test]
+    fn per_channel_stats_merge_to_the_run_aggregate() {
+        let mut sys = build(small_cfg(), 10, false);
+        let stats = sys.run();
+        let per = sys.channel_stats();
+        assert_eq!(per.len(), 2, "one MemStats per channel");
+        let mut merged = MemStats::default();
+        for s in &per {
+            merged.merge(s);
+        }
+        assert_eq!(merged, stats.mem, "per-channel counters must sum to the aggregate");
+        assert!(per.iter().all(|s| s.reads > 0), "strided traffic stripes across both channels");
+    }
+
+    #[test]
+    fn engine_stats_json_covers_every_field() {
+        // Distinct non-zero values per field, single-element vectors so the
+        // Debug rendering splits cleanly on ", ".
+        let es = EngineStats {
+            dense_steps: 1,
+            skipped_cycles: 2,
+            skips: 3,
+            shard_ticks: vec![4],
+            shard_idle_skips: vec![5],
+        };
+        let json = es.to_json();
+        let debug = format!("{es:?}");
+        let body = debug
+            .strip_prefix("EngineStats { ")
+            .and_then(|d| d.strip_suffix(" }"))
+            .expect("derived Debug shape");
+        let mut fields = 0;
+        for field in body.split(", ") {
+            let name = field.split(':').next().expect("field: value");
+            assert!(json.get(name).is_some(), "EngineStats::to_json dropped field `{name}`");
+            fields += 1;
+        }
+        assert_eq!(fields, 5, "new EngineStats fields must be added to to_json");
+        assert!((es.dense_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((es.shard_step_fraction(0) - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_step_fractions_reflect_channel_activity() {
+        let mut sys = build(small_cfg(), 10, false);
+        let _ = sys.run_dense();
+        let es = sys.engine_stats();
+        assert_eq!(es.shard_ticks.len(), 2);
+        for ch in 0..2 {
+            let total = es.shard_ticks[ch] + es.shard_idle_skips[ch];
+            assert_eq!(total, 60_000, "every dense cycle enters the memory phase once");
+            let f = es.shard_step_fraction(ch);
+            assert!(f > 0.0 && f < 1.0, "busy-but-not-saturated channel: {f}");
+        }
     }
 
     #[test]

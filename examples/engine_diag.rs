@@ -21,7 +21,8 @@ fn main() {
         let t = std::time::Instant::now();
         let stats = sys.run_engine(Engine::EventDriven);
         let dt = t.elapsed().as_secs_f64();
-        let (dense, skipped, skips) = sys.engine_stats();
+        let es = sys.engine_stats();
+        let (dense, skipped, skips) = (es.dense_steps, es.skipped_cycles, es.skips);
         println!(
             "{name:<16} cycles {:>9}  dense {:>9} ({:>5.1}%)  skipped {:>9} in {:>7} jumps (avg {:>6.1})  {:>6.1} Mc/s",
             stats.cycles, dense,

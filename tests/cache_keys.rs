@@ -56,6 +56,24 @@ fn cell_keys_are_stable_across_releases() {
 }
 
 #[test]
+fn cell_keys_ignore_threads_but_track_geometry() {
+    // Threads is an execution knob: the sharded executor is bit-identical
+    // to sequential, so a sequential warm-up and a sharded re-run must
+    // share one cache entry.
+    let base = Experiment::new("mcf_like").tracker("dapper-h");
+    let seq = cell_key(&base.clone().threads(sim::Threads::Seq)).expect("cacheable").key;
+    let sharded = cell_key(&base.clone().threads(sim::Threads::N(4))).expect("cacheable").key;
+    let auto = cell_key(&base.clone().threads(sim::Threads::Auto)).expect("cacheable").key;
+    assert_eq!(seq, sharded, "lane count must not perturb the cell key");
+    assert_eq!(seq, auto, "auto lane selection must not perturb the cell key");
+
+    // Geometry, by contrast, shapes results: the enlarged eight-channel
+    // system must never collide with the two-channel baseline.
+    let enlarged = cell_key(&base.clone().eight_channel(2)).expect("cacheable").key;
+    assert_ne!(seq, enlarged, "channel count is part of the modeled system");
+}
+
+#[test]
 fn corrupt_entries_are_evicted_and_recomputed() {
     let dir = std::env::temp_dir().join(format!("cache-crash-safety-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -60,6 +60,56 @@ fn workload_subset_is_engine_equivalent() {
 }
 
 #[test]
+fn sharded_execution_is_engine_equivalent_across_channel_counts() {
+    // The sharded executor must be invisible: for both engines and both
+    // geometries (paper baseline and the enlarged eight-channel system),
+    // every lane count yields bit-identical `RunStats` and byte-identical
+    // telemetry windows. Thread scheduling cannot leak into results because
+    // shards merge in channel-index order at every core-phase rendezvous.
+    use dapper_repro::sim::experiment::TelemetrySpec;
+    use dapper_repro::sim::Threads;
+    let mut jobs = Vec::new();
+    for channels in [2usize, 8] {
+        let mut base = Experiment::quick("gcc_like")
+            .tracker("dapper-h")
+            .attack(AttackChoice::Tailored)
+            .window_us(200.0)
+            .with_telemetry(TelemetrySpec::all_recorders(50.0));
+        if channels == 8 {
+            base = base.eight_channel(2);
+        }
+        for engine in [sim::Engine::Dense, sim::Engine::EventDriven] {
+            for (tname, threads) in [("seq", Threads::Seq), ("sharded", Threads::N(2))] {
+                jobs.push((
+                    format!("{channels}ch/{engine:?}/{tname}"),
+                    base.clone().engine(engine).threads(threads),
+                ));
+            }
+        }
+    }
+    let outcomes: Vec<(String, RunStats, String)> = parallel_map(jobs, |(label, e)| {
+        let r = e.run();
+        let telemetry = r.telemetry.map(|t| t.to_json().render()).unwrap_or_default();
+        (label, r.run, telemetry)
+    })
+    .into_iter()
+    .map(|o| o.expect("matrix job must not panic"))
+    .collect();
+    // Four executions per geometry; the first (dense/seq) is the reference.
+    for group in outcomes.chunks(4) {
+        let (ref_label, ref_stats, ref_telemetry) = &group[0];
+        assert!(!ref_telemetry.is_empty(), "{ref_label}: telemetry must be recorded");
+        for (label, stats, telemetry) in &group[1..] {
+            assert_eq!(stats, ref_stats, "{label} diverged from {ref_label}");
+            assert_eq!(
+                telemetry, ref_telemetry,
+                "{label} telemetry windows diverged from {ref_label}"
+            );
+        }
+    }
+}
+
+#[test]
 fn oracle_runs_are_engine_equivalent() {
     // Event collection and the ground-truth oracle must see the identical
     // activation stream under both engines.

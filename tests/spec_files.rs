@@ -98,6 +98,22 @@ fn cached_spec_round_trips_its_cache_section() {
 }
 
 #[test]
+fn enlarged_spec_selects_the_eight_channel_geometry() {
+    let text = std::fs::read_to_string(spec_dir().join("enlarged_8ch.toml")).unwrap();
+    let spec = SweepSpec::from_toml_str(&text).unwrap();
+    let system = spec.system.as_ref().expect("[system] section present");
+    assert_eq!(system.geometry.as_deref(), Some("enlarged-8ch"));
+    assert_eq!(system.threads, Some(dapper_repro::sim::Threads::Auto));
+
+    let experiments = spec.expand().unwrap();
+    assert_eq!(experiments.len(), 8, "2 workloads x 2 trackers x 2 attacks");
+    for e in &experiments {
+        assert_eq!(e.cfg.geometry.channels, 8, "enlarged-8ch applies to every cell");
+        assert_eq!(e.cfg.threads, dapper_repro::sim::Threads::Auto);
+    }
+}
+
+#[test]
 fn sensitivity_spec_carries_param_overrides() {
     let text = std::fs::read_to_string(spec_dir().join("hydra_rcc_sensitivity.toml")).unwrap();
     let spec = SweepSpec::from_toml_str(&text).unwrap();

@@ -22,6 +22,12 @@ pub struct Oracle {
     geom: Geometry,
     /// Disturbance per victim row, keyed by (rank, flat bank, row).
     damage: HashMap<u64, u32>,
+    /// Highest disturbance each victim row ever reached between
+    /// refreshes. Refreshes clear `damage` but never `peak`: a tracker is
+    /// judged on the worst exposure it *allowed*, so the flip adjudicator
+    /// can compare each victim's peak against its own HC threshold after
+    /// the run.
+    peak: HashMap<u64, u32>,
     max_damage: u32,
     violations: u64,
     acts_seen: u64,
@@ -35,6 +41,7 @@ impl Oracle {
             blast_radius,
             geom,
             damage: HashMap::new(),
+            peak: HashMap::new(),
             max_damage: 0,
             violations: 0,
             acts_seen: 0,
@@ -54,6 +61,8 @@ impl Oracle {
             }
             MemEvent::SweepRefreshed { scope, .. } => self.on_sweep(*scope),
             MemEvent::RefreshWindowEnd { .. } => self.damage.clear(),
+            // Read completions carry no disturbance; only ACTs hammer.
+            MemEvent::ReadCompleted { .. } => {}
         }
     }
 
@@ -75,6 +84,8 @@ impl Oracle {
                 if *c == self.nrh {
                     self.violations += 1;
                 }
+                let p = self.peak.entry(key).or_insert(0);
+                *p = (*p).max(*c);
             }
         }
     }
@@ -120,6 +131,16 @@ impl Oracle {
     pub fn activations(&self) -> u64 {
         self.acts_seen
     }
+
+    /// Highest disturbance the given row ever reached between refreshes
+    /// (0 if it was never a victim). Unlike the live `damage` counters,
+    /// peaks survive mitigations: a victim that was pushed to 400 and
+    /// then refreshed reports a peak of 400, which is what decides
+    /// whether a cell with an HC threshold below 400 flipped.
+    pub fn peak_damage_at(&self, addr: &DramAddr) -> u32 {
+        let bank = self.geom.bank_in_rank(addr);
+        self.peak.get(&self.key(addr.rank, bank, addr.row)).copied().unwrap_or(0)
+    }
 }
 
 /// The oracle as a telemetry client: one [`Oracle`] per channel behind a
@@ -150,6 +171,12 @@ impl OracleProbe {
     /// Total rows whose disturbance reached N_RH across channels.
     pub fn violations(&self) -> u64 {
         self.oracles.iter().map(Oracle::violations).sum()
+    }
+
+    /// Highest disturbance the given row (on its channel) ever reached
+    /// between refreshes; 0 for an out-of-range channel.
+    pub fn peak_damage_at(&self, addr: &DramAddr) -> u32 {
+        self.oracles.get(addr.channel as usize).map_or(0, |o| o.peak_damage_at(addr))
     }
 }
 
@@ -279,5 +306,120 @@ mod tests {
             activate(&mut o, addr(0, 0, 0)); // row 0: only row 1 is a victim
         }
         assert_eq!(o.violations(), 1);
+    }
+
+    #[test]
+    fn blast_radius_clips_at_row_zero_boundary() {
+        let g = Geometry::paper_baseline();
+        let mut o = Oracle::new(1000, 2, g);
+        for _ in 0..10 {
+            activate(&mut o, addr(0, 0, 1)); // victims: 0, 2, 3 — never -1
+        }
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 0)), 10);
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 2)), 10);
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 3)), 10);
+        // The would-be victim below row 0 must not alias onto any real row
+        // (in particular not the top of this bank or a neighbouring bank).
+        assert_eq!(o.peak_damage_at(&addr(0, 0, g.rows_per_bank - 1)), 0);
+        assert_eq!(o.peak_damage_at(&addr(0, 1, g.rows_per_bank - 1)), 0);
+    }
+
+    #[test]
+    fn blast_radius_clips_at_max_row_boundary() {
+        let g = Geometry::paper_baseline();
+        let top = g.rows_per_bank - 1;
+        let mut o = Oracle::new(1000, 2, g);
+        for _ in 0..10 {
+            activate(&mut o, addr(0, 0, top)); // victims: top-1, top-2 only
+        }
+        assert_eq!(o.peak_damage_at(&addr(0, 0, top - 1)), 10);
+        assert_eq!(o.peak_damage_at(&addr(0, 0, top - 2)), 10);
+        assert_eq!(o.peak_damage_at(&addr(0, 0, top)), 0, "the aggressor is not its own victim");
+        // No wrap onto row 0/1 of this bank or the next bank.
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 0)), 0);
+        assert_eq!(o.peak_damage_at(&addr(0, 1, 0)), 0);
+        assert_eq!(o.max_damage(), 10);
+    }
+
+    #[test]
+    fn disturbance_does_not_propagate_across_banks() {
+        let g = Geometry::paper_baseline();
+        let mut o = Oracle::new(50, 1, g);
+        for _ in 0..60 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        // Same row index in a different bank / bank group / rank: silent.
+        assert_eq!(o.peak_damage_at(&addr(0, 1, 499)), 0);
+        assert_eq!(o.peak_damage_at(&addr(1, 0, 501)), 0);
+        assert_eq!(o.peak_damage_at(&DramAddr::new(0, 1, 0, 0, 499, 0)), 0);
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 499)), 60);
+        assert_eq!(o.violations(), 2, "only the true neighbours in bank (0,0) flip");
+    }
+
+    #[test]
+    fn peaks_survive_mitigation_while_damage_resets() {
+        let mut o = Oracle::new(1000, 1, Geometry::paper_baseline());
+        for _ in 0..400 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        o.observe(&MemEvent::VictimsRefreshed {
+            aggressor: addr(0, 0, 500),
+            blast_radius: 1,
+            cycle: 0,
+        });
+        for _ in 0..150 {
+            activate(&mut o, addr(0, 0, 500));
+        }
+        // Live damage restarted at 0 after the refresh; the peak keeps the
+        // pre-mitigation exposure.
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 499)), 400);
+        assert_eq!(o.peak_damage_at(&addr(0, 0, 501)), 400);
+        assert_eq!(o.violations(), 0, "never reached N_RH in one stretch");
+    }
+
+    #[test]
+    fn read_completions_carry_no_disturbance() {
+        use sim_core::addr::PhysAddr;
+        use sim_core::req::SourceId;
+        let mut o = Oracle::new(10, 1, Geometry::paper_baseline());
+        for _ in 0..50 {
+            o.observe(&MemEvent::ReadCompleted {
+                source: SourceId(3),
+                phys: PhysAddr(0x4000),
+                arrival: 0,
+                cycle: 40,
+            });
+        }
+        assert_eq!(o.max_damage(), 0);
+        assert_eq!(o.activations(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_hc_thresholds_adjudicate_per_row() {
+        // Two victims with the same exposure but different per-row HC
+        // thresholds: the weak cell flips, the strong one does not. This is
+        // the per-row adjudication contract the attackpipe victim stage
+        // builds on.
+        let mut o = Oracle::new(10_000, 1, Geometry::paper_baseline());
+        for _ in 0..300 {
+            activate(&mut o, addr(0, 0, 500)); // victims 499 and 501, peak 300
+        }
+        let victims = [(addr(0, 0, 499), 250u32), (addr(0, 0, 501), 350u32)];
+        let flips: Vec<bool> = victims.iter().map(|(a, hc)| o.peak_damage_at(a) >= *hc).collect();
+        assert_eq!(flips, vec![true, false]);
+    }
+
+    #[test]
+    fn oracle_probe_routes_peak_queries_by_channel() {
+        let g = Geometry::paper_baseline();
+        let mut p = OracleProbe::new(1000, 1, g);
+        let a1 = DramAddr::new(1, 0, 0, 0, 500, 0);
+        for _ in 0..20 {
+            p.on_event(1, &MemEvent::Activate { addr: a1, cycle: 0 });
+        }
+        assert_eq!(p.peak_damage_at(&DramAddr::new(1, 0, 0, 0, 501, 0)), 20);
+        assert_eq!(p.peak_damage_at(&DramAddr::new(0, 0, 0, 0, 501, 0)), 0, "other channel");
+        assert_eq!(p.peak_damage_at(&DramAddr::new(7, 0, 0, 0, 501, 0)), 0, "out of range");
+        assert_eq!(p.max_damage(), 20);
     }
 }

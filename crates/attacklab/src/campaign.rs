@@ -213,6 +213,8 @@ impl CampaignReport {
                     r.time_to_max_slowdown_us.map_or(Json::Null, Json::num),
                 ),
                 ("recovery_us", r.recovery_us.map_or(Json::Null, Json::num)),
+                ("recon_accuracy", r.recon_accuracy.map_or(Json::Null, Json::num)),
+                ("flips", r.flips.map_or(Json::Null, Json::count)),
             ])
         };
         let searches = self
@@ -268,13 +270,13 @@ impl CampaignReport {
     /// Serializes every row as CSV (header + one line per evaluation).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "tracker,origin,scenario,slowdown,normalized_performance,mitigations,counter_ops,reset_sweeps,energy_mj,time_to_max_slowdown_us,recovery_us\n",
+            "tracker,origin,scenario,slowdown,normalized_performance,mitigations,counter_ops,reset_sweeps,energy_mj,time_to_max_slowdown_us,recovery_us,recon_accuracy,flips\n",
         );
         let us = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.3}"));
         for row in &self.rows {
             let r = &row.record;
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{},{},{},{:.4},{},{}\n",
+                "{},{},{},{:.6},{:.6},{},{},{},{:.4},{},{},{},{}\n",
                 csv_field(&row.tracker),
                 row.origin,
                 csv_field(&r.name),
@@ -286,6 +288,8 @@ impl CampaignReport {
                 r.energy_mj,
                 us(r.time_to_max_slowdown_us),
                 us(r.recovery_us),
+                r.recon_accuracy.map_or(String::new(), |v| format!("{v:.4}")),
+                r.flips.map_or(String::new(), |v| v.to_string()),
             ));
         }
         out
@@ -354,7 +358,7 @@ mod tests {
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 5, "header + 4 rows");
         assert!(csv.starts_with("tracker,origin,scenario"));
-        assert!(csv.lines().next().unwrap().ends_with("time_to_max_slowdown_us,recovery_us"));
+        assert!(csv.lines().next().unwrap().ends_with("recovery_us,recon_accuracy,flips"));
         let table = report.leaderboard_table();
         assert!(table.contains("Hydra") && table.contains("DAPPER-H"));
         assert!(table.contains("t-max"), "leaderboard gains the transient column");

@@ -11,6 +11,7 @@
 
 use crate::campaign::{run_campaign, CampaignConfig, CampaignReport};
 use sim::experiment::TrackerSel;
+use sim::AttackerKnowledge;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -21,6 +22,11 @@ pub struct RedteamOpts {
     pub out: String,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// `--attacker` knowledge levels, deduplicated in flag order. Empty
+    /// means the flag was absent; non-empty requires the attackpipe
+    /// `redteam` binary (this crate only parses the axis — the pipeline
+    /// lives upstack, so the dependency arrow stays acyclic).
+    pub attacker: Vec<AttackerKnowledge>,
 }
 
 /// Default tracker set: DAPPER plus the four attackable shared-structure
@@ -31,7 +37,7 @@ const USAGE: &str = "redteam — adversarial scenario campaign runner
 
 USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
                [--window-us F] [--nrh N] [--seed N] [--out FILE] [--csv FILE]
-               [--cache-dir DIR]
+               [--cache-dir DIR] [--attacker LEVELS]
 
   --trackers   comma-separated tracker list (default dapper-h,dapper-s,hydra,start,comet,abacus)
   --workload   benign co-running workload (default libquantum_like)
@@ -43,6 +49,9 @@ USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
   --csv        also write rows as CSV to this path
   --cache-dir  read the fixed matrix through the content-addressed run
                cache in DIR (search evaluations always simulate)
+  --attacker   also run the attackpipe knowledge axis: comma-separated
+               levels (omniscient, timing-recon, blind) or 'all'; adds
+               one flips-vs-slowdown row per tracker and level
 
 Tracker names resolve through the open registry: any key, display name,
 or alias works, case- and separator-insensitively (dapper-h, DAPPER_H,
@@ -58,7 +67,7 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
     // Strict parse: every argument must be a known flag followed by its
     // value, so a typo'd flag or a forgotten value fails fast instead of
     // silently running a multi-minute campaign with defaults.
-    const FLAGS: [&str; 9] = [
+    const FLAGS: [&str; 10] = [
         "--trackers",
         "--workload",
         "--budget",
@@ -68,6 +77,7 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
         "--out",
         "--csv",
         "--cache-dir",
+        "--attacker",
     ];
     let mut pairs: Vec<(&str, &String)> = Vec::new();
     let mut i = 0;
@@ -116,10 +126,31 @@ pub fn parse_args(args: &[String]) -> Result<RedteamOpts, String> {
         Some(v) => v.parse().map_err(|_| format!("--seed: cannot parse '{v}'"))?,
     };
     campaign.cache_dir = get("--cache-dir").cloned();
+    let mut attacker: Vec<AttackerKnowledge> = Vec::new();
+    if let Some(levels) = get("--attacker") {
+        for name in levels.split(',').filter(|s| !s.is_empty()) {
+            if name.trim().eq_ignore_ascii_case("all") {
+                for level in AttackerKnowledge::ALL {
+                    if !attacker.contains(&level) {
+                        attacker.push(level);
+                    }
+                }
+                continue;
+            }
+            let level = AttackerKnowledge::by_key(name).map_err(|m| format!("--attacker: {m}"))?;
+            if !attacker.contains(&level) {
+                attacker.push(level);
+            }
+        }
+        if attacker.is_empty() {
+            return Err("--attacker: no knowledge levels named (try 'all')".to_string());
+        }
+    }
     Ok(RedteamOpts {
         campaign,
         out: get("--out").cloned().unwrap_or_else(|| "out/redteam_results.json".to_string()),
         csv: get("--csv").cloned(),
+        attacker,
     })
 }
 
@@ -133,7 +164,10 @@ fn write_artifact(path: &str, content: &str) -> std::io::Result<()> {
     std::fs::write(path, content)
 }
 
-fn print_report(report: &CampaignReport) {
+/// Prints the campaign header, leaderboard, and search-vs-tailored
+/// comparison to stdout (shared with the attackpipe `redteam` driver,
+/// which appends its attacker-axis section after this).
+pub fn print_report(report: &CampaignReport) {
     let cfg = &report.config;
     println!("==== redteam: adversarial scenario campaign ====");
     println!(
@@ -172,6 +206,15 @@ pub fn main_with_args(args: &[String]) -> i32 {
             return 2;
         }
     };
+    if !opts.attacker.is_empty() {
+        // The pipeline lives in the attackpipe crate (which depends on
+        // this one); its redteam binary handles the flag.
+        eprintln!(
+            "--attacker needs the attackpipe pipeline: \
+             run `cargo run --release -p attackpipe --bin redteam` instead"
+        );
+        return 2;
+    }
     let report = run_campaign(&opts.campaign);
     print_report(&report);
     let json = report.to_json().render();
@@ -234,6 +277,19 @@ mod tests {
     fn last_occurrence_of_a_repeated_flag_wins() {
         let opts = parse_args(&argv("--budget 5 --budget 9")).expect("parses");
         assert_eq!(opts.campaign.search_budget, 9);
+    }
+
+    #[test]
+    fn attacker_axis_parses_levels_and_the_all_token() {
+        let opts = parse_args(&argv("--attacker all")).expect("parses");
+        assert_eq!(opts.attacker, AttackerKnowledge::ALL.to_vec());
+        // Spelling-insensitive per-level names, deduplicated in order.
+        let opts = parse_args(&argv("--attacker timing_recon,BLIND,timing-recon")).expect("parses");
+        assert_eq!(opts.attacker, vec![AttackerKnowledge::TimingRecon, AttackerKnowledge::Blind]);
+        assert!(parse_args(&argv("--attacker nonsense")).is_err());
+        assert!(parse_args(&argv("--attacker ,")).is_err(), "empty level list");
+        // Absent flag: empty axis, the plain campaign path.
+        assert!(parse_args(&[]).expect("defaults").attacker.is_empty());
     }
 
     #[test]

@@ -82,6 +82,12 @@ pub struct EvalRecord {
     /// [`sim::RECOVERY_THRESHOLD`] of the reference; `None` when the
     /// tracker never recovers within the window.
     pub recovery_us: Option<f64>,
+    /// Recon map accuracy, for rows produced by the attackpipe pipeline
+    /// (`None` for scenario evaluations, which assume full knowledge).
+    pub recon_accuracy: Option<f64>,
+    /// Victim bit flips adjudicated by the attackpipe pipeline (`None`
+    /// for scenario evaluations, which score slowdown only).
+    pub flips: Option<u64>,
 }
 
 /// Outcome of one search run.
@@ -162,6 +168,8 @@ fn record(spec: ScenarioSpec, r: &sim::ExperimentResult) -> EvalRecord {
         energy_mj: r.run.energy_mj,
         time_to_max_slowdown_us: r.telemetry.as_ref().and_then(|t| t.time_to_max_slowdown_us()),
         recovery_us: r.telemetry.as_ref().and_then(|t| t.recovery_us(sim::RECOVERY_THRESHOLD)),
+        recon_accuracy: None,
+        flips: None,
     }
 }
 

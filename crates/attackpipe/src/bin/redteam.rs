@@ -1,0 +1,7 @@
+//! The `redteam` campaign binary: the attacklab adversarial campaign,
+//! plus the `--attacker` knowledge axis run by the attackpipe pipeline.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(attackpipe::redteam_main(&args));
+}

@@ -1,0 +1,708 @@
+//! The stage driver: recon → hammer → victim per experiment cell.
+//!
+//! One *cell* is an [`Experiment`] carrying an [`AttackerConfig`]
+//! (workload × tracker × knowledge level). [`run_cell`] walks the three
+//! stages — acquire a mapping belief, compile and run the hammer, place
+//! and adjudicate victims — and folds the outcome into a
+//! [`PipelineVerdict`]: flips *and* slowdown, plus the recon quality
+//! metrics that explain them.
+//!
+//! Verdicts are content-addressed: [`run_attacker_sweep`] keys each cell
+//! by the canonical descriptor of its attack-stripped experiment (the
+//! attacker section included) and reads warm cells straight from a
+//! [`DiskStore`] — a repeated sweep executes zero simulations and emits
+//! byte-identical artifacts. [`redteam_main`] is the `redteam` binary's
+//! entry point; with `--attacker` it extends the attacklab campaign with
+//! one row per knowledge level.
+
+use analysis::OracleProbe;
+use attacklab::campaign::{run_campaign, CampaignReport, CampaignRow};
+use attacklab::scenario::{ScenarioSpec, Shape};
+use attacklab::search::EvalRecord;
+use sim::metrics::RunStats;
+use sim::{
+    normalized_performance, AttackChoice, AttackerConfig, AttackerKnowledge, CustomAttack, Engine,
+    Experiment, SweepSpec, TelemetrySpec,
+};
+use sim_core::cache::{content_key, DiskStore};
+use sim_core::json::Json;
+use std::collections::BTreeMap;
+
+use crate::hammer::{HammerPlan, PhysRoundRobin, PAIRS};
+use crate::recon;
+use crate::victim::VictimOrchestrator;
+
+/// Verdict-cache epoch, folded into every cache key. Bump when the
+/// pipeline's semantics change and stale verdicts must re-simulate.
+const VERDICT_EPOCH: &str = "attackpipe-epoch1";
+
+// ---------------------------------------------------------------- verdict
+
+/// Everything one pipeline cell concluded: did the attacker flip bits,
+/// what did the attempt cost the benign cores, and how good was the
+/// recon that steered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineVerdict {
+    /// Benign workload sharing the machine.
+    pub workload: String,
+    /// Tracker label (display name plus parameter overrides).
+    pub tracker: String,
+    /// Attacker knowledge level this cell ran under.
+    pub knowledge: AttackerKnowledge,
+    /// Victim rows whose peak disturbance reached their HC threshold.
+    pub flips: u64,
+    /// Victim rows placed.
+    pub victims: u64,
+    /// Highest peak disturbance on any victim row (pressure even when
+    /// nothing flipped).
+    pub max_victim_peak: u32,
+    /// Mean benign IPC relative to the insecure attack-free baseline.
+    pub normalized_performance: f64,
+    /// `1 / normalized_performance` — the campaign's slowdown metric.
+    pub slowdown: f64,
+    /// Fraction of verification pairs recon classified correctly
+    /// (timing-recon only; `None` when no pairs were probed).
+    pub recon_accuracy: Option<f64>,
+    /// Of the truly same-bank pairs probed, the fraction recognized.
+    pub recon_recall: Option<f64>,
+    /// Inferred row-field shift (believed stride = `1 << shift`).
+    pub recon_row_shift: Option<u32>,
+    /// Probe accesses the recon campaign actually scheduled.
+    pub recon_probes: u64,
+    /// Estimated mitigation cadence in bus cycles, when observed.
+    pub recon_cadence_cycles: Option<u64>,
+    /// The stride the hammer was compiled from (`None`: blind fallback).
+    pub believed_stride: Option<u64>,
+    /// Mitigation commands issued (VRR + RFM).
+    pub mitigations: u64,
+    /// Tracker counter reads + writes injected into DRAM.
+    pub counter_ops: u64,
+    /// Structure-reset sweeps triggered.
+    pub reset_sweeps: u64,
+    /// Total DRAM energy, millijoules.
+    pub energy_mj: f64,
+}
+
+impl PipelineVerdict {
+    /// Canonical JSON encoding (fixed field order, so equal verdicts
+    /// render byte-identically — the cache and artifact contract).
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::num);
+        Json::obj([
+            ("workload", Json::str(&self.workload)),
+            ("tracker", Json::str(&self.tracker)),
+            ("knowledge", Json::str(self.knowledge.key())),
+            ("flips", Json::count(self.flips)),
+            ("victims", Json::count(self.victims)),
+            ("max_victim_peak", Json::count(self.max_victim_peak as u64)),
+            ("normalized_performance", Json::num(self.normalized_performance)),
+            ("slowdown", Json::num(self.slowdown)),
+            ("recon_accuracy", opt(self.recon_accuracy)),
+            ("recon_recall", opt(self.recon_recall)),
+            ("recon_row_shift", opt(self.recon_row_shift.map(|s| s as f64))),
+            ("recon_probes", Json::count(self.recon_probes)),
+            ("recon_cadence_cycles", opt(self.recon_cadence_cycles.map(|c| c as f64))),
+            ("believed_stride", opt(self.believed_stride.map(|s| s as f64))),
+            ("mitigations", Json::count(self.mitigations)),
+            ("counter_ops", Json::count(self.counter_ops)),
+            ("reset_sweeps", Json::count(self.reset_sweeps)),
+            ("energy_mj", Json::num(self.energy_mj)),
+        ])
+    }
+
+    /// Decodes [`Self::to_json`]'s encoding; errors name the bad field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let knowledge = AttackerKnowledge::by_key(&text(j, "knowledge")?)?;
+        Ok(Self {
+            workload: text(j, "workload")?,
+            tracker: text(j, "tracker")?,
+            knowledge,
+            flips: num(j, "flips")? as u64,
+            victims: num(j, "victims")? as u64,
+            max_victim_peak: num(j, "max_victim_peak")? as u32,
+            normalized_performance: num(j, "normalized_performance")?,
+            slowdown: num(j, "slowdown")?,
+            recon_accuracy: opt_num(j, "recon_accuracy")?,
+            recon_recall: opt_num(j, "recon_recall")?,
+            recon_row_shift: opt_num(j, "recon_row_shift")?.map(|v| v as u32),
+            recon_probes: num(j, "recon_probes")? as u64,
+            recon_cadence_cycles: opt_num(j, "recon_cadence_cycles")?.map(|v| v as u64),
+            believed_stride: opt_num(j, "believed_stride")?.map(|v| v as u64),
+            mitigations: num(j, "mitigations")? as u64,
+            counter_ops: num(j, "counter_ops")? as u64,
+            reset_sweeps: num(j, "reset_sweeps")? as u64,
+            energy_mj: num(j, "energy_mj")?,
+        })
+    }
+}
+
+fn want<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn text(j: &Json, key: &str) -> Result<String, String> {
+    match want(j, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(format!("field '{key}': expected a string, got {other:?}")),
+    }
+}
+
+fn num(j: &Json, key: &str) -> Result<f64, String> {
+    match want(j, key)? {
+        Json::Num(n) => Ok(*n),
+        other => Err(format!("field '{key}': expected a number, got {other:?}")),
+    }
+}
+
+fn opt_num(j: &Json, key: &str) -> Result<Option<f64>, String> {
+    match want(j, key)? {
+        Json::Null => Ok(None),
+        Json::Num(n) => Ok(Some(*n)),
+        other => Err(format!("field '{key}': expected a number or null, got {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------- running
+
+/// The insecure attack-free baseline every verdict in a cell family
+/// normalizes against. The attacker core slot is occupied (by the idle
+/// trace the reference build substitutes), so benign-core indices line
+/// up with the hammer run; the result depends only on the workload and
+/// system configuration, never on the knowledge level — one reference
+/// serves a whole sweep's cells for a workload.
+pub fn reference_for(e: &Experiment) -> RunStats {
+    let mut r = e.clone();
+    r.telemetry = TelemetrySpec::default();
+    // The attacker axis always normalizes against the attack-free
+    // baseline (flips-vs-slowdown needs an absolute cost), so the
+    // isolate-tracker-overhead normalization does not apply here.
+    r.isolate_tracker_overhead = false;
+    r.custom_attack = Some(idle_placeholder());
+    let engine = r.engine;
+    r.build_system(true).run_engine(engine)
+}
+
+/// A placeholder attack whose only job is to make the reference build
+/// reserve the attacker core; the reference run replaces it with the
+/// idle trace, so its pattern never executes.
+fn idle_placeholder() -> CustomAttack {
+    CustomAttack::new("attackpipe-reference", true, |_, _| {
+        Box::new(attacklab::pattern::PatternTrace(Box::new(PhysRoundRobin::new(
+            vec![sim_core::addr::PhysAddr(0)],
+            10_000,
+        ))))
+    })
+}
+
+/// Runs the full pipeline for one cell: acquire the knowledge level's
+/// belief (timing-recon simulates its probe campaign here), compile and
+/// run the hammer against the tracker, adjudicate victim flips, and
+/// score the benign cost against `reference`.
+///
+/// # Panics
+///
+/// Panics if the experiment carries no [`AttackerConfig`]
+/// (`Experiment::attacker`) or an unknown workload.
+pub fn run_cell(e: &Experiment, reference: &RunStats) -> PipelineVerdict {
+    let cfg = e.attacker.expect("run_cell needs an attacker config on the experiment");
+    let mut model = recon::model_for(cfg.knowledge);
+    let belief = model.acquire(e, &cfg);
+
+    let geom = e.cfg.geometry;
+    let orchestrator = VictimOrchestrator::new(geom, e.cfg.nrh, cfg.seed);
+    let placement = orchestrator.place();
+    let plan = HammerPlan::compile(
+        &belief,
+        &cfg,
+        geom.capacity_bytes(),
+        placement.region_base,
+        cfg.knowledge.key(),
+    );
+
+    let mut he = e.clone();
+    he.custom_attack = Some(plan.custom_attack());
+    he.telemetry = TelemetrySpec { oracle: true, ..TelemetrySpec::default() };
+    let engine = he.engine;
+    let mut sys = he.build_system(false);
+    let run = sys.run_engine(engine);
+    let mut probes = sys.take_probes();
+    let oracle = recon::take_probe::<OracleProbe>(&mut probes)
+        .expect("the hammer run attaches the ground-truth oracle");
+    let flip = orchestrator.adjudicate(&placement, &oracle);
+
+    let np = normalized_performance(&run, reference, &he.benign_cores());
+    let inferred = belief.inferred.as_ref();
+    PipelineVerdict {
+        workload: e.workload.clone(),
+        tracker: e.tracker.label(),
+        knowledge: cfg.knowledge,
+        flips: flip.flips,
+        victims: flip.victims,
+        max_victim_peak: flip.max_victim_peak,
+        normalized_performance: np,
+        slowdown: 1.0 / np.max(1e-6),
+        recon_accuracy: inferred.and_then(|m| m.accuracy(&geom)),
+        recon_recall: inferred.and_then(|m| m.same_bank_recall(&geom)),
+        recon_row_shift: inferred.and_then(|m| m.row_shift),
+        recon_probes: inferred.map_or(0, |m| m.probes_spent),
+        recon_cadence_cycles: inferred.and_then(|m| m.cadence_cycles),
+        believed_stride: plan.believed_stride,
+        mitigations: run.mem.vrr_commands + run.mem.rfm_commands,
+        counter_ops: run.mem.counter_reads + run.mem.counter_writes,
+        reset_sweeps: run.mem.reset_sweeps,
+        energy_mj: run.energy_mj,
+    }
+}
+
+// ---------------------------------------------------------------- caching
+
+/// The cell's verdict-cache descriptor: the canonical descriptor of the
+/// experiment with its *attack* stripped (the pipeline derives the
+/// hammer from the attacker section, which stays in) — so the key pins
+/// workload, tracker, parameters, system options, and the full attacker
+/// configuration, and nothing else.
+fn verdict_descriptor(e: &Experiment) -> Option<String> {
+    let mut stripped = e.clone();
+    stripped.custom_attack = None;
+    stripped.attack = AttackChoice::None;
+    sim::cell_key(&stripped).map(|k| k.descriptor)
+}
+
+fn verdict_key(descriptor: &str) -> String {
+    content_key(format!("{VERDICT_EPOCH}|{descriptor}").as_bytes())
+}
+
+fn lookup_verdict(store: &DiskStore, descriptor: &str) -> Option<PipelineVerdict> {
+    let key = verdict_key(descriptor);
+    let payload = store.get(&key)?;
+    let decode = || -> Result<PipelineVerdict, String> {
+        let j = Json::parse(&payload).map_err(|e| e.to_string())?;
+        if text(&j, "epoch")? != VERDICT_EPOCH {
+            return Err("epoch mismatch".to_string());
+        }
+        if text(&j, "descriptor")? != descriptor {
+            return Err("descriptor mismatch (key collision)".to_string());
+        }
+        PipelineVerdict::from_json(want(&j, "verdict")?)
+    };
+    match decode() {
+        Ok(v) => Some(v),
+        Err(msg) => {
+            eprintln!("attackpipe: evicting unusable cache entry {key}: {msg}");
+            store.evict(&key);
+            None
+        }
+    }
+}
+
+fn save_verdict(store: &DiskStore, descriptor: &str, v: &PipelineVerdict) {
+    let payload = Json::obj([
+        ("epoch", Json::str(VERDICT_EPOCH)),
+        ("descriptor", Json::str(descriptor)),
+        ("verdict", v.to_json()),
+    ])
+    .render();
+    if let Err(e) = store.put(&verdict_key(descriptor), &payload) {
+        eprintln!("attackpipe: cannot write cache entry: {e}");
+    }
+}
+
+// ---------------------------------------------------------------- sweeps
+
+/// Outcome of [`run_attacker_sweep`]: one verdict per cell, in spec
+/// expansion order, plus the cache traffic. The JSON export excludes the
+/// hit/miss counters on purpose — a warm re-run must render
+/// byte-identically to the cold run that filled the cache.
+#[derive(Debug, Clone)]
+pub struct AttackerSweepReport {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// Per-cell verdicts, in expansion order.
+    pub verdicts: Vec<PipelineVerdict>,
+    /// Cells expanded (failures are dropped from `verdicts` with a
+    /// warning, so this can exceed `verdicts.len()`).
+    pub cells: usize,
+    /// Cells answered from the verdict cache.
+    pub hits: u64,
+    /// Cells that had to simulate.
+    pub misses: u64,
+}
+
+impl AttackerSweepReport {
+    /// Aligned text table: one row per verdict, grouped as expanded
+    /// (knowledge levels of one tracker stay adjacent).
+    pub fn leaderboard_table(&self) -> String {
+        let mut out = format!(
+            "{:<16} {:<13} {:<13} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7}\n",
+            "workload",
+            "tracker",
+            "knowledge",
+            "flips",
+            "peak",
+            "norm.perf",
+            "slowdown",
+            "acc",
+            "recall"
+        );
+        let pct = |v: Option<f64>| match v {
+            Some(v) => format!("{:.0}%", v * 100.0),
+            None => "-".to_string(),
+        };
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "{:<16} {:<13} {:<13} {:>4}/{:<2} {:>6} {:>9.3} {:>8.3}x {:>9} {:>7}\n",
+                v.workload,
+                v.tracker,
+                v.knowledge.key(),
+                v.flips,
+                v.victims,
+                v.max_victim_peak,
+                v.normalized_performance,
+                v.slowdown,
+                pct(v.recon_accuracy),
+                pct(v.recon_recall),
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as JSON (deterministic: equal verdict sets
+    /// render byte-identically, cached or not).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("cells", Json::count(self.cells as u64)),
+            ("verdicts", Json::Arr(self.verdicts.iter().map(PipelineVerdict::to_json).collect())),
+        ])
+    }
+}
+
+fn reference_scope(e: &Experiment) -> String {
+    let engine = match e.engine {
+        Engine::Dense => "dense",
+        Engine::EventDriven => "event-driven",
+    };
+    format!("{}|{engine}", e.workload)
+}
+
+/// Expands a spec's `[attacker]` cells and runs the pipeline over them:
+/// verdict-cache lookups first, then one shared reference per workload,
+/// then the missing cells in parallel. `cache_dir` overrides the spec's
+/// `[cache]` section (`None` falls back to it; no directory anywhere
+/// disables caching).
+pub fn run_attacker_sweep(
+    spec: &SweepSpec,
+    cache_dir: Option<&str>,
+) -> Result<AttackerSweepReport, String> {
+    let experiments: Vec<Experiment> = spec
+        .expand()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .filter(|e| e.attacker.is_some())
+        .collect();
+    if experiments.is_empty() {
+        return Err("spec has no [attacker] section; nothing for the pipeline to run".to_string());
+    }
+    let dir = cache_dir
+        .map(str::to_string)
+        .or_else(|| spec.cache.as_ref().and_then(|c| c.effective_dir().map(str::to_string)));
+    let store = dir.and_then(|dir| match DiskStore::open(&dir) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("attackpipe: cannot open verdict cache {dir}: {e}; running uncached");
+            None
+        }
+    });
+
+    let cells = experiments.len();
+    let mut slots: Vec<Option<PipelineVerdict>> = Vec::with_capacity(cells);
+    let mut miss_slots = Vec::new();
+    let mut miss_cells = Vec::new();
+    let mut hits = 0u64;
+    for (i, e) in experiments.into_iter().enumerate() {
+        let descriptor = verdict_descriptor(&e);
+        let cached = match (&store, &descriptor) {
+            (Some(store), Some(d)) => lookup_verdict(store, d),
+            _ => None,
+        };
+        match cached {
+            Some(v) => {
+                hits += 1;
+                slots.push(Some(v));
+            }
+            None => {
+                slots.push(None);
+                miss_slots.push(i);
+                miss_cells.push(e);
+            }
+        }
+    }
+    let misses = miss_cells.len() as u64;
+
+    // References are computed up front (one per workload × engine) so the
+    // parallel phase only reads them.
+    let mut references: BTreeMap<String, RunStats> = BTreeMap::new();
+    for e in &miss_cells {
+        references.entry(reference_scope(e)).or_insert_with(|| reference_for(e));
+    }
+    let references = &references;
+    let outcomes = sim::parallel_map(miss_cells, |e| {
+        let reference = &references[&reference_scope(&e)];
+        let verdict = run_cell(&e, reference);
+        (e, verdict)
+    });
+    for (j, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok((e, verdict)) => {
+                if let (Some(store), Some(descriptor)) = (&store, verdict_descriptor(&e)) {
+                    save_verdict(store, &descriptor, &verdict);
+                }
+                slots[miss_slots[j]] = Some(verdict);
+            }
+            Err(e) => eprintln!("attackpipe: cell failed, skipping: {e}"),
+        }
+    }
+    Ok(AttackerSweepReport {
+        name: spec.name.clone(),
+        verdicts: slots.into_iter().flatten().collect(),
+        cells,
+        hits,
+        misses,
+    })
+}
+
+// ---------------------------------------------------------------- redteam
+
+/// The nominal scenario genome attacker rows carry in campaign exports:
+/// the double-sided ladder's shape (one bank, `PAIRS + 1` aggressors),
+/// so JSON/CSV consumers see a well-formed spec column.
+fn nominal_scenario() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::baseline(workloads::Attack::CacheThrash);
+    spec.shape = Shape::Hammer { banks: 1, per_bank: PAIRS as u32 + 1 };
+    spec
+}
+
+fn attacker_rows(
+    report: &mut CampaignReport,
+    levels: &[AttackerKnowledge],
+) -> Vec<PipelineVerdict> {
+    let c = report.config.clone();
+    let mut verdicts = Vec::new();
+    let mut reference: Option<RunStats> = None;
+    for tracker in &c.trackers {
+        for &level in levels {
+            let cfg = AttackerConfig {
+                knowledge: level,
+                recon_budget: AttackerConfig::DEFAULT_RECON_BUDGET,
+                // One --seed reproduces the whole campaign, attacker side
+                // included.
+                seed: c.seed,
+            };
+            let e = Experiment::new(&c.workload)
+                .tracker(tracker.clone())
+                .window_us(c.window_us)
+                .nrh(c.nrh)
+                .seed(c.seed)
+                .attacker(cfg);
+            if reference.is_none() {
+                reference = Some(reference_for(&e));
+            }
+            let verdict = run_cell(&e, reference.as_ref().expect("just computed"));
+            report.rows.push(CampaignRow {
+                tracker: tracker.label(),
+                origin: "attacker",
+                record: EvalRecord {
+                    spec: nominal_scenario(),
+                    name: format!("attackpipe:{}", level.key()),
+                    slowdown: verdict.slowdown,
+                    normalized_performance: verdict.normalized_performance,
+                    mitigations: verdict.mitigations,
+                    counter_ops: verdict.counter_ops,
+                    reset_sweeps: verdict.reset_sweeps,
+                    energy_mj: verdict.energy_mj,
+                    time_to_max_slowdown_us: None,
+                    recovery_us: None,
+                    recon_accuracy: verdict.recon_accuracy,
+                    flips: Some(verdict.flips),
+                },
+            });
+            verdicts.push(verdict);
+        }
+    }
+    verdicts
+}
+
+/// Writes `content` to `path`, creating parent directories first.
+fn write_artifact(path: &str, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, content)
+}
+
+/// The `redteam` binary's entry point. Without `--attacker` this is the
+/// plain attacklab campaign; with it, every tracker additionally runs
+/// the pipeline once per knowledge level, and those rows (origin
+/// `"attacker"`, scenario `attackpipe:<level>`) join the campaign's
+/// exports.
+pub fn redteam_main(args: &[String]) -> i32 {
+    let opts = match attacklab::cli::parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if opts.attacker.is_empty() {
+        return attacklab::cli::main_with_args(args);
+    }
+    let mut report = run_campaign(&opts.campaign);
+    let verdicts = attacker_rows(&mut report, &opts.attacker);
+    attacklab::cli::print_report(&report);
+    println!();
+    println!("attacker-knowledge axis (flips vs slowdown per level):");
+    let pct = |v: Option<f64>| match v {
+        Some(v) => format!("{:.0}%", v * 100.0),
+        None => "-".to_string(),
+    };
+    for v in &verdicts {
+        println!(
+            "  {:<13} {:<13} flips {:>2}/{:<2} peak {:>6} slowdown {:>7.3}x recon-acc {:>4} recall {:>4}",
+            v.tracker,
+            v.knowledge.key(),
+            v.flips,
+            v.victims,
+            v.max_victim_peak,
+            v.slowdown,
+            pct(v.recon_accuracy),
+            pct(v.recon_recall),
+        );
+    }
+    let json = report.to_json().render();
+    if let Err(e) = write_artifact(&opts.out, &json) {
+        eprintln!("cannot write {}: {e}", opts.out);
+        return 1;
+    }
+    println!("\nresults written to {}", opts.out);
+    if let Some(csv_path) = &opts.csv {
+        if let Err(e) = write_artifact(csv_path, &report.to_csv()) {
+            eprintln!("cannot write {csv_path}: {e}");
+            return 1;
+        }
+        println!("rows written to {csv_path}");
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict() -> PipelineVerdict {
+        PipelineVerdict {
+            workload: "povray_like".to_string(),
+            tracker: "Hydra".to_string(),
+            knowledge: AttackerKnowledge::TimingRecon,
+            flips: 3,
+            victims: 6,
+            max_victim_peak: 812,
+            normalized_performance: 0.91,
+            slowdown: 1.0 / 0.91,
+            recon_accuracy: Some(0.9375),
+            recon_recall: Some(1.0),
+            recon_row_shift: Some(20),
+            recon_probes: 2400,
+            recon_cadence_cycles: None,
+            believed_stride: Some(1 << 20),
+            mitigations: 17,
+            counter_ops: 120,
+            reset_sweeps: 0,
+            energy_mj: 1.25,
+        }
+    }
+
+    #[test]
+    fn verdict_json_round_trips_exactly() {
+        let v = verdict();
+        let decoded = PipelineVerdict::from_json(&v.to_json()).expect("decodes");
+        assert_eq!(v, decoded);
+        // Canonical rendering: the cache's byte-identity contract.
+        assert_eq!(v.to_json().render(), decoded.to_json().render());
+        // Options encode as null and come back as None.
+        let mut blind = v;
+        blind.recon_accuracy = None;
+        blind.believed_stride = None;
+        let decoded = PipelineVerdict::from_json(&blind.to_json()).expect("decodes");
+        assert_eq!(blind, decoded);
+    }
+
+    #[test]
+    fn verdict_decode_names_the_bad_field() {
+        let mut j = verdict().to_json();
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "flips" {
+                    *v = Json::Str("three".to_string());
+                }
+            }
+        }
+        let err = PipelineVerdict::from_json(&j).expect_err("bad type");
+        assert!(err.contains("flips"), "{err}");
+    }
+
+    #[test]
+    fn verdict_cache_keys_pin_the_attacker_and_ignore_the_attack() {
+        let base = Experiment::quick("povray_like")
+            .tracker("hydra")
+            .attacker(AttackerConfig::new(AttackerKnowledge::Blind));
+        let d0 = verdict_descriptor(&base).expect("cacheable");
+        // The attack field is stripped: a custom attack attached by the
+        // hammer stage does not change the verdict key.
+        let mut with_attack = base.clone();
+        with_attack.custom_attack = Some(idle_placeholder());
+        assert_eq!(verdict_descriptor(&with_attack).unwrap(), d0);
+        // The attacker section is part of the key.
+        let other = base.clone().attacker(AttackerConfig::new(AttackerKnowledge::TimingRecon));
+        assert_ne!(verdict_descriptor(&other).unwrap(), d0);
+        assert_ne!(verdict_key(&d0), verdict_key(&verdict_descriptor(&other).unwrap()));
+    }
+
+    #[test]
+    fn verdict_store_round_trips_and_rejects_descriptor_mismatch() {
+        let dir =
+            std::env::temp_dir().join(format!("attackpipe-verdict-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).expect("open");
+        let v = verdict();
+        save_verdict(&store, "descriptor-a", &v);
+        assert_eq!(lookup_verdict(&store, "descriptor-a"), Some(v.clone()));
+        // A colliding key with the wrong descriptor is evicted, not served.
+        let key = verdict_key("descriptor-b");
+        let wrong = Json::obj([
+            ("epoch", Json::str(VERDICT_EPOCH)),
+            ("descriptor", Json::str("descriptor-a")),
+            ("verdict", v.to_json()),
+        ])
+        .render();
+        store.put(&key, &wrong).unwrap();
+        assert_eq!(lookup_verdict(&store, "descriptor-b"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_report_exports_deterministically_without_cache_counters() {
+        let report = AttackerSweepReport {
+            name: "t".to_string(),
+            verdicts: vec![verdict()],
+            cells: 1,
+            hits: 0,
+            misses: 1,
+        };
+        let warm = AttackerSweepReport { hits: 1, misses: 0, ..report.clone() };
+        assert_eq!(report.to_json().render(), warm.to_json().render());
+        let table = report.leaderboard_table();
+        assert!(table.contains("timing-recon") && table.contains("94%"), "{table}");
+    }
+}

@@ -20,6 +20,10 @@
 //! unchanged spec performs zero simulations and reproduces the cold
 //! run's report byte-identically, and an edited spec re-runs only the
 //! changed frontier.
+//!
+//! Specs with an `[attacker]` section run the attackpipe recon → hammer
+//! → victim pipeline instead of the plain sweep, caching per-cell
+//! verdicts under the same directory.
 
 use sim::cache::RunCache;
 use sim::spec::{result_to_json, SweepSpec};
@@ -96,6 +100,30 @@ fn run() -> Result<i32, String> {
                 spec.cache.as_ref().and_then(|c| c.effective_dir()).map(str::to_string)
             }
         };
+        // Specs with an `[attacker]` section route through the attackpipe
+        // pipeline: their cells need recon, hammer compilation and victim
+        // adjudication, which the plain sweep runner cannot provide.
+        if spec.attacker.is_some() {
+            let mut spec = spec.clone();
+            if effective_cache_dir.is_none() {
+                spec.cache = None; // honour --no-cache / an absent [cache]
+            }
+            let report = attackpipe::run_attacker_sweep(&spec, effective_cache_dir.as_deref())
+                .map_err(|e| format!("{file}: {e}"))?;
+            print!("{}", report.leaderboard_table());
+            println!(
+                "  attacker cache: {} hits, {} misses ({} cells)",
+                report.hits, report.misses, report.cells
+            );
+            failed_cells += report.cells - report.verdicts.len();
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+            let out_path = format!("{out_dir}/{}.json", report.name);
+            std::fs::write(&out_path, report.to_json().render())
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            println!("  results written to {out_path}");
+            continue;
+        }
         let report = match &effective_cache_dir {
             Some(dir) => {
                 let cache =

@@ -968,6 +968,14 @@ impl ChannelController {
                 q.req.arrival
             );
             self.completions.push(Reverse((done, q.req.id)));
+            if self.capture_events {
+                self.events.push(MemEvent::ReadCompleted {
+                    source: q.req.source,
+                    phys: q.req.phys,
+                    arrival: q.req.arrival,
+                    cycle: done,
+                });
+            }
         }
     }
 

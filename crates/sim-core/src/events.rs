@@ -1,7 +1,8 @@
 //! Memory-system events consumed by observers (the RowHammer oracle, debug
 //! tooling). Event collection is optional; performance runs disable it.
 
-use crate::addr::DramAddr;
+use crate::addr::{DramAddr, PhysAddr};
+use crate::req::SourceId;
 use crate::time::Cycle;
 use crate::tracker::ResetScope;
 
@@ -36,6 +37,24 @@ pub enum MemEvent {
     /// refreshed once since the previous boundary.
     RefreshWindowEnd {
         /// Boundary cycle.
+        cycle: Cycle,
+    },
+    /// A demand read finished its column access: the controller resolved
+    /// the completion cycle for the request that arrived at `arrival`.
+    /// The `cycle` field may lie in the future relative to the event's
+    /// issue point (like [`MemEvent::VictimsRefreshed`] completion
+    /// cycles): it is the cycle the data returns to the requester, so
+    /// `cycle - arrival` is exactly the inject-to-complete latency an
+    /// attacker core can observe from software — the side channel
+    /// [`crate::telemetry::LatencyProbe`] exposes.
+    ReadCompleted {
+        /// The requesting agent.
+        source: SourceId,
+        /// The physical address read.
+        phys: PhysAddr,
+        /// Controller arrival cycle.
+        arrival: Cycle,
+        /// Data-return cycle.
         cycle: Cycle,
     },
 }

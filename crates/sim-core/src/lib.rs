@@ -65,7 +65,8 @@ pub use registry::{
 pub use req::{AccessKind, MemRequest, SourceId};
 pub use sched::NextEvent;
 pub use telemetry::{
-    MitigationLog, NullProbe, Probe, SlowdownTrace, Telemetry, TimeSeriesRecorder, WindowSample,
+    LatencyProbe, LatencySample, MitigationLog, NullProbe, Probe, SlowdownTrace, Telemetry,
+    TimeSeriesRecorder, WindowSample,
 };
 pub use time::Cycle;
 pub use tracker::{Activation, RowHammerTracker, StorageOverhead, TrackerAction};

@@ -647,7 +647,97 @@ impl Probe for MitigationLog {
                     kind: MitigationKindTag::Sweep,
                 });
             }
-            MemEvent::Activate { .. } | MemEvent::RefreshWindowEnd { .. } => {}
+            MemEvent::Activate { .. }
+            | MemEvent::RefreshWindowEnd { .. }
+            | MemEvent::ReadCompleted { .. } => {}
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LatencyProbe
+// ---------------------------------------------------------------------------
+
+/// One observed demand-read round trip: the request's controller arrival
+/// and data-return cycles, as seen through [`MemEvent::ReadCompleted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// Channel the read was served on.
+    pub channel: u8,
+    /// Physical address read.
+    pub phys: crate::addr::PhysAddr,
+    /// Controller arrival cycle.
+    pub arrival: Cycle,
+    /// Data-return cycle.
+    pub done: Cycle,
+}
+
+impl LatencySample {
+    /// Inject-to-complete latency in bus cycles — the quantity a
+    /// timing-side-channel attacker measures from software.
+    pub fn latency(&self) -> Cycle {
+        self.done - self.arrival
+    }
+}
+
+/// Records per-request issue→completion latency for one requesting agent
+/// — the software-observable timing side channel (Spoiler/DRAMA-style
+/// row-buffer-conflict probing taps exactly this view).
+///
+/// The probe deliberately exposes nothing a real attacker could not see:
+/// only the latencies of the *configured source's own* reads, never DRAM
+/// coordinates, tracker state, or other agents' traffic. Like every
+/// probe, it is perturbation-free — attaching it cannot change
+/// `RunStats` (the `telemetry_equivalence` suite covers it).
+#[derive(Debug, Clone)]
+pub struct LatencyProbe {
+    source: crate::req::SourceId,
+    samples: Vec<LatencySample>,
+}
+
+impl LatencyProbe {
+    /// A probe observing the given requester's demand reads.
+    pub fn new(source: crate::req::SourceId) -> Self {
+        Self { source, samples: Vec::new() }
+    }
+
+    /// The observed requester.
+    pub fn source(&self) -> crate::req::SourceId {
+        self.source
+    }
+
+    /// The recorded samples, in completion-issue order per channel.
+    pub fn samples(&self) -> &[LatencySample] {
+        &self.samples
+    }
+
+    /// Consumes the probe into its samples.
+    pub fn into_samples(self) -> Vec<LatencySample> {
+        self.samples
+    }
+}
+
+impl Probe for LatencyProbe {
+    fn name(&self) -> &'static str {
+        "latency"
+    }
+    fn wants_events(&self) -> bool {
+        true
+    }
+    fn on_event(&mut self, channel: u8, ev: &MemEvent) {
+        if let MemEvent::ReadCompleted { source, phys, arrival, cycle } = *ev {
+            if source == self.source {
+                self.samples.push(LatencySample { channel, phys, arrival, done: cycle });
+            }
         }
     }
     fn as_any(&self) -> &dyn Any {
@@ -753,6 +843,38 @@ mod tests {
         assert_eq!(log.victim_refreshes(), 1);
         assert_eq!(log.sweeps(), 1);
         assert!(Json::parse(&log.to_json().render()).is_ok());
+    }
+
+    #[test]
+    fn latency_probe_filters_to_its_source() {
+        use crate::addr::PhysAddr;
+        use crate::req::SourceId;
+        let mut probe = LatencyProbe::new(SourceId(3));
+        let addr = DramAddr::new(0, 0, 0, 0, 7, 0);
+        probe.on_event(0, &MemEvent::Activate { addr, cycle: 1 });
+        probe.on_event(
+            0,
+            &MemEvent::ReadCompleted {
+                source: SourceId(3),
+                phys: PhysAddr(0x1000),
+                arrival: 10,
+                cycle: 52,
+            },
+        );
+        probe.on_event(
+            1,
+            &MemEvent::ReadCompleted {
+                source: SourceId(0),
+                phys: PhysAddr(0x2000),
+                arrival: 11,
+                cycle: 40,
+            },
+        );
+        assert_eq!(probe.source(), SourceId(3));
+        assert_eq!(probe.samples().len(), 1, "other sources' reads are invisible");
+        let s = probe.samples()[0];
+        assert_eq!((s.channel, s.phys, s.latency()), (0, PhysAddr(0x1000), 42));
+        assert_eq!(probe.into_samples().len(), 1);
     }
 
     #[test]

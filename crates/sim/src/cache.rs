@@ -108,7 +108,7 @@ fn descriptor(e: &Experiment, attack_id: Option<&str>) -> Option<Json> {
         }
     };
     let g = e.cfg.geometry;
-    Some(Json::obj([
+    let mut fields = vec![
         ("epoch", Json::count(u64::from(CACHE_EPOCH))),
         ("workload", Json::str(&e.workload)),
         ("tracker", Json::str(e.tracker.key())),
@@ -163,7 +163,22 @@ fn descriptor(e: &Experiment, attack_id: Option<&str>) -> Option<Json> {
                 ("window_us", e.telemetry.window_us.map_or(Json::Null, Json::num)),
             ]),
         ),
-    ]))
+    ];
+    // The attacker descriptor is appended only when the experiment carries
+    // one: attacker-free cells keep their pre-attackpipe keys (pinned by
+    // the goldens in tests/cache_keys.rs), while two attacker cells
+    // differing in knowledge, budget, or seed can never collide.
+    if let Some(a) = &e.attacker {
+        fields.push((
+            "attacker",
+            Json::obj([
+                ("knowledge", Json::str(a.knowledge.key())),
+                ("recon_budget", Json::count(a.recon_budget)),
+                ("seed", Json::hex(a.seed)),
+            ]),
+        ));
+    }
+    Some(Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()))
 }
 
 /// Canonical cell identity string for an experiment — what

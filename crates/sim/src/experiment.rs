@@ -387,6 +387,91 @@ impl TraceSource for IdleTrace {
     }
 }
 
+/// How much the attacker knows about the machine before hammering — the
+/// realism axis of the attackpipe end-to-end pipeline.
+///
+/// This is pure configuration data: the `sim` crate carries it so the
+/// spec layer can parse a `[attacker]` section and the run cache can
+/// canonicalize it, while the pipeline itself (recon, hammer compilation,
+/// victim adjudication) lives in the `attackpipe` crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackerKnowledge {
+    /// Full knowledge of the address mapping: the attacker hammers true
+    /// adjacent same-bank rows directly (the classic simulator idealism).
+    Omniscient,
+    /// Knowledge inferred purely from access latencies: a Spoiler/DRAMA
+    /// style row-buffer-conflict recon run reverse-engineers bank/row
+    /// co-location before the hammer run; inference errors blunt the
+    /// attack.
+    TimingRecon,
+    /// No knowledge: random physical addresses.
+    Blind,
+}
+
+impl AttackerKnowledge {
+    /// Every level, in descending-knowledge order.
+    pub const ALL: [AttackerKnowledge; 3] = [Self::Omniscient, Self::TimingRecon, Self::Blind];
+
+    /// Canonical spec-file spelling.
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Omniscient => "omniscient",
+            Self::TimingRecon => "timing-recon",
+            Self::Blind => "blind",
+        }
+    }
+
+    /// Resolves a spec-file spelling (case- and separator-insensitive,
+    /// like registry keys).
+    pub fn by_key(name: &str) -> Result<Self, String> {
+        let norm: String =
+            name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase();
+        match norm.as_str() {
+            "omniscient" => Ok(Self::Omniscient),
+            "timingrecon" => Ok(Self::TimingRecon),
+            "blind" => Ok(Self::Blind),
+            _ => Err(format!(
+                "unknown attacker knowledge '{name}' (expected omniscient, timing-recon, or blind)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for AttackerKnowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Attacker-pipeline configuration (the `[attacker]` spec section): how
+/// much the adversary knows, how many probe accesses the recon stage may
+/// spend, and the seed driving every attacker-side random choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackerConfig {
+    /// Knowledge level.
+    pub knowledge: AttackerKnowledge,
+    /// Recon budget in probe accesses (only spent by
+    /// [`AttackerKnowledge::TimingRecon`]).
+    pub recon_budget: u64,
+    /// Seed for attacker-side choices (pool placement, victim spread),
+    /// independent of the simulation seed.
+    pub seed: u64,
+}
+
+impl AttackerConfig {
+    /// Default recon budget: enough for stride discovery plus a few
+    /// hundred verification pairs on the baseline geometry.
+    pub const DEFAULT_RECON_BUDGET: u64 = 4096;
+    /// Default attacker seed.
+    pub const DEFAULT_SEED: u64 = 0xA77AC4;
+
+    /// A configuration at the given knowledge level with default budget
+    /// and seed.
+    pub fn new(knowledge: AttackerKnowledge) -> Self {
+        Self { knowledge, recon_budget: Self::DEFAULT_RECON_BUDGET, seed: Self::DEFAULT_SEED }
+    }
+}
+
 /// What to observe during an experiment, declaratively — the
 /// [`Experiment`]-level face of the [`sim_core::telemetry`] probe API.
 /// Everything defaults to off (the zero-overhead fast path).
@@ -464,6 +549,12 @@ pub struct Experiment {
     /// bit-identical in results; [`Engine::EventDriven`] (default) is
     /// faster on quiet workloads.
     pub engine: Engine,
+    /// Attacker-pipeline configuration (the `[attacker]` spec section).
+    /// Pure data at this layer: the `attackpipe` crate interprets it;
+    /// plain `Experiment::run` ignores it, and the cell descriptor
+    /// canonicalizes it only when present so attacker-free keys are
+    /// unchanged.
+    pub attacker: Option<AttackerConfig>,
 }
 
 /// Outcome of [`Experiment::run`].
@@ -498,6 +589,7 @@ impl Experiment {
             telemetry: TelemetrySpec::default(),
             isolate_tracker_overhead: false,
             engine: Engine::default(),
+            attacker: None,
         }
     }
 
@@ -624,6 +716,14 @@ impl Experiment {
     /// Selects the simulation engine (default: [`Engine::EventDriven`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Sets the attacker-pipeline configuration (knowledge level, recon
+    /// budget, attacker seed). Interpreted by the `attackpipe` crate;
+    /// inert for plain [`Experiment::run`].
+    pub fn attacker(mut self, a: AttackerConfig) -> Self {
+        self.attacker = Some(a);
         self
     }
 

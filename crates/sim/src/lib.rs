@@ -56,13 +56,15 @@ pub use cache::{cell_key, cell_key_with_attack_id, CacheRunSummary, CellKey, Run
 #[allow(deprecated)]
 pub use experiment::TrackerChoice;
 pub use experiment::{
-    AttackChoice, CustomAttack, Experiment, ExperimentResult, TelemetrySpec, TrackerSel,
+    AttackChoice, AttackerConfig, AttackerKnowledge, CustomAttack, Experiment, ExperimentResult,
+    TelemetrySpec, TrackerSel,
 };
-pub use metrics::{RunStats, RunTelemetry, RECOVERY_THRESHOLD};
+pub use metrics::{normalized_performance, RunStats, RunTelemetry, RECOVERY_THRESHOLD};
 pub use registry::{register_tracker, tracker_keys, with_registry};
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
 pub use sim_core::config::Threads;
 pub use spec::{
-    CacheOptions, ExperimentSpec, SpecError, SweepSpec, SystemOptions, TelemetryOptions,
+    AttackerOptions, CacheOptions, ExperimentSpec, SpecError, SweepSpec, SystemOptions,
+    TelemetryOptions,
 };
 pub use system::{Engine, EngineStats, System};

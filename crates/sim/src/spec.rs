@@ -22,7 +22,10 @@
 //! group_size = 256
 //! ```
 
-use crate::experiment::{AttackChoice, Experiment, ExperimentResult, TelemetrySpec, TrackerSel};
+use crate::experiment::{
+    AttackChoice, AttackerConfig, AttackerKnowledge, Experiment, ExperimentResult, TelemetrySpec,
+    TrackerSel,
+};
 use crate::runner::{try_run_parallel, SweepError};
 use crate::system::Engine;
 use crate::toml::{self, TomlError, TomlValue};
@@ -656,6 +659,117 @@ fn parse_geometry(name: &str) -> Result<&'static str, SpecError> {
     }
 }
 
+/// The `[attacker]` spec section: the attacker-realism axis run by the
+/// `attackpipe` pipeline (recon → hammer → victim adjudication).
+///
+/// ```toml
+/// [attacker]
+/// knowledge = ["omniscient", "timing-recon", "blind"]  # or one string
+/// recon_budget = 4096    # probe accesses for timing-recon
+/// seed = 0xA77AC4        # attacker-side RNG (hex string past i64::MAX)
+/// ```
+///
+/// In a sweep the section multiplies the cross product: one cell per
+/// knowledge level. Omitting `knowledge` sweeps all three levels (the
+/// Fig-9-style leaderboard). A single-experiment spec must name exactly
+/// one level.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttackerOptions {
+    /// Knowledge levels to run, deduplicated in spec order; empty means
+    /// "all levels" ([`AttackerKnowledge::ALL`]).
+    pub knowledge: Vec<AttackerKnowledge>,
+    /// Recon budget in probe accesses
+    /// ([`AttackerConfig::DEFAULT_RECON_BUDGET`] when absent).
+    pub recon_budget: Option<u64>,
+    /// Attacker-side RNG seed ([`AttackerConfig::DEFAULT_SEED`] when
+    /// absent).
+    pub seed: Option<u64>,
+}
+
+impl AttackerOptions {
+    fn from_value(v: &TomlValue) -> Result<Self, SpecError> {
+        let TomlValue::Table(table) = v else {
+            return Err(field_err("attacker", format!("expected a table, got {}", v.kind())));
+        };
+        let f = Fields { table };
+        f.reject_unknown(&["knowledge", "recon_budget", "seed"])?;
+        let mut knowledge = Vec::new();
+        for name in f.str_list("knowledge")?.unwrap_or_default() {
+            let level =
+                AttackerKnowledge::by_key(&name).map_err(|m| field_err("attacker.knowledge", m))?;
+            if !knowledge.contains(&level) {
+                knowledge.push(level);
+            }
+        }
+        let recon_budget = f.opt_u64("recon_budget")?;
+        if recon_budget == Some(0) {
+            return Err(field_err("attacker.recon_budget", "must be at least one probe access"));
+        }
+        Ok(Self { knowledge, recon_budget, seed: f.opt_u64("seed")? })
+    }
+
+    fn to_value(&self) -> TomlValue {
+        let mut t = BTreeMap::new();
+        if !self.knowledge.is_empty() {
+            t.insert(
+                "knowledge".into(),
+                TomlValue::Arr(
+                    self.knowledge.iter().map(|k| TomlValue::Str(k.key().into())).collect(),
+                ),
+            );
+        }
+        if let Some(b) = self.recon_budget {
+            t.insert("recon_budget".into(), TomlValue::Int(b as i64));
+        }
+        if let Some(s) = self.seed {
+            // Same hex-string escape hatch as the top-level seed.
+            let v = match i64::try_from(s) {
+                Ok(i) => TomlValue::Int(i),
+                Err(_) => TomlValue::Str(format!("{s:#x}")),
+            };
+            t.insert("seed".into(), v);
+        }
+        TomlValue::Table(t)
+    }
+
+    /// One [`AttackerConfig`] per selected knowledge level (all levels
+    /// when the spec named none), in descending-knowledge order for the
+    /// default.
+    pub fn configs(&self) -> Vec<AttackerConfig> {
+        let levels: Vec<AttackerKnowledge> = if self.knowledge.is_empty() {
+            AttackerKnowledge::ALL.to_vec()
+        } else {
+            self.knowledge.clone()
+        };
+        levels
+            .into_iter()
+            .map(|knowledge| AttackerConfig {
+                knowledge,
+                recon_budget: self.recon_budget.unwrap_or(AttackerConfig::DEFAULT_RECON_BUDGET),
+                seed: self.seed.unwrap_or(AttackerConfig::DEFAULT_SEED),
+            })
+            .collect()
+    }
+
+    /// Applies the section to a single experiment; errors unless exactly
+    /// one knowledge level is selected (a sweep handles the multi-level
+    /// cross product).
+    fn apply_single(&self, e: Experiment) -> Result<Experiment, SpecError> {
+        let mut configs = self.configs();
+        if configs.len() != 1 {
+            return Err(field_err(
+                "attacker.knowledge",
+                format!(
+                    "a single experiment takes exactly one knowledge level, got {} \
+                     (use a sweep spec to compare levels)",
+                    configs.len()
+                ),
+            ));
+        }
+        Ok(e.attacker(configs.remove(0)))
+    }
+}
+
 fn check_workload(name: &str) -> Result<(), SpecError> {
     if workloads::spec_by_name(name).is_none() {
         return Err(SpecError::UnknownWorkload { name: name.to_string() });
@@ -722,6 +836,8 @@ pub struct ExperimentSpec {
     pub telemetry: Option<TelemetryOptions>,
     /// Machine section (`[system]`), if present.
     pub system: Option<SystemOptions>,
+    /// Attacker section (`[attacker]`), if present.
+    pub attacker: Option<AttackerOptions>,
 }
 
 impl ExperimentSpec {
@@ -735,12 +851,14 @@ impl ExperimentSpec {
             options: SpecOptions::default(),
             telemetry: None,
             system: None,
+            attacker: None,
         }
     }
 
     fn from_table(table: &BTreeMap<String, TomlValue>) -> Result<Self, SpecError> {
         let f = Fields { table };
-        let mut allowed = vec!["workload", "tracker", "params", "attack", "telemetry", "system"];
+        let mut allowed =
+            vec!["workload", "tracker", "params", "attack", "telemetry", "system", "attacker"];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
         let params = match table.get("params") {
@@ -755,6 +873,7 @@ impl ExperimentSpec {
             options: SpecOptions::from_fields(&f)?,
             telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
             system: table.get("system").map(SystemOptions::from_value).transpose()?,
+            attacker: table.get("attacker").map(AttackerOptions::from_value).transpose()?,
         })
     }
 
@@ -773,6 +892,9 @@ impl ExperimentSpec {
         }
         if let Some(system) = &self.system {
             t.insert("system".into(), system.to_value());
+        }
+        if let Some(attacker) = &self.attacker {
+            t.insert("attacker".into(), attacker.to_value());
         }
         t
     }
@@ -814,6 +936,9 @@ impl ExperimentSpec {
         if let Some(system) = &self.system {
             e = system.apply(e);
         }
+        if let Some(attacker) = &self.attacker {
+            e = attacker.apply_single(e)?;
+        }
         Ok(self.options.apply(e))
     }
 
@@ -835,6 +960,7 @@ impl PartialEq for ExperimentSpec {
             && self.options == other.options
             && self.telemetry == other.telemetry
             && self.system == other.system
+            && self.attacker == other.attacker
             && param_map_eq(&self.params, &other.params)
     }
 }
@@ -862,6 +988,8 @@ pub struct SweepSpec {
     /// Run-cache section (`[cache]`): where cache-aware runners read
     /// results through.
     pub cache: Option<CacheOptions>,
+    /// Attacker section (`[attacker]`): one cell per knowledge level.
+    pub attacker: Option<AttackerOptions>,
 }
 
 impl PartialEq for SweepSpec {
@@ -874,6 +1002,7 @@ impl PartialEq for SweepSpec {
             && self.telemetry == other.telemetry
             && self.system == other.system
             && self.cache == other.cache
+            && self.attacker == other.attacker
             && self.params.len() == other.params.len()
             && self
                 .params
@@ -896,6 +1025,7 @@ impl SweepSpec {
             telemetry: None,
             system: None,
             cache: None,
+            attacker: None,
         }
     }
 
@@ -910,6 +1040,7 @@ impl SweepSpec {
             "telemetry",
             "system",
             "cache",
+            "attacker",
         ];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
@@ -944,6 +1075,7 @@ impl SweepSpec {
             telemetry: table.get("telemetry").map(TelemetryOptions::from_value).transpose()?,
             system: table.get("system").map(SystemOptions::from_value).transpose()?,
             cache: table.get("cache").map(CacheOptions::from_value).transpose()?,
+            attacker: table.get("attacker").map(AttackerOptions::from_value).transpose()?,
         })
     }
 
@@ -971,6 +1103,9 @@ impl SweepSpec {
         }
         if let Some(cache) = &self.cache {
             t.insert("cache".into(), cache.to_value());
+        }
+        if let Some(attacker) = &self.attacker {
+            t.insert("attacker".into(), attacker.to_value());
         }
         if !self.params.is_empty() {
             let params = self
@@ -1067,7 +1202,15 @@ impl SweepSpec {
         if attacks.is_empty() {
             return Err(field_err("attacks", "must name at least one attack"));
         }
-        let mut out = Vec::with_capacity(workloads.len() * trackers.len() * attacks.len());
+        // The `[attacker]` section fans out one cell per knowledge level
+        // (innermost axis); without it every cell stays attacker-free.
+        let attacker_cfgs: Vec<Option<AttackerConfig>> = match &self.attacker {
+            None => vec![None],
+            Some(a) => a.configs().into_iter().map(Some).collect(),
+        };
+        let mut out = Vec::with_capacity(
+            workloads.len() * trackers.len() * attacks.len() * attacker_cfgs.len(),
+        );
         // Cells that canonicalize identically (an alias tracker name next
         // to its primary key, `tailored` next to the pattern it resolves
         // to) are one cell and run once; the first occurrence wins.
@@ -1075,16 +1218,22 @@ impl SweepSpec {
         for workload in &workloads {
             for tracker in &trackers {
                 for attack in &attacks {
-                    let mut e = Experiment::new(workload).tracker(tracker.clone()).attack(*attack);
-                    if let Some(telemetry) = &self.telemetry {
-                        e = telemetry.apply(e);
-                    }
-                    if let Some(system) = &self.system {
-                        e = system.apply(e);
-                    }
-                    let e = self.options.apply(e);
-                    if crate::cache::cell_identity(&e).is_none_or(|id| seen.insert(id)) {
-                        out.push(e);
+                    for cfg in &attacker_cfgs {
+                        let mut e =
+                            Experiment::new(workload).tracker(tracker.clone()).attack(*attack);
+                        if let Some(telemetry) = &self.telemetry {
+                            e = telemetry.apply(e);
+                        }
+                        if let Some(system) = &self.system {
+                            e = system.apply(e);
+                        }
+                        if let Some(cfg) = cfg {
+                            e = e.attacker(*cfg);
+                        }
+                        let e = self.options.apply(e);
+                        if crate::cache::cell_identity(&e).is_none_or(|id| seen.insert(id)) {
+                            out.push(e);
+                        }
                     }
                 }
             }
@@ -1300,6 +1449,82 @@ group_size = 256
         )
         .unwrap_err();
         assert!(err.to_string().contains("system.threads"), "{err}");
+    }
+
+    #[test]
+    fn attacker_section_round_trips_and_expands() {
+        let doc = "name = \"realism\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"dapper-s\"]\n\
+                   attacks = [\"streaming\"]\n\
+                   [attacker]\nknowledge = [\"omniscient\", \"TIMING_RECON\", \"blind\"]\n\
+                   recon_budget = 2048\nseed = \"0xffffffffffffffff\"\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let attacker = spec.attacker.as_ref().expect("[attacker] section present");
+        assert_eq!(
+            attacker.knowledge,
+            vec![
+                AttackerKnowledge::Omniscient,
+                AttackerKnowledge::TimingRecon,
+                AttackerKnowledge::Blind
+            ],
+            "spellings normalize like registry keys"
+        );
+        assert_eq!(attacker.seed, Some(u64::MAX), "hex seeds past i64::MAX parse");
+        assert_eq!(SweepSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(SweepSpec::from_json_str(&spec.to_json().render()).unwrap(), spec);
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 3, "one cell per knowledge level");
+        let cfg = cells[1].attacker.expect("attacker config reaches the cell");
+        assert_eq!(cfg.knowledge, AttackerKnowledge::TimingRecon);
+        assert_eq!(cfg.recon_budget, 2048);
+        assert_eq!(cfg.seed, u64::MAX);
+
+        // Omitting `knowledge` sweeps all three levels with defaults.
+        let doc = "name = \"realism\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"dapper-s\"]\n\
+                   [attacker]\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].attacker.unwrap().recon_budget, AttackerConfig::DEFAULT_RECON_BUDGET);
+
+        // A single experiment takes exactly one level, and a string works
+        // where a one-element list would.
+        let doc = "workload = \"gcc_like\"\ntracker = \"dapper-s\"\nattack = \"streaming\"\n\
+                   [attacker]\nknowledge = \"timing-recon\"\n";
+        let spec = ExperimentSpec::from_toml_str(doc).unwrap();
+        assert_eq!(ExperimentSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        let e = spec.to_experiment().unwrap();
+        assert_eq!(e.attacker.unwrap().knowledge, AttackerKnowledge::TimingRecon);
+        let err = ExperimentSpec::from_toml_str(
+            "workload = \"gcc_like\"\ntracker = \"dapper-s\"\n[attacker]\n",
+        )
+        .unwrap()
+        .to_experiment()
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one knowledge level"), "{err}");
+    }
+
+    #[test]
+    fn attacker_section_rejects_bad_fields() {
+        // Unknown nested keys are named in the error.
+        let err = SweepSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+             [attacker]\nrecon_buget = 100\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recon_buget"), "{err}");
+        // So are unknown knowledge levels and a zero budget.
+        let err = SweepSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+             [attacker]\nknowledge = [\"clairvoyant\"]\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("clairvoyant"), "{err}");
+        let err = SweepSpec::from_toml_str(
+            "name = \"x\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n\
+             [attacker]\nrecon_budget = 0\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recon_budget"), "{err}");
     }
 
     #[test]

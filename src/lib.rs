@@ -11,7 +11,10 @@
 //! * [`workloads`] — the 57-workload catalog and the Perf-Attack generators,
 //! * [`analysis`] — security/storage/energy models and the RowHammer oracle,
 //! * [`attacklab`] — the composable adversarial scenario engine, worst-case
-//!   scenario search, and the `redteam` campaign runner,
+//!   scenario search, and the campaign machinery,
+//! * [`attackpipe`] — the end-to-end attacker pipeline (timing-side-channel
+//!   recon → hammer compilation → victim bit-flip adjudication) and the
+//!   `redteam` campaign runner,
 //! * [`dram`], [`memctrl`], [`llcache`], [`cpu`], [`llbc`], [`sim_core`] —
 //!   substrates.
 //!
@@ -35,6 +38,7 @@
 
 pub use analysis;
 pub use attacklab;
+pub use attackpipe;
 pub use cpu;
 pub use dapper;
 pub use dram;

@@ -11,8 +11,9 @@
 //! change nothing but the `oracle` verdict field.
 
 use dapper_repro::sim::experiment::{AttackChoice, Experiment, TelemetrySpec};
-use dapper_repro::sim::{parallel_map, Engine, RunStats};
-use dapper_repro::sim_core::telemetry::SlowdownTrace;
+use dapper_repro::sim::{parallel_map, Engine, RunStats, Threads};
+use dapper_repro::sim_core::req::SourceId;
+use dapper_repro::sim_core::telemetry::{LatencyProbe, SlowdownTrace};
 use dapper_repro::workloads;
 
 const TRACKERS: [&str; 4] = ["none", "hydra", "para", "dapper-h"];
@@ -103,6 +104,44 @@ fn oracle_rides_the_sink_api_without_perturbing() {
         assert!(plain.oracle.is_none());
         with_oracle.oracle = None;
         assert_eq!(plain, with_oracle, "oracle changed more than its verdict ({engine:?})");
+    }
+}
+
+#[test]
+fn latency_tap_does_not_perturb_either_engine_or_lane_count() {
+    // The attackpipe recon stage reads its timing side channel through a
+    // LatencyProbe on the attacker core's read completions. Like every
+    // probe it must be a pure observer: RunStats stay bit-identical with
+    // the tap attached, on both engines, sequential and sharded.
+    let mut jobs = Vec::new();
+    for engine in [Engine::Dense, Engine::EventDriven] {
+        for (lanes, threads) in [("seq", Threads::Seq), ("n2", Threads::N(2))] {
+            let e = Experiment::quick("mcf_like")
+                .tracker("dapper-h")
+                .attack(AttackChoice::Tailored)
+                .seed(0xDA99E5)
+                .window_us(100.0)
+                .threads(threads);
+            jobs.push((format!("{engine:?}/{lanes}"), e, engine));
+        }
+    }
+    let outcomes = parallel_map(jobs, |(label, e, engine)| {
+        let plain = plain_run(&e, engine);
+        let mut sys = e.build_system(false);
+        let attacker = e.cfg.cpu.cores - 1;
+        sys.attach_probe(Box::new(LatencyProbe::new(SourceId(attacker))));
+        let tapped = sys.run_engine(engine);
+        let samples = sys
+            .take_probes()
+            .into_iter()
+            .find_map(|p| p.as_any().downcast_ref::<LatencyProbe>().map(|l| l.samples().len()))
+            .expect("latency probe must come back out");
+        (label, plain == tapped, samples)
+    });
+    for o in outcomes {
+        let (label, equal, samples) = o.expect("latency-tap job must not panic");
+        assert!(equal, "latency tap perturbed {label}");
+        assert!(samples > 0, "{label}: the tap must actually observe read completions");
     }
 }
 

@@ -56,6 +56,9 @@ USAGE: redteam [--trackers a,b,c] [--workload NAME] [--budget N]
 Tracker names resolve through the open registry: any key, display name,
 or alias works, case- and separator-insensitively (dapper-h, DAPPER_H,
 DapperH). Parent directories of --out/--csv are created as needed.
+
+The attackpipe redteam binary also accepts the profiler's campaign
+subcommands: redteam profile | evaluate | attack (see each --help).
 ";
 
 /// Parses CLI arguments. Returns `Err` with a usage/diagnostic string on

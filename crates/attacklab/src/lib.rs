@@ -50,4 +50,7 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignReport, CampaignRow};
 pub use compat::attack_pattern;
 pub use pattern::{BoxPattern, PatternGen, PatternTrace};
 pub use scenario::{ScenarioSpec, Shape};
-pub use search::{evaluate_specs_cached, search, SearchConfig, SearchReport};
+pub use search::{
+    evaluate_specs_cached, evaluate_specs_memo, search, search_seeded, search_seeded_observed,
+    EvalMemo, SearchConfig, SearchReport,
+};

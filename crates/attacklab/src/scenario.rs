@@ -355,6 +355,92 @@ impl ScenarioSpec {
             ("seed_salt", Json::hex(self.seed_salt)),
         ])
     }
+
+    /// Parses a genome back from its [`Self::to_json`] document, so heatmaps
+    /// and reports can round-trip probe genomes across processes.
+    ///
+    /// Returns a descriptive error naming the offending field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        fn u32_field(j: &Json, key: &str) -> Result<u32, String> {
+            match j.get(key) {
+                Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                    Ok(*n as u32)
+                }
+                _ => Err(format!("scenario: `{key}` must be a non-negative integer")),
+            }
+        }
+        fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+            match j.get(key) {
+                Some(Json::Str(s)) => Ok(s),
+                _ => Err(format!("scenario: `{key}` must be a string")),
+            }
+        }
+        let shape_j =
+            j.get("shape").ok_or_else(|| "scenario: missing `shape` object".to_string())?;
+        let shape = match str_field(shape_j, "kind")? {
+            "baseline" => {
+                let name = str_field(shape_j, "attack")?;
+                let attack = Attack::all()
+                    .into_iter()
+                    .find(|a| a.name() == name)
+                    .ok_or_else(|| format!("scenario: unknown baseline attack `{name}`"))?;
+                Shape::Baseline(attack)
+            }
+            "hammer" => Shape::Hammer {
+                banks: u32_field(shape_j, "banks")?,
+                per_bank: u32_field(shape_j, "per_bank")?,
+            },
+            "sweep" => Shape::Sweep {
+                banks: u32_field(shape_j, "banks")?,
+                stride: u32_field(shape_j, "stride")?,
+                span: u32_field(shape_j, "span")?,
+            },
+            "diagonal" => Shape::Diagonal {
+                banks: u32_field(shape_j, "banks")?,
+                span: u32_field(shape_j, "span")?,
+            },
+            "thrash" => Shape::Thrash {
+                mib: u32_field(shape_j, "mib")?,
+                bubbles: u32_field(shape_j, "bubbles")?,
+            },
+            k => return Err(format!("scenario: unknown shape kind `{k}`")),
+        };
+        let feint = match j.get("feint") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(pair)) if pair.len() == 2 => match (&pair[0], &pair[1]) {
+                (Json::Num(on), Json::Num(off))
+                    if *on >= 0.0 && *off >= 0.0 && on.fract() == 0.0 && off.fract() == 0.0 =>
+                {
+                    Some((*on as u32, *off as u32))
+                }
+                _ => return Err("scenario: `feint` entries must be integers".to_string()),
+            },
+            _ => return Err("scenario: `feint` must be null or [on, off]".to_string()),
+        };
+        let seed_salt = match j.get("seed_salt") {
+            Some(Json::Str(s)) => {
+                let digits = s.strip_prefix("0x").unwrap_or(s);
+                u64::from_str_radix(digits, 16)
+                    .map_err(|_| format!("scenario: bad `seed_salt` hex `{s}`"))?
+            }
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+            None => 0,
+            _ => return Err("scenario: `seed_salt` must be a hex string".to_string()),
+        };
+        let decoy = u32_field(j, "decoy_pct")?;
+        if decoy > 100 {
+            return Err("scenario: `decoy_pct` must be <= 100".to_string());
+        }
+        Ok(Self {
+            shape,
+            lanes: u32_field(j, "lanes")?,
+            burst: u32_field(j, "burst")?,
+            decoy_pct: decoy as u8,
+            feint,
+            bubbles: u32_field(j, "bubbles")?,
+            seed_salt,
+        })
+    }
 }
 
 impl std::fmt::Display for ScenarioSpec {
@@ -433,6 +519,38 @@ mod tests {
         assert!(!s.bypasses_llc());
         s.shape = Shape::Hammer { banks: 4, per_bank: 8 };
         assert!(s.bypasses_llc());
+    }
+
+    #[test]
+    fn json_round_trips_every_genome() {
+        let mut rng = Xoshiro256::seed_from(0x10DE);
+        let mut spec = ScenarioSpec::baseline(Attack::CacheThrash);
+        for _ in 0..100 {
+            let back = ScenarioSpec::from_json(&spec.to_json()).expect("round-trip");
+            assert_eq!(back, spec, "{spec}");
+            spec = if rng.gen_bool(0.3) {
+                ScenarioSpec::random(&mut rng)
+            } else {
+                spec.mutate(&mut rng)
+            };
+        }
+        for a in Attack::all() {
+            let spec = ScenarioSpec::baseline(a);
+            assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        let good = ScenarioSpec::baseline(Attack::Streaming).to_json().render();
+        let mut j = Json::parse(&good).unwrap();
+        assert!(ScenarioSpec::from_json(&j).is_ok());
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "shape");
+        }
+        assert!(ScenarioSpec::from_json(&j).unwrap_err().contains("shape"));
+        let bad = Json::parse(r#"{"shape":{"kind":"warp"},"lanes":1,"burst":1,"decoy_pct":0,"feint":null,"bubbles":0,"seed_salt":"0x0"}"#).unwrap();
+        assert!(ScenarioSpec::from_json(&bad).unwrap_err().contains("warp"));
     }
 
     #[test]

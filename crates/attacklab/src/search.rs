@@ -9,6 +9,8 @@
 //! deterministic in the configured seed — the report carries the seed that
 //! reproduces its best scenario.
 
+use std::collections::HashMap;
+
 use crate::scenario::ScenarioSpec;
 use sim::cache::{cell_key_with_attack_id, RunCache};
 use sim::experiment::{CustomAttack, Experiment, TrackerSel};
@@ -106,6 +108,9 @@ pub struct SearchReport {
     pub tailored: EvalRecord,
     /// (evaluation index, best slowdown so far) — the climb.
     pub history: Vec<(u32, f64)>,
+    /// Candidate genomes answered from the in-run memo instead of a fresh
+    /// simulation (mutation collisions; see [`EvalMemo`]).
+    pub dedup_hits: u32,
 }
 
 impl SearchReport {
@@ -251,6 +256,89 @@ pub fn evaluate_specs_cached(
     records.into_iter().flatten().collect()
 }
 
+/// An in-run memo of already-evaluated genomes, keyed by the genome's
+/// canonical JSON. Hill-climbing mutation collides often (a `seed_salt`
+/// nudge undone, the same shape scaling drawn twice), and each collision
+/// used to pay a full simulation; the memo answers it from memory instead.
+///
+/// Deliberately *not* the PR 6 disk cache: the search trajectory is
+/// adaptive, so its cells would pollute a shared cache with one-off keys.
+/// The memo lives and dies with a single search run.
+#[derive(Debug, Default)]
+pub struct EvalMemo {
+    map: HashMap<String, EvalRecord>,
+    hits: u32,
+}
+
+impl EvalMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluations answered from the memo instead of a simulation.
+    pub fn hits(&self) -> u32 {
+        self.hits
+    }
+
+    /// Distinct genomes simulated so far.
+    pub fn simulated(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// [`evaluate_specs`] deduplicated through an [`EvalMemo`]: identical
+/// genomes — within this batch or remembered from earlier batches of the
+/// same run — are simulated once and answered from the memo afterwards.
+/// Results keep input order; duplicates receive byte-identical records
+/// (the simulation is deterministic, so this changes cost, never results).
+pub fn evaluate_specs_memo(
+    cfg: &SearchConfig,
+    reference: &RunStats,
+    specs: Vec<ScenarioSpec>,
+    memo: &mut EvalMemo,
+) -> Vec<EvalRecord> {
+    let mut slots: Vec<Option<EvalRecord>> = Vec::with_capacity(specs.len());
+    let mut miss_index: HashMap<String, usize> = HashMap::new();
+    let mut miss_slots: Vec<Vec<usize>> = Vec::new();
+    let mut miss_keys: Vec<String> = Vec::new();
+    let mut miss_specs: Vec<ScenarioSpec> = Vec::new();
+    for (i, spec) in specs.into_iter().enumerate() {
+        let key = spec.to_json().render();
+        if let Some(rec) = memo.map.get(&key) {
+            memo.hits += 1;
+            slots.push(Some(rec.clone()));
+        } else if let Some(&u) = miss_index.get(&key) {
+            // Within-batch collision: simulate once, fill both slots.
+            memo.hits += 1;
+            slots.push(None);
+            miss_slots[u].push(i);
+        } else {
+            slots.push(None);
+            miss_index.insert(key.clone(), miss_specs.len());
+            miss_slots.push(vec![i]);
+            miss_keys.push(key);
+            miss_specs.push(spec);
+        }
+    }
+    let outcomes = parallel_map(miss_specs, |spec| {
+        let result = experiment_for(cfg, &spec).run_against(reference);
+        record(spec, &result)
+    });
+    for (u, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(rec) => {
+                for &i in &miss_slots[u] {
+                    slots[i] = Some(rec.clone());
+                }
+                memo.map.insert(miss_keys[u].clone(), rec);
+            }
+            Err(e) => eprintln!("attacklab: scenario evaluation failed, skipping: {e}"),
+        }
+    }
+    slots.into_iter().flatten().collect()
+}
+
 /// Runs the hill-climbing search and reports the worst case found.
 ///
 /// # Panics
@@ -270,13 +358,51 @@ pub fn search(cfg: &SearchConfig) -> SearchReport {
 /// Panics if the budget is zero, or if the tailored-attack simulation
 /// itself fails (without it there is no baseline to compare against).
 pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport {
+    search_seeded(cfg, reference, &[])
+}
+
+/// [`search_against`] warm-started from prior genomes (typically the top
+/// cells of a profiler sensitivity heatmap). The priors join the initial
+/// population ahead of the random fill, and the exploration move mutates a
+/// random prior instead of drawing a cold random genome — the search spends
+/// its budget where the profile already showed the tracker to be weak.
+///
+/// With an empty prior set this is exactly [`search_against`]: same rng
+/// draw sequence, same trajectory, bit-identical report.
+///
+/// # Panics
+///
+/// Panics if the budget is zero, or if the tailored-attack simulation
+/// itself fails (without it there is no baseline to compare against).
+pub fn search_seeded(
+    cfg: &SearchConfig,
+    reference: &RunStats,
+    priors: &[ScenarioSpec],
+) -> SearchReport {
+    search_seeded_observed(cfg, reference, priors, &mut |_, _| {})
+}
+
+/// [`search_seeded`] streaming the climb: `frontier(evaluations, best)` is
+/// called after every batch, exactly mirroring the report's `history` —
+/// dashboards render the frontier live without changing the trajectory.
+///
+/// # Panics
+///
+/// Panics if the budget is zero, or if the tailored-attack simulation
+/// itself fails (without it there is no baseline to compare against).
+pub fn search_seeded_observed(
+    cfg: &SearchConfig,
+    reference: &RunStats,
+    priors: &[ScenarioSpec],
+    frontier: &mut dyn FnMut(u32, f64),
+) -> SearchReport {
     assert!(cfg.budget > 0, "search budget must be nonzero");
     let mut rng = Xoshiro256::seed_from(cfg.seed ^ 0x5EA2C4);
 
     // Initial population: the attack the paper tailored to this tracker
     // (bit-exact via compat — guarantees the search never reports worse
     // than the hand-written pattern), the two mapping-agnostic attacks,
-    // and random genomes.
+    // any warm-start priors, and random genomes to fill the first batch.
     let tailored_attack = workloads::Attack::tailored_for(cfg.tracker.name());
     let mut init: Vec<ScenarioSpec> = Vec::new();
     for attack in [tailored_attack, workloads::Attack::Streaming, workloads::Attack::RefreshAttack]
@@ -286,17 +412,25 @@ pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport 
             init.push(spec);
         }
     }
+    for prior in priors {
+        if !init.contains(prior) {
+            init.push(prior.clone());
+        }
+    }
     while (init.len() as u32) < cfg.batch.max(4).min(cfg.budget) {
         init.push(ScenarioSpec::random(&mut rng));
     }
     init.truncate(cfg.budget as usize);
 
+    let mut memo = EvalMemo::new();
     let mut evaluations = 0u32;
     let mut history = Vec::new();
     // Count attempts (not successes) everywhere, so a panicking scenario
     // still consumes budget and the loop below terminates on schedule.
+    // Memo hits count too: the search *trajectory* must not depend on how
+    // many collisions happened to be answered cheaply.
     evaluations += init.len() as u32;
-    let evaluated = evaluate_specs(cfg, reference, init);
+    let evaluated = evaluate_specs_memo(cfg, reference, init, &mut memo);
     let tailored = evaluated
         .iter()
         .find(|r| r.spec == ScenarioSpec::baseline(tailored_attack))
@@ -315,22 +449,29 @@ pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport 
         .expect("non-empty initial population")
         .clone();
     history.push((evaluations, best.slowdown));
+    frontier(evaluations, best.slowdown);
 
     while evaluations < cfg.budget {
         let remaining = cfg.budget - evaluations;
         let n = cfg.batch.max(1).min(remaining);
         // Mostly local moves around the incumbent, plus an occasional
-        // random restart candidate to escape plateaus.
+        // exploration candidate to escape plateaus: a fresh random genome
+        // when searching cold, a mutated heatmap prior when warm-started.
         let mutants: Vec<ScenarioSpec> = (0..n)
             .map(|_| {
                 if rng.gen_bool(0.15) {
-                    ScenarioSpec::random(&mut rng)
+                    if priors.is_empty() {
+                        ScenarioSpec::random(&mut rng)
+                    } else {
+                        let pick = rng.gen_range(priors.len() as u64) as usize;
+                        priors[pick].mutate(&mut rng)
+                    }
                 } else {
                     best.spec.mutate(&mut rng)
                 }
             })
             .collect();
-        let evaluated = evaluate_specs(cfg, reference, mutants);
+        let evaluated = evaluate_specs_memo(cfg, reference, mutants, &mut memo);
         evaluations += n;
         for rec in evaluated {
             if rec.slowdown > best.slowdown {
@@ -338,6 +479,7 @@ pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport 
             }
         }
         history.push((evaluations, best.slowdown));
+        frontier(evaluations, best.slowdown);
     }
 
     SearchReport {
@@ -347,6 +489,7 @@ pub fn search_against(cfg: &SearchConfig, reference: &RunStats) -> SearchReport 
         best,
         tailored,
         history,
+        dedup_hits: memo.hits(),
     }
 }
 
@@ -423,6 +566,54 @@ mod tests {
             assert_eq!(a.time_to_max_slowdown_us, b.time_to_max_slowdown_us);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_deduplicates_identical_genomes() {
+        let cfg = tiny("hydra");
+        let reference = reference_run(&cfg);
+        let mut memo = EvalMemo::new();
+        let dup = ScenarioSpec::baseline(workloads::Attack::Streaming);
+        let other = ScenarioSpec::baseline(workloads::Attack::CacheThrash);
+        let first =
+            evaluate_specs_memo(&cfg, &reference, vec![dup.clone(), dup.clone()], &mut memo);
+        assert_eq!(first.len(), 2);
+        assert_eq!(memo.simulated(), 1, "within-batch duplicate must simulate once");
+        assert_eq!(memo.hits(), 1);
+        let again = evaluate_specs_memo(&cfg, &reference, vec![other, dup], &mut memo);
+        assert_eq!(again.len(), 2);
+        assert_eq!(memo.simulated(), 2, "only the new genome simulates");
+        assert_eq!(memo.hits(), 2);
+        assert!((first[0].slowdown - first[1].slowdown).abs() == 0.0);
+        assert!((again[1].slowdown - first[0].slowdown).abs() == 0.0);
+    }
+
+    #[test]
+    fn empty_priors_reproduce_the_cold_search_exactly() {
+        let cfg = tiny("comet");
+        let reference = reference_run(&cfg);
+        let cold = search_against(&cfg, &reference);
+        let seeded = search_seeded(&cfg, &reference, &[]);
+        assert_eq!(cold.best.spec, seeded.best.spec);
+        assert_eq!(cold.history, seeded.history);
+        assert_eq!(cold.evaluations, seeded.evaluations);
+    }
+
+    #[test]
+    fn warm_started_search_is_deterministic_and_never_below_tailored() {
+        let cfg = tiny("hydra");
+        let reference = reference_run(&cfg);
+        let priors = vec![ScenarioSpec {
+            shape: crate::scenario::Shape::Hammer { banks: 32, per_bank: 8 },
+            ..ScenarioSpec::baseline(workloads::Attack::CacheThrash)
+        }];
+        let a = search_seeded(&cfg, &reference, &priors);
+        let b = search_seeded(&cfg, &reference, &priors);
+        assert_eq!(a.best.spec, b.best.spec);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert!(a.rediscovered_tailored(), "slack {}", a.slack());
+        assert_eq!(a.evaluations, cfg.budget);
     }
 
     #[test]

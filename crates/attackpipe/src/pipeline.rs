@@ -542,12 +542,18 @@ fn write_artifact(path: &str, content: &str) -> std::io::Result<()> {
     std::fs::write(path, content)
 }
 
-/// The `redteam` binary's entry point. Without `--attacker` this is the
-/// plain attacklab campaign; with it, every tracker additionally runs
-/// the pipeline once per knowledge level, and those rows (origin
-/// `"attacker"`, scenario `attackpipe:<level>`) join the campaign's
-/// exports.
+/// The `redteam` binary's entry point. A leading `profile` / `evaluate`
+/// / `attack` subcommand dispatches to the profiler's campaign workflow;
+/// otherwise, without `--attacker` this is the plain attacklab campaign,
+/// and with it, every tracker additionally runs the pipeline once per
+/// knowledge level, and those rows (origin `"attacker"`, scenario
+/// `attackpipe:<level>`) join the campaign's exports.
 pub fn redteam_main(args: &[String]) -> i32 {
+    if let Some(first) = args.first() {
+        if matches!(first.as_str(), "profile" | "evaluate" | "attack") {
+            return profiler::cli::main_with_args(args);
+        }
+    }
     let opts = match attacklab::cli::parse_args(args) {
         Ok(o) => o,
         Err(msg) => {

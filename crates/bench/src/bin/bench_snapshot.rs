@@ -32,6 +32,11 @@
 //!   full mode on hosts with `available_parallelism() >= 2` (on one core
 //!   the per-cycle rendezvous is pure overhead, so the honest number is
 //!   recorded without enforcement).
+//! * **Warm-started search**: the profiler's heatmap-seeded worst-case
+//!   search vs the cold random-restart baseline on a pinned seed; the
+//!   warm search must reach the cold baseline's best slowdown in <= 0.6x
+//!   the cold search's candidate evaluations. Deterministic, so enforced
+//!   in every mode.
 
 use sim::experiment::{AttackChoice, Experiment, TelemetrySpec};
 use sim::{Engine, RunStats, Threads};
@@ -111,6 +116,11 @@ const SHARDED_SPEEDUP_FLOOR: f64 = 1.5;
 /// Event/dense ratio floor on saturated scenarios: the event engine must
 /// never lose to dense (the seed regressed to 0.956x on the attack run).
 const SATURATED_RATIO_FLOOR: f64 = 0.85;
+/// Warm-started search ceiling: the heatmap-seeded search must reach the
+/// cold random-restart baseline's best slowdown in at most this fraction
+/// of the cold search's evaluations. Seed-deterministic, so enforced in
+/// every mode.
+const WARMSTART_RATIO_CEIL: f64 = 0.6;
 
 /// Best-of-N wall-clock measurement (the machine is shared and noisy; the
 /// minimum is the least-perturbed sample).
@@ -301,6 +311,83 @@ fn main() {
         }
         (lanes, seq_s, sharded_s, speedup)
     };
+
+    // Warm-started search: profile a small sensitivity heatmap, then run
+    // the worst-case search twice under the identical budget and seed —
+    // warm (heatmap genomes as priors) vs cold (random restarts) — and
+    // score how many candidate evaluations each needed to reach the cold
+    // baseline's best slowdown. Everything here is seed-deterministic, so
+    // the <= 0.6 acceptance ceiling is enforced even in smoke mode.
+    let warmstart = {
+        let mut pcfg = profiler::ProfileConfig::new("hydra", "libquantum_like");
+        pcfg.probe_window_us = 40.0;
+        pcfg.bank_groups = 2;
+        pcfg.row_groups = 2;
+        let t0 = Instant::now();
+        let (map, _) = profiler::run_profile(&pcfg, None);
+        let profile_s = t0.elapsed().as_secs_f64();
+        let mut acfg = profiler::AttackConfig::for_heatmap(&map).expect("hydra resolves");
+        acfg.budget = 32;
+        acfg.batch = 4;
+        acfg.window_us = 120.0;
+        let t0 = Instant::now();
+        let outcome = profiler::run_attack(&map, &acfg, true);
+        let search_s = t0.elapsed().as_secs_f64();
+        let cold = outcome.cold.as_ref().expect("baseline requested");
+        println!(
+            "warm-started search: warm best {:.3}x  cold best {:.3}x  \
+             evals-to-target warm {} cold {}  ratio {}  (profile {profile_s:.2}s, searches {search_s:.2}s)",
+            outcome.warm.best.slowdown,
+            cold.best.slowdown,
+            outcome.warm_evals_to_target.map_or("-".into(), |v| v.to_string()),
+            outcome.cold_evals_to_target.map_or("-".into(), |v| v.to_string()),
+            outcome.ratio.map_or("-".into(), |r| format!("{r:.3}")),
+        );
+        match outcome.ratio {
+            Some(r) if r <= WARMSTART_RATIO_CEIL => {}
+            Some(r) => failures.push(format!(
+                "warm-started search: evals-to-target ratio {r:.3} above the \
+                 {WARMSTART_RATIO_CEIL} ceiling"
+            )),
+            None => failures.push(
+                "warm-started search never reached the cold baseline's best slowdown".to_string(),
+            ),
+        }
+        format!(
+            concat!(
+                "  \"search_warmstart\": {{\n",
+                "    \"tracker\": \"hydra\",\n",
+                "    \"workload\": \"libquantum_like\",\n",
+                "    \"seed\": {},\n",
+                "    \"probe_window_us\": {},\n",
+                "    \"heatmap_grid\": \"{}x{}x{}\",\n",
+                "    \"budget\": {},\n",
+                "    \"batch\": {},\n",
+                "    \"window_us\": {},\n",
+                "    \"warm_best_slowdown\": {:.3},\n",
+                "    \"cold_best_slowdown\": {:.3},\n",
+                "    \"warm_evals_to_target\": {},\n",
+                "    \"cold_evals_to_target\": {},\n",
+                "    \"warm_cold_ratio\": {},\n",
+                "    \"ratio_ceiling\": {}\n",
+                "  }},\n"
+            ),
+            map.seed,
+            pcfg.probe_window_us,
+            pcfg.bank_groups,
+            pcfg.row_groups,
+            map.families.len(),
+            acfg.budget,
+            acfg.batch,
+            acfg.window_us,
+            outcome.warm.best.slowdown,
+            cold.best.slowdown,
+            outcome.warm_evals_to_target.map_or("null".into(), |v| v.to_string()),
+            outcome.cold_evals_to_target.map_or("null".into(), |v| v.to_string()),
+            outcome.ratio.map_or("null".into(), |r| format!("{r:.3}")),
+            WARMSTART_RATIO_CEIL,
+        )
+    };
     let json = format!(
         concat!(
             "{{\n",
@@ -326,6 +413,7 @@ fn main() {
             "    \"sharded_speedup\": {:.3},\n",
             "    \"floor_enforced\": {}\n",
             "  }},\n",
+            "{}",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -340,6 +428,7 @@ fn main() {
         sharded_s,
         sharded_speedup,
         !smoke && host_parallelism >= 2,
+        warmstart,
         entries.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

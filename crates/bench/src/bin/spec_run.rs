@@ -23,7 +23,10 @@
 //!
 //! Specs with an `[attacker]` section run the attackpipe recon → hammer
 //! → victim pipeline instead of the plain sweep, caching per-cell
-//! verdicts under the same directory.
+//! verdicts under the same directory. Specs with a `[profile]` section
+//! run the profiler's profile → evaluate → attack workflow per tracker ×
+//! workload cell, writing heatmap/report/attack artifacts to the output
+//! directory.
 
 use sim::cache::RunCache;
 use sim::spec::{result_to_json, SweepSpec};
@@ -100,6 +103,18 @@ fn run() -> Result<i32, String> {
                 spec.cache.as_ref().and_then(|c| c.effective_dir()).map(str::to_string)
             }
         };
+        // Specs with a `[profile]` section route through the profiler's
+        // campaign workflow: profile → evaluate → attack per tracker ×
+        // workload cell, with its own artifact layout.
+        if spec.profile.is_some() {
+            let artifacts =
+                profiler::spec::run_profile_spec(&spec, effective_cache_dir.as_deref(), &out_dir)
+                    .map_err(|e| format!("{file}: {e}"))?;
+            for path in &artifacts {
+                println!("  artifact written to {path}");
+            }
+            continue;
+        }
         // Specs with an `[attacker]` section route through the attackpipe
         // pipeline: their cells need recon, hammer compilation and victim
         // adjudication, which the plain sweep runner cannot provide.

@@ -469,6 +469,55 @@ fn lookup_cell(inner: &Inner, request: &Json) -> Json {
     ok_json([("cached", Json::Bool(false)), ("result", Json::Null)])
 }
 
+/// One `{"event":"progress",...}` line of a waiting submit: `done` of
+/// `cells` sweep cells finished for job `job`. Public so dashboards (the
+/// profiler's `warroom` TUI) can build and parse the exact wire shape the
+/// server streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Cells completed so far.
+    pub done: u64,
+    /// Total cells in the job.
+    pub cells: u64,
+}
+
+impl ProgressEvent {
+    /// Serializes to the wire shape `submit` streams.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("event", Json::str("progress")),
+            ("job", Json::count(self.job)),
+            ("done", Json::count(self.done)),
+            ("cells", Json::count(self.cells)),
+        ])
+    }
+
+    /// Parses a streamed line; `None` when the object is not a progress
+    /// event (e.g. the final completion response).
+    pub fn from_json(j: &Json) -> Option<Self> {
+        match j.get("event") {
+            Some(Json::Str(s)) if s == "progress" => {}
+            _ => return None,
+        }
+        let count = |key: &str| match j.get(key) {
+            Some(Json::Num(n)) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        };
+        Some(Self { job: count("job")?, done: count("done")?, cells: count("cells")? })
+    }
+
+    /// Completion fraction in `[0, 1]` (1 for an empty job).
+    pub fn fraction(&self) -> f64 {
+        if self.cells == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.cells as f64
+        }
+    }
+}
+
 fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option<Json> {
     let Some(spec_json) = request.get("spec") else {
         return Some(err_json("missing 'spec'"));
@@ -516,12 +565,9 @@ fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option
             let done = job.done.load(Ordering::Relaxed);
             if done != last && !finished {
                 last = done;
-                let event = Json::obj([
-                    ("event", Json::str("progress")),
-                    ("job", Json::count(job.id)),
-                    ("done", Json::count(done as u64)),
-                    ("cells", Json::count(job.cells as u64)),
-                ]);
+                let event =
+                    ProgressEvent { job: job.id, done: done as u64, cells: job.cells as u64 }
+                        .to_json();
                 // A vanished client must not wedge the job: keep driving
                 // it to completion (the cell table and cache still win).
                 let _ = write_line(stream, &event);

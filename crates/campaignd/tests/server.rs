@@ -165,3 +165,20 @@ fn async_submit_status_wait_lifecycle() {
     shutdown(&socket);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn progress_events_round_trip_the_wire_shape() {
+    use campaignd::ProgressEvent;
+    let e = ProgressEvent { job: 7, done: 3, cells: 18 };
+    let j = e.to_json();
+    assert_eq!(
+        j.render(),
+        r#"{"event":"progress","job":7,"done":3,"cells":18}"#,
+        "wire shape is part of the protocol"
+    );
+    assert_eq!(ProgressEvent::from_json(&j), Some(e));
+    assert!((e.fraction() - 3.0 / 18.0).abs() < 1e-12);
+    // Non-progress lines (e.g. the final completion response) parse to None.
+    let done = Json::obj([("ok", Json::Bool(true)), ("job", Json::count(7))]);
+    assert_eq!(ProgressEvent::from_json(&done), None);
+}

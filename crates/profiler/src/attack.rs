@@ -1,0 +1,197 @@
+//! The attack stage: hill-climbing search warm-started from the heatmap.
+//!
+//! [`attacklab::search_seeded`] takes the profile's hottest genomes as
+//! priors: they join the initial population and replace the cold random
+//! restarts, so the search spends its budget where the tracker already
+//! proved weak. The outcome records how many candidate evaluations the
+//! warm search needed to reach the cold random-restart baseline's best
+//! slowdown — the workflow's headline speedup.
+
+use attacklab::search::{reference_run, search_seeded_observed, SearchConfig, SearchReport};
+use sim::experiment::TrackerSel;
+
+use crate::heatmap::SensitivityHeatmap;
+use crate::CampaignEvent;
+
+/// Attack-stage configuration.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Tracker to attack (normally rebuilt from the heatmap's
+    /// `tracker_key`).
+    pub tracker: TrackerSel,
+    /// Full-fidelity search window, microseconds.
+    pub window_us: f64,
+    /// Total candidate evaluations.
+    pub budget: u32,
+    /// Mutants per generation.
+    pub batch: u32,
+    /// Search seed (defaults to the heatmap's probe seed).
+    pub seed: u64,
+    /// Heatmap genomes fed in as warm-start priors.
+    pub priors: usize,
+}
+
+impl AttackConfig {
+    /// Defaults for a heatmap: its own tracker key and seed, the attacklab
+    /// campaign window, a 48-evaluation budget in batches of 6, the 4
+    /// hottest genomes as priors.
+    pub fn for_heatmap(map: &SensitivityHeatmap) -> Result<Self, String> {
+        let tracker = TrackerSel::by_key(&map.tracker_key).map_err(|e| e.to_string())?;
+        Ok(Self { tracker, window_us: 250.0, budget: 48, batch: 6, seed: map.seed, priors: 4 })
+    }
+
+    fn search_config(&self, map: &SensitivityHeatmap) -> SearchConfig {
+        let mut cfg = SearchConfig::new(self.tracker.clone(), &map.workload);
+        cfg.window_us = self.window_us;
+        cfg.nrh = map.nrh;
+        cfg.seed = self.seed;
+        cfg.budget = self.budget;
+        cfg.batch = self.batch;
+        cfg
+    }
+}
+
+/// Outcome of the attack stage.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The heatmap-warmed search.
+    pub warm: SearchReport,
+    /// The cold random-restart baseline, when requested.
+    pub cold: Option<SearchReport>,
+    /// Evaluations the warm search needed to reach the cold baseline's
+    /// best slowdown (`None` when it never did, or without a baseline).
+    pub warm_evals_to_target: Option<u32>,
+    /// Evaluations the cold search needed to reach its own best.
+    pub cold_evals_to_target: Option<u32>,
+    /// `warm_evals_to_target / cold_evals_to_target` — below 1.0 the
+    /// warm start paid off; the CI gate requires ≤ 0.6 on the pinned
+    /// benchmark.
+    pub ratio: Option<f64>,
+}
+
+/// Canonical JSON document for one search report (shared by the CLI and
+/// the spec runner's attack artifacts).
+pub fn search_report_json(r: &SearchReport) -> sim_core::json::Json {
+    use sim_core::json::Json;
+    Json::obj([
+        ("tracker", Json::str(&r.tracker)),
+        ("seed", Json::hex(r.seed)),
+        ("evaluations", Json::count(r.evaluations as u64)),
+        ("dedup_hits", Json::count(r.dedup_hits as u64)),
+        ("best_name", Json::str(&r.best.name)),
+        ("best_slowdown", Json::num(r.best.slowdown)),
+        ("best_spec", r.best.spec.to_json()),
+        (
+            "history",
+            Json::Arr(
+                r.history
+                    .iter()
+                    .map(|(e, b)| Json::Arr(vec![Json::count(*e as u64), Json::num(*b)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// First history point at which the climb reached `target` slowdown.
+fn evals_to_reach(history: &[(u32, f64)], target: f64) -> Option<u32> {
+    history.iter().find(|(_, best)| *best >= target - 1e-9).map(|(evals, _)| *evals)
+}
+
+/// Runs the attack stage. With `baseline` set, also runs the cold
+/// random-restart search under the identical budget/seed (sharing the
+/// reference run) and scores warm-vs-cold evaluations-to-target.
+///
+/// # Panics
+///
+/// Panics if the budget is zero or the tailored-attack simulation fails.
+pub fn run_attack(map: &SensitivityHeatmap, cfg: &AttackConfig, baseline: bool) -> AttackOutcome {
+    run_attack_observed(map, cfg, baseline, &mut |_| {})
+}
+
+/// [`run_attack`] streaming [`CampaignEvent::Frontier`] points live.
+pub fn run_attack_observed(
+    map: &SensitivityHeatmap,
+    cfg: &AttackConfig,
+    baseline: bool,
+    observer: &mut dyn FnMut(&CampaignEvent),
+) -> AttackOutcome {
+    observer(&CampaignEvent::Stage("attack"));
+    let scfg = cfg.search_config(map);
+    let priors = map.seed_genomes(cfg.priors);
+    observer(&CampaignEvent::Note(format!(
+        "attack: {} priors from the heatmap, budget {}",
+        priors.len(),
+        scfg.budget
+    )));
+    // One reference run shared by the warm search and the cold baseline.
+    let reference = reference_run(&scfg);
+    let warm = search_seeded_observed(&scfg, &reference, &priors, &mut |evaluation, best| {
+        observer(&CampaignEvent::Frontier { evaluation, best_slowdown: best });
+    });
+    let cold = if baseline {
+        Some(search_seeded_observed(&scfg, &reference, &[], &mut |_, _| {}))
+    } else {
+        None
+    };
+    let (warm_evals_to_target, cold_evals_to_target, ratio) = match &cold {
+        Some(cold) => {
+            let target = cold.best.slowdown;
+            let warm_to = evals_to_reach(&warm.history, target);
+            let cold_to = evals_to_reach(&cold.history, target);
+            let ratio = match (warm_to, cold_to) {
+                (Some(w), Some(c)) if c > 0 => Some(w as f64 / c as f64),
+                _ => None,
+            };
+            (warm_to, cold_to, ratio)
+        }
+        None => (None, None, None),
+    };
+    AttackOutcome { warm, cold, warm_evals_to_target, cold_evals_to_target, ratio }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatmap::Family;
+    use crate::profile::{run_profile, ProfileConfig};
+
+    #[test]
+    fn attack_stage_feeds_heatmap_priors_into_the_search() {
+        let mut pcfg = ProfileConfig::new("hydra", "povray_like");
+        pcfg.probe_window_us = 25.0;
+        pcfg.bank_groups = 2;
+        pcfg.row_groups = 2;
+        pcfg.families = vec![Family::Hammer, Family::Sweep];
+        let (map, _) = run_profile(&pcfg, None);
+        let mut acfg = AttackConfig::for_heatmap(&map).expect("tracker key resolves");
+        acfg.window_us = 60.0;
+        acfg.budget = 8;
+        acfg.batch = 4;
+        acfg.priors = 2;
+        let mut frontier = Vec::new();
+        let outcome = run_attack_observed(&map, &acfg, true, &mut |e| {
+            if let CampaignEvent::Frontier { evaluation, best_slowdown } = e {
+                frontier.push((*evaluation, *best_slowdown));
+            }
+        });
+        assert_eq!(outcome.warm.evaluations, 8);
+        assert_eq!(frontier, outcome.warm.history, "frontier stream mirrors the history");
+        let cold = outcome.cold.expect("baseline requested");
+        assert_eq!(cold.evaluations, 8);
+        assert!(outcome.warm.rediscovered_tailored());
+        // The warm search saw the priors: its first batch includes them,
+        // so its history differs from cold's unless the priors were
+        // strictly dominated from the start.
+        assert!(outcome.warm.best.slowdown >= cold.tailored.slowdown - 1e-9);
+    }
+
+    #[test]
+    fn evals_to_reach_scans_the_history() {
+        let history = vec![(4, 1.0), (8, 2.0), (12, 2.0), (16, 3.5)];
+        assert_eq!(evals_to_reach(&history, 1.0), Some(4));
+        assert_eq!(evals_to_reach(&history, 2.0), Some(8));
+        assert_eq!(evals_to_reach(&history, 3.4), Some(16));
+        assert_eq!(evals_to_reach(&history, 9.9), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! `warroom` — render the profiler campaign dashboard.
+//!
+//! ```text
+//! warroom --render-once [--no-ansi]
+//! ```
+//!
+//! Prints one deterministic synthetic frame and exits: a headless smoke
+//! test for the renderer (CI greps the panel titles). Live campaigns get
+//! the same dashboard via `redteam profile|evaluate|attack --tui`.
+
+use profiler::Dashboard;
+
+const USAGE: &str = "warroom — profiler campaign dashboard
+
+USAGE: warroom --render-once [--no-ansi]
+
+  --render-once  print one deterministic synthetic frame and exit
+  --no-ansi      plain text, no clear-screen/cursor-home escapes
+
+Live rendering is driven by the campaign stages:
+  redteam profile --tui | redteam evaluate --tui | redteam attack --tui
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut render_once = false;
+    let mut ansi = true;
+    for arg in &args {
+        match arg.as_str() {
+            "--render-once" => render_once = true,
+            "--no-ansi" => ansi = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !render_once {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    print!("{}", Dashboard::render_once_sample(ansi));
+}

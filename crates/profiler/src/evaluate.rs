@@ -1,0 +1,336 @@
+//! The evaluate stage: re-run the heatmap's top-K cells at full fidelity
+//! and rank them into a vulnerability report.
+//!
+//! Probe windows are deliberately short — cheap, but noisy about sustained
+//! damage. The evaluate stage promotes the strongest cells to the full
+//! campaign window (the same fidelity `attacklab` campaigns use) and ranks
+//! the survivors by measured slowdown, which is the list a defender should
+//! actually worry about.
+
+use attacklab::scenario::ScenarioSpec;
+use sim::cache::{cell_key_with_attack_id, RunCache};
+use sim::experiment::TrackerSel;
+use sim::runner::parallel_map;
+use sim::{Engine, Threads};
+use sim_core::json::Json;
+
+use crate::heatmap::{Family, SensitivityHeatmap};
+use crate::profile::{probe_experiment, ProfileConfig, ProfileStats};
+use crate::CampaignEvent;
+
+/// Evaluate-stage configuration.
+#[derive(Debug, Clone)]
+pub struct EvaluateConfig {
+    /// Tracker to evaluate against (normally rebuilt from the heatmap's
+    /// `tracker_key`; pass an explicit selection to carry parameter
+    /// overrides the key alone cannot express).
+    pub tracker: TrackerSel,
+    /// Heatmap cells promoted to full fidelity.
+    pub top_k: usize,
+    /// Full-fidelity simulation window, microseconds.
+    pub window_us: f64,
+    /// Simulation engine.
+    pub engine: Engine,
+    /// Memory-phase execution lanes.
+    pub threads: Threads,
+}
+
+impl EvaluateConfig {
+    /// Defaults for a heatmap: its own tracker key, top 5 cells, the
+    /// attacklab campaign window (250 µs).
+    pub fn for_heatmap(map: &SensitivityHeatmap) -> Result<Self, String> {
+        let tracker = TrackerSel::by_key(&map.tracker_key).map_err(|e| e.to_string())?;
+        Ok(Self {
+            tracker,
+            top_k: 5,
+            window_us: 250.0,
+            engine: Engine::default(),
+            threads: Threads::Seq,
+        })
+    }
+}
+
+/// One full-fidelity row of the vulnerability report.
+#[derive(Debug, Clone)]
+pub struct VulnRow {
+    /// 1-based rank by full-fidelity slowdown.
+    pub rank: usize,
+    /// Probe family.
+    pub family: Family,
+    /// Bank-spread bucket.
+    pub bank_group: u32,
+    /// Intensity bucket.
+    pub row_group: u32,
+    /// The genome evaluated.
+    pub probe: ScenarioSpec,
+    /// The short-probe score that promoted this cell.
+    pub probe_score: f64,
+    /// Full-fidelity mean slowdown.
+    pub slowdown: f64,
+    /// Normalized performance (the paper's metric).
+    pub normalized_performance: f64,
+    /// Mitigation commands issued (VRR + RFM).
+    pub mitigations: u64,
+    /// Tracker counter reads + writes injected into DRAM.
+    pub counter_ops: u64,
+    /// Microseconds until the worst window.
+    pub time_to_max_us: Option<f64>,
+    /// Microseconds from the worst window to recovery.
+    pub recovery_us: Option<f64>,
+}
+
+/// The ranked vulnerability report the evaluate stage emits.
+#[derive(Debug, Clone)]
+pub struct VulnReport {
+    /// Tracker display label.
+    pub tracker: String,
+    /// Benign workload.
+    pub workload: String,
+    /// Full-fidelity window, microseconds.
+    pub window_us: f64,
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Seed shared with the profile stage.
+    pub seed: u64,
+    /// Rows ranked by slowdown descending.
+    pub rows: Vec<VulnRow>,
+}
+
+impl VulnReport {
+    /// Canonical JSON document.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("rank", Json::count(r.rank as u64)),
+                    ("family", Json::str(r.family.key())),
+                    ("bank_group", Json::count(r.bank_group as u64)),
+                    ("row_group", Json::count(r.row_group as u64)),
+                    ("probe", r.probe.to_json()),
+                    ("probe_score", Json::num(r.probe_score)),
+                    ("slowdown", Json::num(r.slowdown)),
+                    ("normalized_performance", Json::num(r.normalized_performance)),
+                    ("mitigations", Json::count(r.mitigations)),
+                    ("counter_ops", Json::count(r.counter_ops)),
+                    ("time_to_max_us", r.time_to_max_us.map_or(Json::Null, Json::num)),
+                    ("recovery_us", r.recovery_us.map_or(Json::Null, Json::num)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("tracker", Json::str(&self.tracker)),
+            ("workload", Json::str(&self.workload)),
+            ("window_us", Json::num(self.window_us)),
+            ("nrh", Json::count(self.nrh as u64)),
+            ("seed", Json::hex(self.seed)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
+    /// Fixed-width table for terminals.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "vulnerability report — {} / {} ({} µs, N_RH {})\n",
+            self.tracker, self.workload, self.window_us, self.nrh
+        ));
+        out.push_str(&format!(
+            "{:<4} {:<28} {:>9} {:>11} {:>9} {:>12}\n",
+            "rank", "scenario", "probe", "slowdown", "mitig.", "counter ops"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<4} {:<28} {:>8.2}x {:>10.2}x {:>9} {:>12}\n",
+                r.rank,
+                r.probe.name(),
+                r.probe_score,
+                r.slowdown,
+                r.mitigations,
+                r.counter_ops
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the evaluate stage over the heatmap's top-K cells.
+///
+/// # Panics
+///
+/// Panics if a promoted genome fails to simulate (genomes are clamped, so
+/// they always build).
+pub fn run_evaluate(
+    map: &SensitivityHeatmap,
+    cfg: &EvaluateConfig,
+    cache: Option<&RunCache>,
+) -> (VulnReport, ProfileStats) {
+    run_evaluate_observed(map, cfg, cache, &mut |_| {})
+}
+
+/// [`run_evaluate`] streaming [`CampaignEvent`]s to `observer`.
+pub fn run_evaluate_observed(
+    map: &SensitivityHeatmap,
+    cfg: &EvaluateConfig,
+    cache: Option<&RunCache>,
+    observer: &mut dyn FnMut(&CampaignEvent),
+) -> (VulnReport, ProfileStats) {
+    observer(&CampaignEvent::Stage("evaluate"));
+    // Full fidelity is just a profile configuration with a longer window:
+    // the probe builder (telemetry, engine, threads, cache keys) is shared.
+    let run_cfg = ProfileConfig {
+        tracker: cfg.tracker.clone(),
+        workload: map.workload.clone(),
+        probe_window_us: cfg.window_us,
+        nrh: map.nrh,
+        seed: map.seed,
+        bank_groups: map.bank_groups,
+        row_groups: map.row_groups,
+        families: map.families.clone(),
+        engine: cfg.engine,
+        threads: cfg.threads,
+    };
+    let promoted: Vec<_> = map.top(cfg.top_k).into_iter().cloned().collect();
+    let mut stats = ProfileStats { cells: promoted.len(), ..ProfileStats::default() };
+
+    let keyed: Vec<Option<sim::cache::CellKey>> = promoted
+        .iter()
+        .map(|cell| {
+            cache.and_then(|_| {
+                let e = probe_experiment(&run_cfg, &cell.probe);
+                cell_key_with_attack_id(&e, Some(&cell.probe.to_json().render()))
+            })
+        })
+        .collect();
+    let mut results: Vec<Option<sim::ExperimentResult>> = Vec::with_capacity(promoted.len());
+    let mut miss_idx = Vec::new();
+    for (i, key) in keyed.iter().enumerate() {
+        match (cache, key) {
+            (Some(cache), Some(key)) => match cache.lookup(key) {
+                Some(r) => {
+                    stats.hits += 1;
+                    results.push(Some(r));
+                }
+                None => {
+                    results.push(None);
+                    miss_idx.push(i);
+                }
+            },
+            _ => {
+                results.push(None);
+                miss_idx.push(i);
+            }
+        }
+    }
+    stats.misses = miss_idx.len();
+    if !miss_idx.is_empty() {
+        let reference = {
+            let mut e =
+                probe_experiment(&run_cfg, &ScenarioSpec::baseline(workloads::Attack::CacheThrash));
+            e.telemetry = sim::TelemetrySpec::default();
+            e.build_system(true).run()
+        };
+        stats.simulations += 1;
+        let specs: Vec<ScenarioSpec> =
+            miss_idx.iter().map(|&i| promoted[i].probe.clone()).collect();
+        let outcomes =
+            parallel_map(specs, |spec| probe_experiment(&run_cfg, &spec).run_against(&reference));
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            let i = miss_idx[j];
+            let result = outcome.unwrap_or_else(|e| {
+                panic!("profiler: evaluation of {} failed: {e}", promoted[i].probe.name())
+            });
+            stats.simulations += 1;
+            if let (Some(cache), Some(key)) = (cache, keyed[i].as_ref()) {
+                cache.save(key, &result);
+            }
+            results[i] = Some(result);
+        }
+    }
+
+    // Rank by full-fidelity slowdown; ties break on promotion order so the
+    // report is deterministic.
+    let mut rows: Vec<VulnRow> = promoted
+        .iter()
+        .zip(results)
+        .map(|(cell, result)| {
+            let r = result.expect("every promoted cell resolved");
+            let np = r.normalized_performance.max(1e-6);
+            VulnRow {
+                rank: 0,
+                family: cell.family,
+                bank_group: cell.bank_group,
+                row_group: cell.row_group,
+                probe: cell.probe.clone(),
+                probe_score: cell.score(),
+                slowdown: 1.0 / np,
+                normalized_performance: r.normalized_performance,
+                mitigations: r.run.mem.vrr_commands + r.run.mem.rfm_commands,
+                counter_ops: r.run.mem.counter_reads + r.run.mem.counter_writes,
+                time_to_max_us: r.telemetry.as_ref().and_then(|t| t.time_to_max_slowdown_us()),
+                recovery_us: r
+                    .telemetry
+                    .as_ref()
+                    .and_then(|t| t.recovery_us(sim::RECOVERY_THRESHOLD)),
+            }
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| rows[b].slowdown.total_cmp(&rows[a].slowdown).then(a.cmp(&b)));
+    let mut ranked = Vec::with_capacity(rows.len());
+    for (rank, i) in order.into_iter().enumerate() {
+        let mut row = rows[i].clone();
+        row.rank = rank + 1;
+        observer(&CampaignEvent::Note(format!(
+            "evaluate: #{} {} {:.2}x",
+            row.rank,
+            row.probe.name(),
+            row.slowdown
+        )));
+        ranked.push(row);
+    }
+    rows = ranked;
+    observer(&CampaignEvent::CacheStats { hits: stats.hits as u64, misses: stats.misses as u64 });
+    (
+        VulnReport {
+            tracker: map.tracker.clone(),
+            workload: map.workload.clone(),
+            window_us: cfg.window_us,
+            nrh: map.nrh,
+            seed: map.seed,
+            rows,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatmap::Family;
+    use crate::profile::{run_profile, ProfileConfig};
+
+    #[test]
+    fn evaluate_ranks_top_cells_at_full_fidelity() {
+        let mut pcfg = ProfileConfig::new("hydra", "povray_like");
+        pcfg.probe_window_us = 25.0;
+        pcfg.bank_groups = 2;
+        pcfg.row_groups = 2;
+        pcfg.families = vec![Family::Hammer];
+        let (map, _) = run_profile(&pcfg, None);
+        let mut ecfg = EvaluateConfig::for_heatmap(&map).expect("tracker key resolves");
+        ecfg.top_k = 2;
+        ecfg.window_us = 60.0;
+        let (report, stats) = run_evaluate(&map, &ecfg, None);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.simulations, 3, "2 cells + 1 reference");
+        assert_eq!(report.rows[0].rank, 1);
+        assert!(report.rows[0].slowdown >= report.rows[1].slowdown);
+        let table = report.render_table();
+        assert!(table.contains("vulnerability report"), "{table}");
+        let json = report.to_json().render();
+        assert!(json.contains("\"rows\""), "{json}");
+    }
+}

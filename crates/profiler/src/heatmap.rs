@@ -1,0 +1,507 @@
+//! Sensitivity heatmaps: where, structurally, a tracker is weak.
+//!
+//! The profile stage sweeps a deterministic grid of cheap probe scenarios —
+//! pattern family × bank-spread bucket × intensity bucket — and scores each
+//! probe by the benign slowdown it causes under the tracker being profiled.
+//! The result is a [`SensitivityHeatmap`]: a serializable, byte-stable
+//! document the evaluate stage ranks and the attack stage feeds into
+//! [`attacklab::search_seeded`] as warm-start priors.
+
+use attacklab::scenario::{ScenarioSpec, Shape};
+use sim_core::addr::Geometry;
+use sim_core::json::Json;
+
+/// The parametric probe families, one per non-baseline [`Shape`] kind.
+///
+/// The spec layer validates `[profile] families = [...]` against
+/// [`sim::spec::KNOWN_PROFILE_FAMILIES`]; a unit test pins the two lists
+/// to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Fixed aggressor sets hammered round-robin ([`Shape::Hammer`]).
+    Hammer,
+    /// Strided row sweeps ([`Shape::Sweep`]).
+    Sweep,
+    /// Distinct row ID per activation ([`Shape::Diagonal`]).
+    Diagonal,
+    /// LLC pressure without row hammering ([`Shape::Thrash`]).
+    Thrash,
+}
+
+impl Family {
+    /// Every family, in canonical (serialization) order.
+    pub const ALL: [Family; 4] = [Family::Hammer, Family::Sweep, Family::Diagonal, Family::Thrash];
+
+    /// Stable lower-case key (what specs and JSON documents spell).
+    pub fn key(self) -> &'static str {
+        match self {
+            Family::Hammer => "hammer",
+            Family::Sweep => "sweep",
+            Family::Diagonal => "diagonal",
+            Family::Thrash => "thrash",
+        }
+    }
+
+    /// Parses a [`Self::key`] spelling.
+    pub fn by_key(key: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.key() == key)
+    }
+
+    /// Canonical index into [`Self::ALL`].
+    pub fn index(self) -> usize {
+        Family::ALL.iter().position(|f| *f == self).expect("family in ALL")
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Builds the deterministic probe genome for one heatmap cell.
+///
+/// The grid axes are structural, not positional: `bank_group` buckets the
+/// *bank spread* (how many banks the probe touches, growing to the full
+/// rank), and `row_group` buckets the *intensity* — aggressor rows per
+/// bank for hammers, swept span for sweeps/diagonals, footprint for
+/// thrashing. The cell coordinates are folded into `seed_salt`, so every
+/// cell draws a distinct aggressor row set even when clamping collapses
+/// its other parameters.
+pub fn probe_spec(
+    geom: Geometry,
+    family: Family,
+    bank_group: u32,
+    bank_groups: u32,
+    row_group: u32,
+    row_groups: u32,
+) -> ScenarioSpec {
+    assert!(bank_groups >= 1 && row_groups >= 1, "grid axes must be >= 1");
+    assert!(bank_group < bank_groups && row_group < row_groups, "cell out of grid");
+    let max_banks = geom.banks_per_rank();
+    let max_span = geom.rows_per_bank - attacklab::pattern::RESERVED_TOP_ROWS;
+    let banks = (max_banks * (bank_group + 1) / bank_groups).max(1);
+    let shape = match family {
+        // 2 rows/bank at the low end up to 512 at the top: spans the RCC /
+        // RAT / group-counter pressure regimes the trackers differ on.
+        Family::Hammer => Shape::Hammer { banks, per_bank: 2u32 << (row_group * 8 / row_groups) },
+        Family::Sweep => Shape::Sweep {
+            banks,
+            stride: 64,
+            span: (max_span as u64 * (row_group as u64 + 1) / row_groups as u64).max(1) as u32,
+        },
+        Family::Diagonal => Shape::Diagonal {
+            banks,
+            span: (max_span as u64 * (row_group as u64 + 1) / row_groups as u64).max(1) as u32,
+        },
+        // The thrash family has no bank axis; bank groups vary pacing
+        // instead (bubbles), intensity varies the footprint.
+        Family::Thrash => Shape::Thrash {
+            mib: 4u32 << (row_group * 6 / row_groups),
+            bubbles: bank_group * 8 / bank_groups,
+        },
+    };
+    let mut spec = ScenarioSpec::baseline(workloads::Attack::CacheThrash);
+    spec.shape = shape;
+    spec.seed_salt = 0x9E0F_11E5
+        ^ ((family.index() as u64) << 48)
+        ^ ((bank_group as u64) << 32)
+        ^ ((row_group as u64) << 16);
+    spec
+}
+
+/// One profiled grid cell: the probe genome and its measured effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatmapCell {
+    /// Probe pattern family.
+    pub family: Family,
+    /// Bank-spread bucket (0-based).
+    pub bank_group: u32,
+    /// Intensity bucket (0-based).
+    pub row_group: u32,
+    /// The exact genome probed (rebuildable via [`ScenarioSpec::build`]).
+    pub probe: ScenarioSpec,
+    /// Mean benign slowdown vs. the insecure attack-free baseline.
+    pub slowdown: f64,
+    /// Worst single-window slowdown from the probe's
+    /// [`SlowdownTrace`](sim_core::SlowdownTrace) (0 when no trace window
+    /// completed).
+    pub peak_slowdown: f64,
+    /// Microseconds until the worst window.
+    pub time_to_max_us: Option<f64>,
+    /// Microseconds from the worst window to recovery.
+    pub recovery_us: Option<f64>,
+    /// Mitigation commands the probe provoked (VRR + RFM).
+    pub mitigations: u64,
+    /// Tracker counter reads + writes injected into DRAM.
+    pub counter_ops: u64,
+}
+
+impl HeatmapCell {
+    /// Ranking score: the worst-window slowdown when the trace caught one
+    /// (transients matter more than the mean under short probe windows),
+    /// the mean slowdown otherwise.
+    pub fn score(&self) -> f64 {
+        if self.peak_slowdown > 0.0 {
+            self.peak_slowdown
+        } else {
+            self.slowdown
+        }
+    }
+}
+
+/// A per-(tracker, workload) sensitivity heatmap: the profile stage's
+/// output, the evaluate and attack stages' input.
+///
+/// Serialization is canonical — cells in family-major, then bank-group,
+/// then row-group order — so two profiles of the same configuration render
+/// byte-identical JSON regardless of thread count or cache warmth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityHeatmap {
+    /// Tracker display label (params included), for reports.
+    pub tracker: String,
+    /// Tracker registry key, so later stages can rebuild the selection.
+    pub tracker_key: String,
+    /// Benign workload sharing the machine.
+    pub workload: String,
+    /// Probe simulation window, microseconds.
+    pub probe_window_us: f64,
+    /// RowHammer threshold probed at.
+    pub nrh: u32,
+    /// Seed the probes ran under.
+    pub seed: u64,
+    /// Bank-spread buckets.
+    pub bank_groups: u32,
+    /// Intensity buckets.
+    pub row_groups: u32,
+    /// Families profiled, in [`Family::ALL`] order.
+    pub families: Vec<Family>,
+    /// Cells in canonical order (family-major, bank group, row group).
+    pub cells: Vec<HeatmapCell>,
+}
+
+impl SensitivityHeatmap {
+    /// The cell at a grid coordinate, if that family was profiled.
+    pub fn cell(&self, family: Family, bank_group: u32, row_group: u32) -> Option<&HeatmapCell> {
+        self.cells
+            .iter()
+            .find(|c| c.family == family && c.bank_group == bank_group && c.row_group == row_group)
+    }
+
+    /// Cells ranked by [`HeatmapCell::score`] descending; ties break on
+    /// canonical cell order so the ranking is deterministic.
+    pub fn ranked(&self) -> Vec<&HeatmapCell> {
+        let mut order: Vec<usize> = (0..self.cells.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.cells[b].score().total_cmp(&self.cells[a].score()).then(a.cmp(&b))
+        });
+        order.into_iter().map(|i| &self.cells[i]).collect()
+    }
+
+    /// The `k` strongest cells.
+    pub fn top(&self, k: usize) -> Vec<&HeatmapCell> {
+        self.ranked().into_iter().take(k).collect()
+    }
+
+    /// The `n` strongest probe genomes — what the attack stage feeds into
+    /// [`attacklab::search_seeded`] as warm-start priors.
+    pub fn seed_genomes(&self, n: usize) -> Vec<ScenarioSpec> {
+        self.top(n).into_iter().map(|c| c.probe.clone()).collect()
+    }
+
+    /// Canonical JSON document (byte-stable for equal profiles).
+    pub fn to_json(&self) -> Json {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("family", Json::str(c.family.key())),
+                    ("bank_group", Json::count(c.bank_group as u64)),
+                    ("row_group", Json::count(c.row_group as u64)),
+                    ("probe", c.probe.to_json()),
+                    ("slowdown", Json::num(c.slowdown)),
+                    ("peak_slowdown", Json::num(c.peak_slowdown)),
+                    ("time_to_max_us", c.time_to_max_us.map_or(Json::Null, Json::num)),
+                    ("recovery_us", c.recovery_us.map_or(Json::Null, Json::num)),
+                    ("mitigations", Json::count(c.mitigations)),
+                    ("counter_ops", Json::count(c.counter_ops)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("tracker", Json::str(&self.tracker)),
+            ("tracker_key", Json::str(&self.tracker_key)),
+            ("workload", Json::str(&self.workload)),
+            ("probe_window_us", Json::num(self.probe_window_us)),
+            ("nrh", Json::count(self.nrh as u64)),
+            ("seed", Json::hex(self.seed)),
+            ("bank_groups", Json::count(self.bank_groups as u64)),
+            ("row_groups", Json::count(self.row_groups as u64)),
+            ("families", Json::Arr(self.families.iter().map(|f| Json::str(f.key())).collect())),
+            ("cells", Json::Arr(cells)),
+        ])
+    }
+
+    /// Parses a [`Self::to_json`] document.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        fn str_field(j: &Json, key: &str) -> Result<String, String> {
+            match j.get(key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("heatmap: `{key}` must be a string")),
+            }
+        }
+        fn num_field(j: &Json, key: &str) -> Result<f64, String> {
+            match j.get(key) {
+                Some(Json::Num(n)) => Ok(*n),
+                _ => Err(format!("heatmap: `{key}` must be a number")),
+            }
+        }
+        fn count_field(j: &Json, key: &str) -> Result<u64, String> {
+            match j.get(key) {
+                Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                _ => Err(format!("heatmap: `{key}` must be a non-negative integer")),
+            }
+        }
+        fn opt_num(j: &Json, key: &str) -> Result<Option<f64>, String> {
+            match j.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Num(n)) => Ok(Some(*n)),
+                _ => Err(format!("heatmap: `{key}` must be null or a number")),
+            }
+        }
+        let seed = match j.get("seed") {
+            Some(Json::Str(s)) => {
+                let digits = s.strip_prefix("0x").unwrap_or(s);
+                u64::from_str_radix(digits, 16)
+                    .map_err(|_| format!("heatmap: bad `seed` hex `{s}`"))?
+            }
+            _ => return Err("heatmap: `seed` must be a hex string".to_string()),
+        };
+        let families = match j.get("families") {
+            Some(Json::Arr(arr)) => {
+                arr.iter()
+                    .map(|f| match f {
+                        Json::Str(s) => Family::by_key(s)
+                            .ok_or_else(|| format!("heatmap: unknown family `{s}`")),
+                        _ => Err("heatmap: `families` entries must be strings".to_string()),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            _ => return Err("heatmap: `families` must be an array".to_string()),
+        };
+        let cells = match j.get("cells") {
+            Some(Json::Arr(arr)) => arr
+                .iter()
+                .map(|c| {
+                    let family_key = str_field(c, "family")?;
+                    let family = Family::by_key(&family_key)
+                        .ok_or_else(|| format!("heatmap: unknown family `{family_key}`"))?;
+                    let probe = c
+                        .get("probe")
+                        .ok_or_else(|| "heatmap: cell missing `probe`".to_string())
+                        .and_then(ScenarioSpec::from_json)?;
+                    Ok(HeatmapCell {
+                        family,
+                        bank_group: count_field(c, "bank_group")? as u32,
+                        row_group: count_field(c, "row_group")? as u32,
+                        probe,
+                        slowdown: num_field(c, "slowdown")?,
+                        peak_slowdown: num_field(c, "peak_slowdown")?,
+                        time_to_max_us: opt_num(c, "time_to_max_us")?,
+                        recovery_us: opt_num(c, "recovery_us")?,
+                        mitigations: count_field(c, "mitigations")?,
+                        counter_ops: count_field(c, "counter_ops")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("heatmap: `cells` must be an array".to_string()),
+        };
+        Ok(Self {
+            tracker: str_field(j, "tracker")?,
+            tracker_key: str_field(j, "tracker_key")?,
+            workload: str_field(j, "workload")?,
+            probe_window_us: num_field(j, "probe_window_us")?,
+            nrh: count_field(j, "nrh")? as u32,
+            seed,
+            bank_groups: count_field(j, "bank_groups")? as u32,
+            row_groups: count_field(j, "row_groups")? as u32,
+            families,
+            cells,
+        })
+    }
+
+    /// Renders per-family intensity grids with an ASCII ramp — rows are
+    /// bank-spread buckets, columns intensity buckets, normalized over the
+    /// whole map so families are comparable at a glance.
+    pub fn render_ascii(&self) -> String {
+        const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let lo = self.cells.iter().map(|c| c.score()).fold(f64::INFINITY, f64::min);
+        let hi = self.cells.iter().map(|c| c.score()).fold(f64::NEG_INFINITY, f64::max);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sensitivity heatmap — {} / {} (probe {} µs, N_RH {})\n",
+            self.tracker, self.workload, self.probe_window_us, self.nrh
+        ));
+        if self.cells.is_empty() {
+            out.push_str("  (no cells)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "  score range {:.2}x … {:.2}x   intensity →   ramp \"{}\"\n",
+            lo,
+            hi,
+            RAMP.iter().collect::<String>()
+        ));
+        for family in &self.families {
+            out.push_str(&format!("  {:<9}", family.key()));
+            for bg in 0..self.bank_groups {
+                if bg > 0 {
+                    out.push_str(&" ".repeat(11));
+                }
+                out.push_str(&format!("b{bg} |"));
+                for rg in 0..self.row_groups {
+                    let ch = match self.cell(*family, bg, rg) {
+                        Some(c) if hi > lo => {
+                            let t = (c.score() - lo) / (hi - lo);
+                            RAMP[((t * (RAMP.len() - 1) as f64).round() as usize)
+                                .min(RAMP.len() - 1)]
+                        }
+                        Some(_) => RAMP[RAMP.len() / 2],
+                        None => '?',
+                    };
+                    out.push(ch);
+                }
+                out.push_str("|\n");
+            }
+        }
+        let ranked = self.ranked();
+        if let Some(best) = ranked.first() {
+            out.push_str(&format!(
+                "  hottest: {} ({:.2}x peak, bank group {}, intensity {})\n",
+                best.probe.name(),
+                best.score(),
+                best.bank_group,
+                best.row_group
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_map() -> SensitivityHeatmap {
+        let geom = Geometry::paper_baseline();
+        let families = vec![Family::Hammer, Family::Sweep];
+        let mut cells = Vec::new();
+        for (fi, family) in families.iter().enumerate() {
+            for bg in 0..2 {
+                for rg in 0..2 {
+                    let probe = probe_spec(geom, *family, bg, 2, rg, 2);
+                    cells.push(HeatmapCell {
+                        family: *family,
+                        bank_group: bg,
+                        row_group: rg,
+                        probe,
+                        slowdown: 1.0 + fi as f64 + bg as f64 * 0.25 + rg as f64 * 0.5,
+                        peak_slowdown: 1.5 + fi as f64 + bg as f64 * 0.25 + rg as f64 * 0.5,
+                        time_to_max_us: Some(12.5),
+                        recovery_us: if rg == 0 { None } else { Some(30.0) },
+                        mitigations: 10 * (bg as u64 + 1),
+                        counter_ops: 100,
+                    });
+                }
+            }
+        }
+        SensitivityHeatmap {
+            tracker: "Hydra".into(),
+            tracker_key: "hydra".into(),
+            workload: "povray_like".into(),
+            probe_window_us: 60.0,
+            nrh: 500,
+            seed: 0xDA99E5,
+            bank_groups: 2,
+            row_groups: 2,
+            families,
+            cells,
+        }
+    }
+
+    #[test]
+    fn family_keys_agree_with_the_spec_layer() {
+        // Every Family key must be a known spec spelling, and every known
+        // spelling except the "all" expander must be a Family.
+        for f in Family::ALL {
+            assert!(sim::KNOWN_PROFILE_FAMILIES.contains(&f.key()), "{f}");
+            assert_eq!(Family::by_key(f.key()), Some(f));
+        }
+        for key in sim::KNOWN_PROFILE_FAMILIES {
+            if key != "all" {
+                assert!(Family::by_key(key).is_some(), "{key}");
+            }
+        }
+        assert!(Family::by_key("all").is_none(), "'all' is an expander, not a family");
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let map = tiny_map();
+        let doc = map.to_json().render();
+        let back = SensitivityHeatmap::from_json(&Json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, map);
+        assert_eq!(back.to_json().render(), doc, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_score_ordered() {
+        let map = tiny_map();
+        let ranked = map.ranked();
+        assert_eq!(ranked.len(), map.cells.len());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].score() >= pair[1].score());
+        }
+        // The synthetic scores make sweep/b1/r1 the hottest cell.
+        assert_eq!(ranked[0].family, Family::Sweep);
+        assert_eq!((ranked[0].bank_group, ranked[0].row_group), (1, 1));
+        let genomes = map.seed_genomes(3);
+        assert_eq!(genomes.len(), 3);
+        assert_eq!(genomes[0], ranked[0].probe);
+    }
+
+    #[test]
+    fn probe_grid_is_deterministic_and_distinct() {
+        let geom = Geometry::paper_baseline();
+        let mut seen = std::collections::BTreeSet::new();
+        for family in Family::ALL {
+            for bg in 0..4 {
+                for rg in 0..4 {
+                    let a = probe_spec(geom, family, bg, 4, rg, 4);
+                    let b = probe_spec(geom, family, bg, 4, rg, 4);
+                    assert_eq!(a, b, "probe generation is pure");
+                    assert!(
+                        seen.insert(a.to_json().render()),
+                        "cells must have distinct genomes: {family} b{bg} r{rg}"
+                    );
+                    // Every probe must build under the geometry it was
+                    // generated for.
+                    let _ = a.build(geom, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_render_names_the_workflow_parts() {
+        let map = tiny_map();
+        let art = map.render_ascii();
+        assert!(art.contains("sensitivity heatmap"), "{art}");
+        assert!(art.contains("hammer"), "{art}");
+        assert!(art.contains("sweep"), "{art}");
+        assert!(art.contains("hottest:"), "{art}");
+        // The hottest cell renders the densest ramp glyph.
+        assert!(art.contains('@'), "{art}");
+    }
+}

@@ -1,0 +1,92 @@
+//! # profiler — profile → evaluate → attack campaign workflow
+//!
+//! A three-stage red-team campaign against a tracker configuration,
+//! porting the shape of CodeyBoi/kyber-not-it's `profile` / `evaluate` /
+//! `attack` tooling onto the DAPPER reproduction:
+//!
+//! 1. **profile** ([`run_profile`]) — sweep cheap short-horizon probe
+//!    scenarios over the bank-spread × intensity × pattern-family grid
+//!    and score each cell by the benign slowdown it provokes, producing a
+//!    [`SensitivityHeatmap`]. Probes read through the content-addressed
+//!    run cache, so a warm profile performs **zero** simulations and
+//!    reproduces the heatmap byte-identically.
+//! 2. **evaluate** ([`run_evaluate`]) — re-run the top-K heatmap cells at
+//!    full fidelity and emit a ranked [`VulnReport`].
+//! 3. **attack** ([`run_attack`]) — feed the heatmap's hottest genomes
+//!    into [`attacklab::search_seeded`] as warm-start priors, replacing
+//!    the hill-climber's cold random restarts; the outcome records how
+//!    many fewer evaluations the warm search needed to reach the cold
+//!    baseline's worst-case slowdown.
+//!
+//! The [`warroom`] module renders campaigns live in a raw-ANSI terminal
+//! dashboard (no dependencies, offline-friendly); [`cli`] exposes the
+//! `profile` / `evaluate` / `attack` subcommands the `redteam` binary
+//! dispatches to, and [`spec`] routes `[profile]` spec sections from
+//! `spec_run`.
+
+#![forbid(unsafe_code)]
+
+pub mod attack;
+pub mod cli;
+pub mod evaluate;
+pub mod heatmap;
+pub mod profile;
+pub mod spec;
+pub mod warroom;
+
+pub use attack::{run_attack, run_attack_observed, AttackConfig, AttackOutcome};
+pub use evaluate::{run_evaluate, run_evaluate_observed, EvaluateConfig, VulnReport, VulnRow};
+pub use heatmap::{probe_spec, Family, HeatmapCell, SensitivityHeatmap};
+pub use profile::{
+    probe_experiment, run_profile, run_profile_observed, ProfileConfig, ProfileStats,
+};
+pub use warroom::Dashboard;
+
+/// One live event of a running campaign — what the stages stream and the
+/// [`warroom::Dashboard`] renders.
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// A stage began (`"profile"`, `"evaluate"`, `"attack"`).
+    Stage(&'static str),
+    /// A sweep-progress line in the campaignd wire shape (the daemon's
+    /// streaming submits produce these; local stages synthesize them).
+    Progress(campaignd::ProgressEvent),
+    /// One heatmap probe resolved.
+    ProbeDone {
+        /// Probe family.
+        family: Family,
+        /// Bank-spread bucket.
+        bank_group: u32,
+        /// Intensity bucket.
+        row_group: u32,
+        /// Mean slowdown the probe provoked.
+        slowdown: f64,
+        /// Whether the run cache answered it without simulating.
+        cached: bool,
+    },
+    /// One per-window [`SlowdownTrace`](sim_core::SlowdownTrace) sample of
+    /// the scenario currently on display.
+    TraceSample {
+        /// Window index within the run.
+        index: u32,
+        /// Slowdown in that window.
+        slowdown: f64,
+    },
+    /// The search frontier advanced: best slowdown after `evaluation`
+    /// candidate evaluations.
+    Frontier {
+        /// Candidate evaluations spent so far.
+        evaluation: u32,
+        /// Best slowdown found so far.
+        best_slowdown: f64,
+    },
+    /// Run-cache counters for the stage so far.
+    CacheStats {
+        /// Cells answered from cache.
+        hits: u64,
+        /// Cells that simulated.
+        misses: u64,
+    },
+    /// A free-form log line.
+    Note(String),
+}

@@ -1,0 +1,343 @@
+//! The profile stage: sweep cheap probe scenarios over the sensitivity
+//! grid and score each cell by the slowdown it provokes.
+//!
+//! Probes are short-horizon (tens of microseconds) experiments recording a
+//! per-window [`SlowdownTrace`](sim_core::SlowdownTrace) and a
+//! [`MitigationLog`](sim_core::MitigationLog), so a cell's score reflects
+//! the attack *transient*, not just the mean. Every probe is keyed in the
+//! PR 6 content-addressed run cache — a warm profile performs **zero**
+//! simulations and reproduces the heatmap byte-identically.
+
+use attacklab::scenario::ScenarioSpec;
+use sim::cache::{cell_key_with_attack_id, CellKey, RunCache};
+use sim::experiment::{CustomAttack, Experiment, TrackerSel};
+use sim::runner::parallel_map;
+use sim::{Engine, ExperimentResult, Threads};
+use sim_core::addr::Geometry;
+
+use crate::heatmap::{probe_spec, Family, HeatmapCell, SensitivityHeatmap};
+use crate::CampaignEvent;
+
+/// Slowdown-trace windows per probe: coarse enough to stay cheap, fine
+/// enough to catch the transient.
+const PROBE_WINDOWS: f64 = 8.0;
+
+/// Profile-stage configuration.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// Tracker under profile (registry selection, parameter overrides
+    /// included).
+    pub tracker: TrackerSel,
+    /// Benign workload sharing the machine.
+    pub workload: String,
+    /// Probe simulation window, microseconds (short: probes are cheap).
+    pub probe_window_us: f64,
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Seed for every probe simulation.
+    pub seed: u64,
+    /// Bank-spread buckets.
+    pub bank_groups: u32,
+    /// Intensity buckets.
+    pub row_groups: u32,
+    /// Families to probe (canonical order enforced at run time).
+    pub families: Vec<Family>,
+    /// Simulation engine (part of the probe cache key).
+    pub engine: Engine,
+    /// Memory-phase execution lanes (bit-identical results; **not** part
+    /// of the cache key).
+    pub threads: Threads,
+}
+
+impl ProfileConfig {
+    /// Defaults: 60 µs probes, N_RH 500, paper seed, a 4×4 grid over every
+    /// family, default engine, sequential stepping.
+    pub fn new(tracker: impl Into<TrackerSel>, workload: &str) -> Self {
+        Self {
+            tracker: tracker.into(),
+            workload: workload.to_string(),
+            probe_window_us: 60.0,
+            nrh: 500,
+            seed: 0xDA99E5,
+            bank_groups: 4,
+            row_groups: 4,
+            families: Family::ALL.to_vec(),
+            engine: Engine::default(),
+            threads: Threads::Seq,
+        }
+    }
+}
+
+/// Cache accounting for one profiler stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Grid cells processed.
+    pub cells: usize,
+    /// Cells answered from the run cache.
+    pub hits: usize,
+    /// Cells that had to simulate.
+    pub misses: usize,
+    /// Actual simulations performed (misses plus the shared reference run
+    /// when at least one miss forced it).
+    pub simulations: usize,
+}
+
+impl std::fmt::Display for ProfileStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hits, {} misses ({} simulations)", self.hits, self.misses, self.simulations)
+    }
+}
+
+/// Builds the probe experiment for one genome under a profile config.
+/// Mirrors `attacklab::search::experiment_for`, plus the mitigation log
+/// and the profile's engine/threads selection.
+pub fn probe_experiment(cfg: &ProfileConfig, spec: &ScenarioSpec) -> Experiment {
+    let spec_for_factory = spec.clone();
+    let custom = CustomAttack::new(&spec.name(), spec.bypasses_llc(), move |geom, seed| {
+        Box::new(attacklab::PatternTrace(spec_for_factory.build(geom, seed)))
+    });
+    let mut e = Experiment::new(&cfg.workload)
+        .tracker(cfg.tracker.clone())
+        .custom(custom)
+        .window_us(cfg.probe_window_us)
+        .nrh(cfg.nrh)
+        .seed(cfg.seed)
+        .engine(cfg.engine)
+        .threads(cfg.threads)
+        .record_slowdown(cfg.probe_window_us / PROBE_WINDOWS);
+    e.telemetry.mitigation_log = true;
+    e
+}
+
+/// The shared insecure attack-free reference all probes normalize against.
+/// Computed **lazily**: a fully warm profile never calls this, which is
+/// what makes warm re-profiles zero-simulation.
+fn reference_run(cfg: &ProfileConfig) -> sim::RunStats {
+    let mut e = probe_experiment(cfg, &ScenarioSpec::baseline(workloads::Attack::CacheThrash));
+    // Probes normalize against the flat end-of-run reference; recording
+    // reference telemetry would be pure waste.
+    e.telemetry = sim::TelemetrySpec::default();
+    e.build_system(true).run()
+}
+
+fn cell_from_result(
+    family: Family,
+    bank_group: u32,
+    row_group: u32,
+    probe: ScenarioSpec,
+    r: &ExperimentResult,
+) -> HeatmapCell {
+    let np = r.normalized_performance.max(1e-6);
+    let peak = r
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.slowdown.as_ref())
+        .and_then(|tr| tr.max_slowdown_point())
+        .map_or(0.0, |p| p.slowdown());
+    HeatmapCell {
+        family,
+        bank_group,
+        row_group,
+        probe,
+        slowdown: 1.0 / np,
+        peak_slowdown: peak,
+        time_to_max_us: r.telemetry.as_ref().and_then(|t| t.time_to_max_slowdown_us()),
+        recovery_us: r.telemetry.as_ref().and_then(|t| t.recovery_us(sim::RECOVERY_THRESHOLD)),
+        mitigations: r.run.mem.vrr_commands + r.run.mem.rfm_commands,
+        counter_ops: r.run.mem.counter_reads + r.run.mem.counter_writes,
+    }
+}
+
+/// Runs the profile stage, reading probes through `cache` when provided.
+///
+/// # Panics
+///
+/// Panics if the workload is unknown, the grid is degenerate, or a probe
+/// simulation fails (probe genomes are clamped, so they always build).
+pub fn run_profile(
+    cfg: &ProfileConfig,
+    cache: Option<&RunCache>,
+) -> (SensitivityHeatmap, ProfileStats) {
+    run_profile_observed(cfg, cache, &mut |_| {})
+}
+
+/// [`run_profile`] streaming [`CampaignEvent`]s (cache hits per cell,
+/// batch completions, final stats) to `observer` — what the warroom TUI
+/// renders live.
+pub fn run_profile_observed(
+    cfg: &ProfileConfig,
+    cache: Option<&RunCache>,
+    observer: &mut dyn FnMut(&CampaignEvent),
+) -> (SensitivityHeatmap, ProfileStats) {
+    assert!(cfg.bank_groups >= 1 && cfg.row_groups >= 1, "profile grid must be >= 1x1");
+    assert!(cfg.probe_window_us > 0.0, "probe window must be positive");
+    // Canonical family order regardless of how the caller listed them.
+    let mut families: Vec<Family> =
+        Family::ALL.into_iter().filter(|f| cfg.families.contains(f)).collect();
+    if families.is_empty() {
+        families = Family::ALL.to_vec();
+    }
+    observer(&CampaignEvent::Stage("profile"));
+    let geom = Geometry::paper_baseline();
+
+    // Expand the grid in canonical order and key every probe.
+    struct Slot {
+        family: Family,
+        bank_group: u32,
+        row_group: u32,
+        probe: ScenarioSpec,
+        key: Option<CellKey>,
+        result: Option<ExperimentResult>,
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    for family in &families {
+        for bg in 0..cfg.bank_groups {
+            for rg in 0..cfg.row_groups {
+                let probe = probe_spec(geom, *family, bg, cfg.bank_groups, rg, cfg.row_groups);
+                let key = cache.and_then(|_| {
+                    let e = probe_experiment(cfg, &probe);
+                    cell_key_with_attack_id(&e, Some(&probe.to_json().render()))
+                });
+                slots.push(Slot {
+                    family: *family,
+                    bank_group: bg,
+                    row_group: rg,
+                    probe,
+                    key,
+                    result: None,
+                });
+            }
+        }
+    }
+
+    let mut stats = ProfileStats { cells: slots.len(), ..ProfileStats::default() };
+    let mut miss_idx: Vec<usize> = Vec::new();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if let (Some(cache), Some(key)) = (cache, slot.key.as_ref()) {
+            if let Some(result) = cache.lookup(key) {
+                stats.hits += 1;
+                observer(&CampaignEvent::ProbeDone {
+                    family: slot.family,
+                    bank_group: slot.bank_group,
+                    row_group: slot.row_group,
+                    slowdown: 1.0 / result.normalized_performance.max(1e-6),
+                    cached: true,
+                });
+                slot.result = Some(result);
+                continue;
+            }
+        }
+        miss_idx.push(i);
+    }
+    stats.misses = miss_idx.len();
+
+    if !miss_idx.is_empty() {
+        // Only a cold (or partially cold) profile pays for the shared
+        // reference run.
+        let reference = reference_run(cfg);
+        stats.simulations += 1;
+        let miss_specs: Vec<ScenarioSpec> =
+            miss_idx.iter().map(|&i| slots[i].probe.clone()).collect();
+        let outcomes =
+            parallel_map(miss_specs, |spec| probe_experiment(cfg, &spec).run_against(&reference));
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            let i = miss_idx[j];
+            let result = outcome.unwrap_or_else(|e| {
+                panic!(
+                    "profiler: probe {} failed to simulate against {}: {e}",
+                    slots[i].probe.name(),
+                    cfg.tracker.label()
+                )
+            });
+            stats.simulations += 1;
+            if let (Some(cache), Some(key)) = (cache, slots[i].key.as_ref()) {
+                cache.save(key, &result);
+            }
+            observer(&CampaignEvent::ProbeDone {
+                family: slots[i].family,
+                bank_group: slots[i].bank_group,
+                row_group: slots[i].row_group,
+                slowdown: 1.0 / result.normalized_performance.max(1e-6),
+                cached: false,
+            });
+            slots[i].result = Some(result);
+        }
+    }
+
+    let cells: Vec<HeatmapCell> = slots
+        .into_iter()
+        .map(|slot| {
+            let result = slot.result.expect("every probe slot resolved");
+            cell_from_result(slot.family, slot.bank_group, slot.row_group, slot.probe, &result)
+        })
+        .collect();
+    observer(&CampaignEvent::CacheStats { hits: stats.hits as u64, misses: stats.misses as u64 });
+
+    let heatmap = SensitivityHeatmap {
+        tracker: cfg.tracker.label(),
+        tracker_key: cfg.tracker.key().to_string(),
+        workload: cfg.workload.clone(),
+        probe_window_us: cfg.probe_window_us,
+        nrh: cfg.nrh,
+        seed: cfg.seed,
+        bank_groups: cfg.bank_groups,
+        row_groups: cfg.row_groups,
+        families,
+        cells,
+    };
+    (heatmap, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProfileConfig {
+        let mut cfg = ProfileConfig::new("hydra", "povray_like");
+        cfg.probe_window_us = 25.0;
+        cfg.bank_groups = 2;
+        cfg.row_groups = 2;
+        cfg.families = vec![Family::Hammer, Family::Sweep];
+        cfg
+    }
+
+    #[test]
+    fn profile_is_deterministic_and_scored() {
+        let (a, sa) = run_profile(&tiny(), None);
+        let (b, sb) = run_profile(&tiny(), None);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+        assert_eq!(a.cells.len(), 8);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.cells, 8);
+        assert_eq!(sa.misses, 8, "no cache: every cell simulates");
+        assert_eq!(sa.simulations, 9, "8 probes + 1 shared reference");
+        for cell in &a.cells {
+            assert!(cell.slowdown > 0.0);
+            assert!(cell.score() > 0.0);
+        }
+    }
+
+    #[test]
+    fn warm_profile_performs_zero_simulations() {
+        let dir = std::env::temp_dir().join(format!("profiler-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::open(&dir).expect("open cache");
+        let cfg = tiny();
+        let (cold, cold_stats) = run_profile(&cfg, Some(&cache));
+        assert_eq!(cold_stats.misses, 8);
+        assert_eq!(cold_stats.simulations, 9);
+        let mut events = Vec::new();
+        let (warm, warm_stats) =
+            run_profile_observed(&cfg, Some(&cache), &mut |e| events.push(format!("{e:?}")));
+        assert_eq!(warm_stats.hits, 8);
+        assert_eq!(warm_stats.misses, 0);
+        assert_eq!(warm_stats.simulations, 0, "warm profile must not simulate");
+        assert_eq!(
+            warm.to_json().render(),
+            cold.to_json().render(),
+            "warm heatmap is byte-identical"
+        );
+        assert!(events.iter().any(|e| e.contains("cached: true")), "{events:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,179 @@
+//! `[profile]` spec routing: the declarative face of the campaign.
+//!
+//! A [`SweepSpec`] with a `[profile]` section runs
+//! the profile → evaluate → attack workflow for every tracker × workload
+//! cell instead of the plain sweep: `spec_run` dispatches here the same
+//! way `[attacker]` sections dispatch to attackpipe. Artifacts (heatmap,
+//! vulnerability report, and — when the section sets a non-zero `budget`
+//! — the warm-started attack outcome) land in the output directory under
+//! the spec's name.
+
+use sim::cache::RunCache;
+use sim::spec::{expand_workloads, SweepSpec};
+use sim_core::json::Json;
+
+use crate::attack::{run_attack, search_report_json, AttackConfig};
+use crate::evaluate::{run_evaluate, EvaluateConfig};
+use crate::heatmap::Family;
+use crate::profile::{run_profile, ProfileConfig};
+
+/// Defaults shared with the interactive CLI.
+const DEFAULT_PROBE_WINDOW_US: f64 = 60.0;
+const DEFAULT_GRID: u32 = 4;
+const DEFAULT_TOP_K: usize = 5;
+const DEFAULT_WINDOW_US: f64 = 250.0;
+const DEFAULT_NRH: u32 = 500;
+const DEFAULT_SEED: u64 = 0xDA99E5;
+
+fn families_from_spec(names: &[String]) -> Result<Vec<Family>, String> {
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        return Ok(Family::ALL.to_vec());
+    }
+    let mut families = Vec::new();
+    for name in names {
+        let family = Family::by_key(name)
+            .ok_or_else(|| format!("profile.families: unknown family '{name}'"))?;
+        if !families.contains(&family) {
+            families.push(family);
+        }
+    }
+    Ok(families)
+}
+
+/// Runs a `[profile]` spec: the full workflow per tracker × workload cell,
+/// reading probes through `cache_dir` when given (CLI flag or the spec's
+/// own `[cache]` section, resolved by the caller). Prints per-cell stats
+/// lines and returns the artifact paths written under `out_dir`.
+pub fn run_profile_spec(
+    spec: &SweepSpec,
+    cache_dir: Option<&str>,
+    out_dir: &str,
+) -> Result<Vec<String>, String> {
+    let popts = spec.profile.as_ref().ok_or("spec has no [profile] section")?;
+    let trackers = spec.resolve_trackers().map_err(|e| e.to_string())?;
+    let workload_names = expand_workloads(&spec.workloads).map_err(|e| e.to_string())?;
+    let families = families_from_spec(&popts.families)?;
+    let cache = match cache_dir {
+        None => None,
+        Some(dir) => {
+            Some(RunCache::open(dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?)
+        }
+    };
+    let full_window_us = spec.options.window_us.unwrap_or(DEFAULT_WINDOW_US);
+    let budget = popts.budget.unwrap_or(0);
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+
+    let mut artifacts = Vec::new();
+    let mut write = |stem: String, doc: Json| -> Result<(), String> {
+        let path = format!("{out_dir}/{stem}.json");
+        std::fs::write(&path, doc.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        artifacts.push(path);
+        Ok(())
+    };
+
+    for tracker in &trackers {
+        for workload in &workload_names {
+            let cfg = ProfileConfig {
+                tracker: tracker.clone(),
+                workload: workload.clone(),
+                probe_window_us: popts.probe_window_us.unwrap_or(DEFAULT_PROBE_WINDOW_US),
+                nrh: spec.options.nrh.unwrap_or(DEFAULT_NRH),
+                seed: spec.options.seed.unwrap_or(DEFAULT_SEED),
+                bank_groups: popts.bank_groups.unwrap_or(DEFAULT_GRID),
+                row_groups: popts.row_groups.unwrap_or(DEFAULT_GRID),
+                families: families.clone(),
+                engine: spec.options.engine.unwrap_or_default(),
+                threads: sim::Threads::Seq,
+            };
+            let stem = format!("{}_{}_{}", spec.name, tracker.key(), workload);
+            let (map, stats) = run_profile(&cfg, cache.as_ref());
+            println!("  profile  {:<13} {:<18} {stats}", tracker.key(), workload);
+            write(format!("{stem}_heatmap"), map.to_json())?;
+
+            // Evaluate reuses the resolved selection so `[params.*]`
+            // overrides survive (the heatmap file alone only carries the
+            // registry key).
+            let ecfg = EvaluateConfig {
+                tracker: tracker.clone(),
+                top_k: popts.top_k.unwrap_or(DEFAULT_TOP_K as u32) as usize,
+                window_us: full_window_us,
+                engine: cfg.engine,
+                threads: cfg.threads,
+            };
+            let (report, estats) = run_evaluate(&map, &ecfg, cache.as_ref());
+            println!("  evaluate {:<13} {:<18} {estats}", tracker.key(), workload);
+            write(format!("{stem}_report"), report.to_json())?;
+
+            if budget > 0 {
+                let acfg = AttackConfig {
+                    tracker: tracker.clone(),
+                    window_us: full_window_us,
+                    budget,
+                    batch: budget.min(6),
+                    seed: map.seed,
+                    priors: 4,
+                };
+                let outcome = run_attack(&map, &acfg, false);
+                println!(
+                    "  attack   {:<13} {:<18} best {:.3}x via {} ({} evaluations, {} dedup hits)",
+                    tracker.key(),
+                    workload,
+                    outcome.warm.best.slowdown,
+                    outcome.warm.best.name,
+                    outcome.warm.evaluations,
+                    outcome.warm.dedup_hits,
+                );
+                write(format!("{stem}_attack"), search_report_json(&outcome.warm))?;
+            }
+        }
+    }
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+name = "profile_spec_test"
+workloads = ["povray_like"]
+trackers = ["hydra"]
+window_us = 60
+seed = 14315493
+
+[profile]
+bank_groups = 2
+row_groups = 2
+probe_window_us = 25.0
+families = ["hammer"]
+top_k = 2
+"#;
+
+    #[test]
+    fn profile_spec_runs_the_workflow_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("profiler-spec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out_dir = dir.to_str().expect("utf-8 temp path");
+        let spec = SweepSpec::from_toml_str(SPEC).expect("spec parses");
+        let artifacts = run_profile_spec(&spec, None, out_dir).expect("spec runs");
+        assert_eq!(artifacts.len(), 2, "heatmap + report, no attack at budget 0");
+        assert!(artifacts[0].ends_with("profile_spec_test_hydra_povray_like_heatmap.json"));
+        assert!(artifacts[1].ends_with("profile_spec_test_hydra_povray_like_report.json"));
+        for path in &artifacts {
+            let text = std::fs::read_to_string(path).expect("artifact readable");
+            Json::parse(&text).expect("artifact is JSON");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn family_lists_expand_validate_and_dedupe() {
+        assert_eq!(families_from_spec(&[]).unwrap(), Family::ALL.to_vec());
+        assert_eq!(families_from_spec(&["all".into()]).unwrap(), Family::ALL.to_vec());
+        assert_eq!(
+            families_from_spec(&["sweep".into(), "sweep".into()]).unwrap(),
+            vec![Family::Sweep]
+        );
+        assert!(families_from_spec(&["warp".into()]).is_err());
+    }
+}

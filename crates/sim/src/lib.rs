@@ -64,7 +64,7 @@ pub use registry::{register_tracker, tracker_keys, with_registry};
 pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
 pub use sim_core::config::Threads;
 pub use spec::{
-    AttackerOptions, CacheOptions, ExperimentSpec, SpecError, SweepSpec, SystemOptions,
-    TelemetryOptions,
+    AttackerOptions, CacheOptions, ExperimentSpec, ProfileOptions, SpecError, SweepSpec,
+    SystemOptions, TelemetryOptions, KNOWN_PROFILE_FAMILIES,
 };
 pub use system::{Engine, EngineStats, System};

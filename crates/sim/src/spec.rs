@@ -556,6 +556,118 @@ impl CacheOptions {
     }
 }
 
+/// The probe-family names `[profile] families = [...]` accepts (`"all"`
+/// expands to every parametric family). The profiler crate's `Family`
+/// enum must agree with this list; a unit test over there pins it.
+pub const KNOWN_PROFILE_FAMILIES: [&str; 5] = ["hammer", "sweep", "diagonal", "thrash", "all"];
+
+/// The `[profile]` spec section: run the profile → evaluate → attack
+/// campaign workflow (the `profiler` crate) instead of a plain sweep.
+///
+/// ```toml
+/// [profile]
+/// bank_groups = 4        # bank-spread axis resolution (default 4)
+/// row_groups = 4         # intensity axis resolution (default 4)
+/// probe_window_us = 60.0 # short-horizon probe window (default 60)
+/// families = ["hammer", "sweep"]  # default: all families
+/// top_k = 5              # heatmap cells re-run at full fidelity
+/// budget = 48            # attack-stage search budget (0 / absent: skip)
+/// ```
+///
+/// Runners route specs carrying this section through the profiler
+/// workflow per (tracker, workload) pair; the `[cache]` section (or
+/// `--cache-dir`) makes warm profiles cost zero simulations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProfileOptions {
+    /// Bank-spread buckets on the heatmap's first axis.
+    pub bank_groups: Option<u32>,
+    /// Intensity buckets (rows / span / footprint) on the second axis.
+    pub row_groups: Option<u32>,
+    /// Probe simulation window, microseconds.
+    pub probe_window_us: Option<f64>,
+    /// Probe pattern families (subset of [`KNOWN_PROFILE_FAMILIES`];
+    /// empty means all).
+    pub families: Vec<String>,
+    /// Heatmap cells promoted to the full-fidelity evaluate stage.
+    pub top_k: Option<u32>,
+    /// Attack-stage search budget (`None` or `0`: profile + evaluate
+    /// only).
+    pub budget: Option<u32>,
+}
+
+impl ProfileOptions {
+    fn from_value(v: &TomlValue) -> Result<Self, SpecError> {
+        let TomlValue::Table(table) = v else {
+            return Err(field_err("profile", format!("expected a table, got {}", v.kind())));
+        };
+        let f = Fields { table };
+        f.reject_unknown(&[
+            "bank_groups",
+            "row_groups",
+            "probe_window_us",
+            "families",
+            "top_k",
+            "budget",
+        ])?;
+        let families = f.str_list("families")?.unwrap_or_default();
+        for fam in &families {
+            if !KNOWN_PROFILE_FAMILIES.contains(&fam.as_str()) {
+                return Err(field_err(
+                    "profile.families",
+                    format!(
+                        "unknown family '{fam}' (known: {})",
+                        KNOWN_PROFILE_FAMILIES.join(", ")
+                    ),
+                ));
+            }
+        }
+        for key in ["bank_groups", "row_groups"] {
+            if let Some(0) = f.opt_u32(key)? {
+                return Err(field_err(&format!("profile.{key}"), "must be >= 1"));
+            }
+        }
+        if let Some(w) = f.opt_f64("probe_window_us")? {
+            if w.is_nan() || w <= 0.0 {
+                return Err(field_err("profile.probe_window_us", "must be > 0"));
+            }
+        }
+        Ok(Self {
+            bank_groups: f.opt_u32("bank_groups")?,
+            row_groups: f.opt_u32("row_groups")?,
+            probe_window_us: f.opt_f64("probe_window_us")?,
+            families,
+            top_k: f.opt_u32("top_k")?,
+            budget: f.opt_u32("budget")?,
+        })
+    }
+
+    fn to_value(&self) -> TomlValue {
+        let mut t = BTreeMap::new();
+        if let Some(n) = self.bank_groups {
+            t.insert("bank_groups".into(), TomlValue::Int(n as i64));
+        }
+        if let Some(n) = self.row_groups {
+            t.insert("row_groups".into(), TomlValue::Int(n as i64));
+        }
+        if let Some(w) = self.probe_window_us {
+            t.insert("probe_window_us".into(), TomlValue::Float(w));
+        }
+        if !self.families.is_empty() {
+            t.insert(
+                "families".into(),
+                TomlValue::Arr(self.families.iter().cloned().map(TomlValue::Str).collect()),
+            );
+        }
+        if let Some(k) = self.top_k {
+            t.insert("top_k".into(), TomlValue::Int(k as i64));
+        }
+        if let Some(b) = self.budget {
+            t.insert("budget".into(), TomlValue::Int(b as i64));
+        }
+        TomlValue::Table(t)
+    }
+}
+
 /// The `[system]` spec section: machine-level knobs that are neither
 /// tracker parameters nor run options.
 ///
@@ -990,6 +1102,9 @@ pub struct SweepSpec {
     pub cache: Option<CacheOptions>,
     /// Attacker section (`[attacker]`): one cell per knowledge level.
     pub attacker: Option<AttackerOptions>,
+    /// Profile section (`[profile]`): route through the profiler's
+    /// profile → evaluate → attack workflow.
+    pub profile: Option<ProfileOptions>,
 }
 
 impl PartialEq for SweepSpec {
@@ -1003,6 +1118,7 @@ impl PartialEq for SweepSpec {
             && self.system == other.system
             && self.cache == other.cache
             && self.attacker == other.attacker
+            && self.profile == other.profile
             && self.params.len() == other.params.len()
             && self
                 .params
@@ -1026,6 +1142,7 @@ impl SweepSpec {
             system: None,
             cache: None,
             attacker: None,
+            profile: None,
         }
     }
 
@@ -1041,6 +1158,7 @@ impl SweepSpec {
             "system",
             "cache",
             "attacker",
+            "profile",
         ];
         allowed.extend(SpecOptions::KEYS);
         f.reject_unknown(&allowed)?;
@@ -1076,6 +1194,7 @@ impl SweepSpec {
             system: table.get("system").map(SystemOptions::from_value).transpose()?,
             cache: table.get("cache").map(CacheOptions::from_value).transpose()?,
             attacker: table.get("attacker").map(AttackerOptions::from_value).transpose()?,
+            profile: table.get("profile").map(ProfileOptions::from_value).transpose()?,
         })
     }
 
@@ -1106,6 +1225,9 @@ impl SweepSpec {
         }
         if let Some(attacker) = &self.attacker {
             t.insert("attacker".into(), attacker.to_value());
+        }
+        if let Some(profile) = &self.profile {
+            t.insert("profile".into(), profile.to_value());
         }
         if !self.params.is_empty() {
             let params = self
@@ -1404,6 +1526,39 @@ group_size = 256
         )
         .unwrap_err();
         assert!(err.to_string().contains("dyr"), "{err}");
+    }
+
+    #[test]
+    fn profile_section_round_trips_and_validates() {
+        let doc = "name = \"profiled\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"hydra\"]\n\
+                   [profile]\nbank_groups = 2\nrow_groups = 3\nprobe_window_us = 40.0\n\
+                   families = [\"hammer\", \"sweep\"]\ntop_k = 4\nbudget = 24\n";
+        let spec = SweepSpec::from_toml_str(doc).unwrap();
+        let profile = spec.profile.as_ref().expect("[profile] section present");
+        assert_eq!(profile.bank_groups, Some(2));
+        assert_eq!(profile.row_groups, Some(3));
+        assert_eq!(profile.probe_window_us, Some(40.0));
+        assert_eq!(profile.families, vec!["hammer", "sweep"]);
+        assert_eq!(profile.top_k, Some(4));
+        assert_eq!(profile.budget, Some(24));
+        assert_eq!(SweepSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(SweepSpec::from_json_str(&spec.to_json().render()).unwrap(), spec);
+        // An empty section is valid (all defaults) and survives round-trips.
+        let bare = SweepSpec::from_toml_str(
+            "name = \"p\"\nworkloads = [\"gcc_like\"]\ntrackers = [\"none\"]\n[profile]\n",
+        )
+        .unwrap();
+        assert_eq!(bare.profile, Some(ProfileOptions::default()));
+        assert_eq!(SweepSpec::from_toml_str(&bare.to_toml()).unwrap(), bare);
+        // Unknown families and keys are rejected by name.
+        let err = SweepSpec::from_toml_str(&doc.replace("\"sweep\"", "\"warp\"")).unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+        let err = SweepSpec::from_toml_str(&doc.replace("top_k", "topk")).unwrap_err();
+        assert!(err.to_string().contains("topk"), "{err}");
+        // Degenerate grids are rejected.
+        let err = SweepSpec::from_toml_str(&doc.replace("bank_groups = 2", "bank_groups = 0"))
+            .unwrap_err();
+        assert!(err.to_string().contains("bank_groups"), "{err}");
     }
 
     #[test]

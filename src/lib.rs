@@ -15,6 +15,9 @@
 //! * [`attackpipe`] — the end-to-end attacker pipeline (timing-side-channel
 //!   recon → hammer compilation → victim bit-flip adjudication) and the
 //!   `redteam` campaign runner,
+//! * [`profiler`] — the profile → evaluate → attack campaign workflow:
+//!   cached sensitivity heatmaps, ranked vulnerability reports,
+//!   warm-started worst-case search, and the `warroom` live dashboard,
 //! * [`dram`], [`memctrl`], [`llcache`], [`cpu`], [`llbc`], [`sim_core`] —
 //!   substrates.
 //!
@@ -45,6 +48,7 @@ pub use dram;
 pub use llbc;
 pub use llcache;
 pub use memctrl;
+pub use profiler;
 pub use sim;
 pub use sim_core;
 pub use trackers;

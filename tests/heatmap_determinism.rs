@@ -1,0 +1,55 @@
+//! Byte-identical sensitivity heatmaps across execution knobs.
+//!
+//! The profiler's warm-start and zero-simulation guarantees both rest on
+//! the heatmap being a pure function of the profile configuration: the
+//! same grid must serialize byte-identically across
+//! `Threads::{Seq, N(2), Auto}` and across both simulation engines —
+//! threads are an execution knob excluded from the probe cache key, and
+//! engines are modelled equivalently by construction. Any divergence
+//! would silently split cache entries or make a "warm" profile disagree
+//! with the cold one it claims to reproduce.
+
+use dapper_repro::profiler::{run_profile, Family, ProfileConfig};
+use dapper_repro::sim::{parallel_map, Engine, Threads};
+
+fn base_config() -> ProfileConfig {
+    let mut cfg = ProfileConfig::new("hydra", "povray_like");
+    cfg.probe_window_us = 25.0;
+    cfg.bank_groups = 2;
+    cfg.row_groups = 2;
+    cfg.families = vec![Family::Hammer, Family::Thrash];
+    cfg
+}
+
+#[test]
+fn heatmap_is_byte_identical_across_lane_counts_and_engines() {
+    let mut jobs = Vec::new();
+    for (tname, threads) in [("seq", Threads::Seq), ("n2", Threads::N(2)), ("auto", Threads::Auto)]
+    {
+        for (ename, engine) in [("dense", Engine::Dense), ("event", Engine::EventDriven)] {
+            for rep in 0..2 {
+                let mut cfg = base_config();
+                cfg.threads = threads;
+                cfg.engine = engine;
+                jobs.push((format!("{tname}/{ename}/rep{rep}"), ename, cfg));
+            }
+        }
+    }
+    let outcomes: Vec<(String, &'static str, String)> =
+        parallel_map(jobs, |(label, ename, cfg)| {
+            let (map, stats) = run_profile(&cfg, None);
+            assert_eq!(stats.cells, 8, "{label}");
+            (label, ename, map.to_json().render())
+        })
+        .into_iter()
+        .map(|o| o.expect("profile must not panic"))
+        .collect();
+
+    // Engines agree on the model (PR 2's equivalence), so every rendering
+    // in the whole matrix must match the first — threads, engine, or rep.
+    let (ref_label, _, ref_bytes) = &outcomes[0];
+    assert!(ref_bytes.contains("\"cells\""), "{ref_label}: heatmap must serialize cells");
+    for (label, _, bytes) in &outcomes[1..] {
+        assert_eq!(bytes, ref_bytes, "{label}: heatmap bytes diverged from {ref_label}");
+    }
+}

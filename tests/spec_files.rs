@@ -98,6 +98,33 @@ fn cached_spec_round_trips_its_cache_section() {
 }
 
 #[test]
+fn profile_spec_round_trips_its_profile_section() {
+    let text = std::fs::read_to_string(spec_dir().join("profile_quick.toml")).unwrap();
+    let spec = SweepSpec::from_toml_str(&text).unwrap();
+    let profile = spec.profile.as_ref().expect("[profile] section present");
+    assert_eq!(profile.bank_groups, Some(2));
+    assert_eq!(profile.row_groups, Some(2));
+    assert_eq!(profile.probe_window_us, Some(40.0));
+    assert_eq!(profile.families, vec!["hammer".to_string(), "sweep".to_string()]);
+    assert_eq!(profile.top_k, Some(3));
+    assert_eq!(profile.budget, Some(12));
+
+    // The section survives both serialized forms.
+    let toml_back = SweepSpec::from_toml_str(&spec.to_toml()).unwrap();
+    assert_eq!(toml_back.profile, spec.profile);
+    let json_back = SweepSpec::from_json_str(&spec.to_json().render()).unwrap();
+    assert_eq!(json_back.profile, spec.profile);
+
+    // The profiler's family enum accepts every family the spec names.
+    for family in &profile.families {
+        assert!(
+            dapper_repro::profiler::Family::by_key(family).is_some(),
+            "spec family '{family}' must resolve in the profiler"
+        );
+    }
+}
+
+#[test]
 fn enlarged_spec_selects_the_eight_channel_geometry() {
     let text = std::fs::read_to_string(spec_dir().join("enlarged_8ch.toml")).unwrap();
     let spec = SweepSpec::from_toml_str(&text).unwrap();

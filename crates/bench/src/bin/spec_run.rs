@@ -29,6 +29,8 @@
 //! directory.
 
 use sim::cache::RunCache;
+use sim::journal::SweepJournal;
+use sim::runner::{RetryPolicy, RunnerConfig};
 use sim::spec::{result_to_json, SweepSpec};
 
 const USAGE: &str = "spec_run — declarative experiment sweeps
@@ -40,6 +42,11 @@ USAGE: spec_run [--validate] [--out DIR] [--cache-dir DIR | --no-cache] SPEC.tom
   --cache-dir DIR  read/write the content-addressed run cache in DIR
                    (overrides any [cache] section in the specs)
   --no-cache       ignore [cache] sections; always simulate
+  --resume         journal completed cells in the cache dir and, on a
+                   re-run after an interruption, re-execute only the
+                   unfinished remainder (requires a cache dir)
+  --retries N      attempt each cell up to N times with exponential
+                   backoff before quarantining it (default 1)
 ";
 
 fn run() -> Result<i32, String> {
@@ -51,11 +58,25 @@ fn run() -> Result<i32, String> {
     let mut out_dir = "out".to_string();
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut resume = false;
+    let mut retries = 1u32;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--validate" => validate = true,
+            "--resume" => resume = true,
+            "--retries" => {
+                retries = args
+                    .get(i + 1)
+                    .ok_or("--retries requires a value")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+                if retries == 0 {
+                    return Err("--retries must be at least 1".to_string());
+                }
+                i += 1;
+            }
             "--out" => {
                 out_dir = args.get(i + 1).ok_or("--out requires a value")?.clone();
                 i += 1;
@@ -77,6 +98,9 @@ fn run() -> Result<i32, String> {
     }
     if no_cache && cache_dir.is_some() {
         return Err("--no-cache and --cache-dir are mutually exclusive".to_string());
+    }
+    if resume && no_cache {
+        return Err("--resume needs a cache dir (it journals completed cells there)".to_string());
     }
 
     let mut failed_cells = 0usize;
@@ -139,14 +163,34 @@ fn run() -> Result<i32, String> {
             println!("  results written to {out_path}");
             continue;
         }
+        let runner = RunnerConfig {
+            retry: if retries > 1 {
+                RetryPolicy::standard().attempts(retries)
+            } else {
+                RetryPolicy::none()
+            },
+            ..RunnerConfig::default()
+        };
         let report = match &effective_cache_dir {
             Some(dir) => {
                 let cache =
                     RunCache::open(dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?;
-                let (report, summary) =
-                    spec.run_cached(&cache).map_err(|e| format!("{file}: {e}"))?;
+                let journal = if resume {
+                    Some(
+                        SweepJournal::in_cache_dir(dir)
+                            .map_err(|e| format!("cannot open journal in {dir}: {e}"))?,
+                    )
+                } else {
+                    None
+                };
+                let (report, summary) = spec
+                    .run_cached_with(&cache, journal.as_ref(), &runner)
+                    .map_err(|e| format!("{file}: {e}"))?;
                 println!("  cache: {summary} in {dir}");
                 report
+            }
+            None if resume => {
+                return Err(format!("{file}: --resume needs --cache-dir or a [cache] section"));
             }
             None => spec.run().map_err(|e| format!("{file}: {e}"))?,
         };
@@ -157,7 +201,10 @@ fn run() -> Result<i32, String> {
             );
         }
         for f in &report.failures {
-            eprintln!("  cell {} FAILED: {}", f.index, f.message);
+            eprintln!(
+                "  cell {} ({}) FAILED after {} attempt(s): {}",
+                f.index, f.cell, f.attempts, f.message
+            );
         }
         failed_cells += report.failures.len();
         std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;

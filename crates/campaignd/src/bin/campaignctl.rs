@@ -39,13 +39,17 @@ fn field_u64(j: &Json, key: &str) -> u64 {
 }
 
 /// Prints a completion object's summary and optionally writes its report.
+/// Quarantined cells are rendered as a failure table and turn the exit
+/// status non-zero — a red sweep must not look green in a shell script.
 fn finish(response: &Json, out: Option<&str>) -> Result<(), String> {
     let report = response.get("report").ok_or("response carried no report")?;
+    let resumed = field_u64(response, "resumed");
     println!(
-        "job {}: {} cells, {} hits, {} executed, {} shared",
+        "job {}: {} cells, {} hits{}, {} executed, {} shared",
         field_u64(response, "job"),
         field_u64(response, "cells"),
         field_u64(response, "hits"),
+        if resumed > 0 { format!(" ({resumed} resumed)") } else { String::new() },
         field_u64(response, "executed"),
         field_u64(response, "shared"),
     );
@@ -53,7 +57,26 @@ fn finish(response: &Json, out: Option<&str>) -> Result<(), String> {
         std::fs::write(path, report.render()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("report written to {path}");
     }
-    Ok(())
+    let failures = match report.get("failures") {
+        Some(Json::Arr(items)) if !items.is_empty() => items,
+        _ => return Ok(()),
+    };
+    eprintln!("quarantined cells:");
+    eprintln!("  {:>5}  {:>8}  {:<48}  message", "index", "attempts", "cell");
+    for f in failures {
+        let text = |key: &str| match f.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        eprintln!(
+            "  {:>5}  {:>8}  {:<48}  {}",
+            field_u64(f, "index"),
+            field_u64(f, "attempts"),
+            text("cell"),
+            text("message"),
+        );
+    }
+    Err(format!("{} cell(s) quarantined", failures.len()))
 }
 
 fn expect_ok(response: Json) -> Result<Json, String> {

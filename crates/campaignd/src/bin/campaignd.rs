@@ -5,18 +5,30 @@
 //! ```
 //!
 //! Serves sweep submissions over the unix socket until a client sends
-//! `shutdown` (`campaignctl shutdown`). See the crate docs for the
-//! protocol and single-flight semantics.
+//! `shutdown` (`campaignctl shutdown`), then drains in-flight jobs
+//! before exiting. See the crate docs for the protocol and single-flight
+//! semantics.
 
 use campaignd::{Server, ServerConfig};
+use sim::runner::RetryPolicy;
 use std::path::PathBuf;
+use std::time::Duration;
 
 const USAGE: &str = "campaignd — campaign-as-a-service sweep server
 
-USAGE: campaignd [--socket PATH] [--cache-dir DIR]
+USAGE: campaignd [--socket PATH] [--cache-dir DIR] [--resume]
+                 [--drain-timeout SECS] [--retries N]
 
-  --socket PATH    unix socket to listen on (default /tmp/campaignd.sock)
-  --cache-dir DIR  persist results in a content-addressed run cache
+  --socket PATH         unix socket to listen on (default /tmp/campaignd.sock)
+  --cache-dir DIR       persist results in a content-addressed run cache
+                        (also enables the checkpoint journal)
+  --resume              replay the journal on startup and re-run every
+                        unfinished sweep (only its unfinished cells
+                        re-execute; requires --cache-dir)
+  --drain-timeout SECS  cap how long shutdown waits for in-flight jobs
+                        (default: wait until they finish)
+  --retries N           attempt each cell up to N times with exponential
+                        backoff before quarantining it (default 1)
 ";
 
 fn run() -> Result<(), String> {
@@ -24,7 +36,7 @@ fn run() -> Result<(), String> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         return Err(USAGE.to_string());
     }
-    let mut cfg = ServerConfig { socket: PathBuf::from("/tmp/campaignd.sock"), cache_dir: None };
+    let mut cfg = ServerConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,11 +49,42 @@ fn run() -> Result<(), String> {
                     Some(PathBuf::from(args.get(i + 1).ok_or("--cache-dir requires a value")?));
                 i += 1;
             }
+            "--resume" => cfg.resume = true,
+            "--drain-timeout" => {
+                let secs: u64 = args
+                    .get(i + 1)
+                    .ok_or("--drain-timeout requires a value")?
+                    .parse()
+                    .map_err(|e| format!("--drain-timeout: {e}"))?;
+                cfg.drain_timeout = Some(Duration::from_secs(secs));
+                i += 1;
+            }
+            "--retries" => {
+                let n: u32 = args
+                    .get(i + 1)
+                    .ok_or("--retries requires a value")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+                if n == 0 {
+                    return Err("--retries must be at least 1".to_string());
+                }
+                cfg.retry = RetryPolicy::standard().attempts(n);
+                i += 1;
+            }
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
         i += 1;
     }
+    if cfg.resume && cfg.cache_dir.is_none() {
+        return Err("--resume needs --cache-dir (the journal lives there)".to_string());
+    }
     let server = Server::bind(cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    if server.resumed_sweeps() > 0 {
+        println!(
+            "campaignd resumed {} unfinished sweep(s) from the journal",
+            server.resumed_sweeps()
+        );
+    }
     println!("campaignd listening on {}", server.socket().display());
     server.serve().map_err(|e| format!("serve failed: {e}"))
 }

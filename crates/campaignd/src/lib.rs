@@ -46,24 +46,36 @@
 
 use sim::cache::{cell_key, CellKey, RunCache};
 use sim::experiment::ExperimentResult;
-use sim::runner::{parallel_map, SweepError};
+use sim::journal::SweepJournal;
+use sim::runner::{try_run_parallel_observed, RetryPolicy, RunnerConfig, SweepError};
 use sim::spec::{result_to_json, ExperimentSpec, SweepReport, SweepSpec};
 use sim::Experiment;
+use sim_core::fault::{FaultAction, FaultSite, Injector};
 use sim_core::json::Json;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 fn relock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// A quarantined cell, shared between submissions: the attribution the
+/// runner produced, minus the per-submission slot index.
+#[derive(Debug, Clone)]
+struct CellFailure {
+    cell: String,
+    message: String,
+    attempts: u32,
+}
+
 /// One simulated (or failed) cell, shared between every submission that
 /// canonicalizes to the same key.
-type CellOutcome = Result<ExperimentResult, String>;
+type CellOutcome = Result<ExperimentResult, CellFailure>;
 
 enum CellState {
     /// Claimed by a submission that is simulating it right now.
@@ -110,12 +122,29 @@ impl Job {
 struct Inner {
     socket: PathBuf,
     cache: Option<RunCache>,
+    /// Checkpoint journal, opened alongside the cache dir: completed cell
+    /// keys are logged so a restarted server re-executes only the
+    /// unfinished remainder of an interrupted sweep.
+    journal: Option<SweepJournal>,
+    /// Sweep hashes whose `start` record this process already wrote.
+    journaled: Mutex<HashSet<String>>,
+    /// Retry/backoff policy applied to every simulated cell.
+    retry: RetryPolicy,
+    /// Armed fault plan (chaos tests only).
+    faults: Option<Arc<Injector>>,
     cells: Mutex<HashMap<String, CellState>>,
     cells_cv: Condvar,
     executed: AtomicU64,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     next_job: AtomicU64,
+    /// Jobs created but not yet finished — what a graceful drain waits on.
+    active_jobs: AtomicUsize,
+    /// Sweeps resurrected from the journal at startup.
+    resumed_sweeps: AtomicU64,
     shutdown: AtomicBool,
+    /// Set with `shutdown`: new submissions are rejected while in-flight
+    /// jobs drain.
+    draining: AtomicBool,
 }
 
 impl Inner {
@@ -153,6 +182,23 @@ enum Slot {
 /// unique cell key is simulated by exactly one submission.
 fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experiment>) -> Json {
     let keys: Vec<Option<CellKey>> = experiments.iter().map(cell_key).collect();
+    // Checkpoint bookkeeping: pin the sweep's identity in the journal
+    // (once per process) and learn which cells a previous incarnation
+    // already committed, so the completion object can report them as
+    // `resumed`.
+    let sweep_hash = inner.journal.as_ref().map(|_| SweepJournal::sweep_hash(spec));
+    let journaled: HashSet<String> = match (&inner.journal, &sweep_hash) {
+        (Some(journal), Some(hash)) => {
+            if relock(&inner.journaled).insert(hash.clone()) {
+                let _ = journal.record_start(hash, spec, experiments.len() as u64);
+            }
+            journal
+                .load()
+                .map(|state| state.completed(hash).into_iter().collect())
+                .unwrap_or_default()
+        }
+        _ => HashSet::new(),
+    };
     let mut shared = 0usize;
     let mut slots: Vec<Slot> = Vec::with_capacity(experiments.len());
     {
@@ -182,8 +228,10 @@ fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experime
         }
     }
     // Owned cells try the disk cache first — a warm server answers them
-    // with zero simulation.
+    // with zero simulation. Hits whose keys the journal marked completed
+    // are the resumed remainder of an interrupted sweep.
     let mut hits = 0usize;
+    let mut resumed = 0usize;
     if let Some(cache) = &inner.cache {
         for (i, slot) in slots.iter_mut().enumerate() {
             if !matches!(slot, Slot::Owned) {
@@ -195,6 +243,9 @@ fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experime
                     inner.complete_cell(&key.key, outcome.clone());
                     *slot = Slot::Ready(outcome);
                     hits += 1;
+                    if journaled.contains(&key.key) {
+                        resumed += 1;
+                    }
                     job.done.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -211,22 +262,44 @@ fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experime
     }
     let executed = run_jobs.len();
     inner.executed.fetch_add(executed as u64, Ordering::Relaxed);
-    for (j, outcome) in parallel_map(run_jobs, Experiment::run).into_iter().enumerate() {
+    let runner = RunnerConfig { retry: inner.retry.clone(), faults: inner.faults.clone() };
+    // Each cell is checkpointed from the worker thread the moment it
+    // settles — cache save, then journal (strictly after the cache
+    // commit, so the journal never claims a result the cache lacks),
+    // then the single-flight table so waiters and progress probes see it
+    // immediately. A `kill -9` mid-sweep therefore loses at most the
+    // cells still in flight, not the whole batch.
+    let on_done = |j: usize, outcome: &Result<ExperimentResult, SweepError>| {
         let i = run_cells[j];
         let outcome = Arc::new(match outcome {
             Ok(result) => {
                 if let (Some(cache), Some(key)) = (&inner.cache, &keys[i]) {
-                    cache.save(key, &result);
+                    cache.save(key, result);
+                    if let (Some(journal), Some(hash)) = (&inner.journal, &sweep_hash) {
+                        let _ = journal.record_cell(hash, &key.key);
+                    }
                 }
-                Ok(result)
+                Ok(result.clone())
             }
-            Err(e) => Err(e.message),
+            Err(e) => Err(CellFailure {
+                cell: e.cell.clone(),
+                message: e.message.clone(),
+                attempts: e.attempts,
+            }),
         });
         if let Some(key) = &keys[i] {
-            inner.complete_cell(&key.key, outcome.clone());
+            inner.complete_cell(&key.key, outcome);
         }
-        slots[i] = Slot::Ready(outcome);
         job.done.fetch_add(1, Ordering::Relaxed);
+    };
+    for (j, outcome) in
+        try_run_parallel_observed(run_jobs, &runner, on_done).into_iter().enumerate()
+    {
+        let i = run_cells[j];
+        slots[i] = Slot::Ready(Arc::new(match outcome {
+            Ok(result) => Ok(result),
+            Err(e) => Err(CellFailure { cell: e.cell, message: e.message, attempts: e.attempts }),
+        }));
     }
     // Collect the cells other submissions are simulating.
     for (i, slot) in slots.iter_mut().enumerate() {
@@ -244,7 +317,20 @@ fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experime
         let Slot::Ready(outcome) = slot else { unreachable!("every slot resolves") };
         match outcome.as_ref() {
             Ok(result) => results.push(result.clone()),
-            Err(message) => failures.push(SweepError { index: i, message: message.clone() }),
+            Err(f) => failures.push(SweepError {
+                index: i,
+                cell: f.cell.clone(),
+                message: f.message.clone(),
+                attempts: f.attempts,
+            }),
+        }
+    }
+    // A clean pass closes the sweep's journal entry; a pass with
+    // quarantined cells leaves it open so a resubmit (or a restart with
+    // --resume) retries only the failures.
+    if failures.is_empty() {
+        if let (Some(journal), Some(hash)) = (&inner.journal, &sweep_hash) {
+            let _ = journal.record_end(hash);
         }
     }
     let cells = slots.len();
@@ -253,6 +339,7 @@ fn run_job(inner: &Inner, job: &Job, spec: &SweepSpec, experiments: Vec<Experime
         ("job", Json::count(job.id)),
         ("cells", Json::count(cells as u64)),
         ("hits", Json::count(hits as u64)),
+        ("resumed", Json::count(resumed as u64)),
         ("executed", Json::count(executed as u64)),
         ("shared", Json::count(shared as u64)),
         ("report", report.to_json()),
@@ -289,6 +376,7 @@ fn cache_stats_json(cache: &RunCache) -> Json {
         ("misses", Json::count(s.misses)),
         ("evictions", Json::count(s.evictions)),
         ("corrupt", Json::count(s.corrupt)),
+        ("io_errors", Json::count(s.io_errors)),
     ])
 }
 
@@ -305,8 +393,34 @@ pub struct ServerConfig {
     /// file from a previous run is replaced on bind.
     pub socket: PathBuf,
     /// Run-cache directory; `None` serves purely from the in-memory
-    /// cell table (single-flight still applies, nothing persists).
+    /// cell table (single-flight still applies, nothing persists). A
+    /// cache dir also carries the checkpoint journal
+    /// ([`sim::journal::SweepJournal::FILE_NAME`]).
     pub cache_dir: Option<PathBuf>,
+    /// Replay the journal on startup and re-run every unfinished sweep
+    /// as a background job — completed cells answer from the cache, only
+    /// the interrupted remainder re-executes.
+    pub resume: bool,
+    /// How long `shutdown` waits for in-flight jobs before exiting
+    /// anyway (`None` = wait until they all finish).
+    pub drain_timeout: Option<Duration>,
+    /// Retry/backoff/timeout policy for every simulated cell.
+    pub retry: RetryPolicy,
+    /// Armed fault plan (chaos tests only; `None` costs one branch).
+    pub faults: Option<Arc<Injector>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            socket: PathBuf::from("/tmp/campaignd.sock"),
+            cache_dir: None,
+            resume: false,
+            drain_timeout: None,
+            retry: RetryPolicy::none(),
+            faults: None,
+        }
+    }
 }
 
 /// The campaign server: bind once, then [`Server::serve`] until a
@@ -314,29 +428,41 @@ pub struct ServerConfig {
 pub struct Server {
     inner: Arc<Inner>,
     listener: UnixListener,
+    drain_timeout: Option<Duration>,
 }
 
 impl Server {
-    /// Binds the socket and opens the cache.
+    /// Binds the socket, opens the cache and journal, and (with
+    /// `cfg.resume`) resurrects every unfinished journaled sweep as a
+    /// background job.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         if cfg.socket.exists() {
             std::fs::remove_file(&cfg.socket)?;
         }
         let listener = UnixListener::bind(&cfg.socket)?;
-        let cache = cfg.cache_dir.map(RunCache::open).transpose()?;
-        Ok(Server {
-            inner: Arc::new(Inner {
-                socket: cfg.socket,
-                cache,
-                cells: Mutex::new(HashMap::new()),
-                cells_cv: Condvar::new(),
-                executed: AtomicU64::new(0),
-                jobs: Mutex::new(HashMap::new()),
-                next_job: AtomicU64::new(1),
-                shutdown: AtomicBool::new(false),
-            }),
-            listener,
-        })
+        let cache = cfg.cache_dir.as_ref().map(RunCache::open).transpose()?;
+        let journal = cfg.cache_dir.as_ref().map(SweepJournal::in_cache_dir).transpose()?;
+        let inner = Arc::new(Inner {
+            socket: cfg.socket,
+            cache,
+            journal,
+            journaled: Mutex::new(HashSet::new()),
+            retry: cfg.retry,
+            faults: cfg.faults,
+            cells: Mutex::new(HashMap::new()),
+            cells_cv: Condvar::new(),
+            executed: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            active_jobs: AtomicUsize::new(0),
+            resumed_sweeps: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+        });
+        if cfg.resume {
+            resume_unfinished(&inner);
+        }
+        Ok(Server { inner, listener, drain_timeout: cfg.drain_timeout })
     }
 
     /// The socket path being served.
@@ -351,8 +477,14 @@ impl Server {
         self.inner.executed.load(Ordering::Relaxed)
     }
 
-    /// Accepts connections (one thread each) until a `shutdown` request.
-    /// Removes the socket file on the way out.
+    /// Sweeps resurrected from the journal at startup.
+    pub fn resumed_sweeps(&self) -> u64 {
+        self.inner.resumed_sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Accepts connections (one thread each) until a `shutdown` request,
+    /// then drains: in-flight jobs run to completion (bounded by the
+    /// configured drain timeout) before the socket file is removed.
     pub fn serve(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             if self.inner.shutdown.load(Ordering::Relaxed) {
@@ -362,9 +494,63 @@ impl Server {
             let inner = self.inner.clone();
             std::thread::spawn(move || handle_connection(&inner, stream));
         }
+        // Graceful drain: every accepted job still finishes (and lands in
+        // the cache + journal) unless the timeout expires first — a
+        // drained shutdown loses nothing, a timed-out one loses only
+        // what the journal lets the next incarnation resume.
+        let deadline = self.drain_timeout.map(|t| Instant::now() + t);
+        while self.inner.active_jobs.load(Ordering::Relaxed) > 0 {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
         let _ = std::fs::remove_file(&self.inner.socket);
         Ok(())
     }
+}
+
+/// Replays the journal and re-submits every unfinished sweep as a
+/// background job. Completed cells answer from the cache; only the
+/// interrupted remainder re-executes (the chaos suite asserts the resumed
+/// report is byte-identical to an uninterrupted run).
+fn resume_unfinished(inner: &Arc<Inner>) {
+    let Some(journal) = &inner.journal else { return };
+    let Ok(state) = journal.load() else { return };
+    for (hash, progress) in state.unfinished() {
+        let Some(spec_json) = &progress.spec_json else { continue };
+        let Ok(spec) = SweepSpec::from_json_str(spec_json) else { continue };
+        let Ok(experiments) = spec.expand() else { continue };
+        // The start record is already on disk; don't write a second one.
+        relock(&inner.journaled).insert(hash.clone());
+        inner.resumed_sweeps.fetch_add(1, Ordering::Relaxed);
+        spawn_background_job(inner, spec, experiments);
+    }
+}
+
+/// Creates a job and drives it on a detached thread; returns `(id, cells)`.
+fn spawn_background_job(
+    inner: &Arc<Inner>,
+    spec: SweepSpec,
+    experiments: Vec<Experiment>,
+) -> (u64, usize) {
+    let job = Arc::new(Job {
+        id: inner.next_job.fetch_add(1, Ordering::Relaxed),
+        cells: experiments.len(),
+        done: AtomicUsize::new(0),
+        finished: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    relock(&inner.jobs).insert(job.id, job.clone());
+    inner.active_jobs.fetch_add(1, Ordering::Relaxed);
+    let (job_id, cells) = (job.id, experiments.len());
+    let inner = inner.clone();
+    std::thread::spawn(move || {
+        let completion = run_job(&inner, &job, &spec, experiments);
+        job.finish(Ok(completion));
+        inner.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    });
+    (job_id, cells)
 }
 
 fn handle_connection(inner: &Arc<Inner>, mut stream: UnixStream) {
@@ -425,9 +611,15 @@ fn dispatch(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Opti
         "stats" => Some(ok_json([
             ("executed", Json::count(inner.executed.load(Ordering::Relaxed))),
             ("jobs", Json::count(relock(&inner.jobs).len() as u64)),
+            ("active", Json::count(inner.active_jobs.load(Ordering::Relaxed) as u64)),
+            ("resumed_sweeps", Json::count(inner.resumed_sweeps.load(Ordering::Relaxed))),
+            ("draining", Json::Bool(inner.draining.load(Ordering::Relaxed))),
             ("cache", inner.cache.as_ref().map_or(Json::Null, cache_stats_json)),
         ])),
         "shutdown" => {
+            // Draining first: submissions racing the shutdown are
+            // rejected instead of silently competing with the drain.
+            inner.draining.store(true, Ordering::Relaxed);
             inner.shutdown.store(true, Ordering::Relaxed);
             Some(ok_json([("stopping", Json::Bool(true))]))
         }
@@ -519,6 +711,9 @@ impl ProgressEvent {
 }
 
 fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option<Json> {
+    if inner.draining.load(Ordering::Relaxed) {
+        return Some(err_json("server is draining (shutdown in progress)"));
+    }
     let Some(spec_json) = request.get("spec") else {
         return Some(err_json("missing 'spec'"));
     };
@@ -532,6 +727,11 @@ fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option
         Ok(experiments) => experiments,
         Err(e) => return Some(err_json(e)),
     };
+    let wait = matches!(request.get("wait"), Some(Json::Bool(true)));
+    if !wait {
+        let (job_id, cells) = spawn_background_job(inner, spec, experiments);
+        return Some(ok_json([("job", Json::count(job_id)), ("cells", Json::count(cells as u64))]));
+    }
     let job = Arc::new(Job {
         id: inner.next_job.fetch_add(1, Ordering::Relaxed),
         cells: experiments.len(),
@@ -540,16 +740,7 @@ fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option
         cv: Condvar::new(),
     });
     relock(&inner.jobs).insert(job.id, job.clone());
-    let wait = matches!(request.get("wait"), Some(Json::Bool(true)));
-    if !wait {
-        let (job_id, cells) = (job.id, experiments.len());
-        let (inner, job) = (inner.clone(), job.clone());
-        std::thread::spawn(move || {
-            let completion = run_job(&inner, &job, &spec, experiments);
-            job.finish(Ok(completion));
-        });
-        return Some(ok_json([("job", Json::count(job_id)), ("cells", Json::count(cells as u64))]));
-    }
+    inner.active_jobs.fetch_add(1, Ordering::Relaxed);
     // Waiting submit: drive the job on a scoped worker while this thread
     // streams progress events.
     std::thread::scope(|scope| {
@@ -558,9 +749,18 @@ fn submit(inner: &Arc<Inner>, request: &Json, stream: &mut UnixStream) -> Option
         scope.spawn(move || {
             let completion = run_job(inner, &worker_job, worker_spec, experiments);
             worker_job.finish(Ok(completion));
+            inner.active_jobs.fetch_sub(1, Ordering::Relaxed);
         });
         let mut last = usize::MAX;
         loop {
+            // Chaos hook: sever the client mid-stream. The job keeps
+            // running — the cell table, cache and journal all still
+            // win — and a reconnecting client shares its results.
+            if inner.faults.as_ref().and_then(|f| f.check(FaultSite::ClientStream))
+                == Some(FaultAction::Disconnect)
+            {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
             let finished = relock(&job.finished).is_some();
             let done = job.done.load(Ordering::Relaxed);
             if done != last && !finished {

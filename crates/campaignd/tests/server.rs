@@ -25,10 +25,14 @@ fn tiny_spec() -> SweepSpec {
 }
 
 fn start(dir: &std::path::Path, tag: &str) -> PathBuf {
+    start_with(dir, tag, ServerConfig::default())
+}
+
+fn start_with(dir: &std::path::Path, tag: &str, mut cfg: ServerConfig) -> PathBuf {
     let socket = dir.join(format!("{tag}.sock"));
-    let server =
-        Server::bind(ServerConfig { socket: socket.clone(), cache_dir: Some(dir.join("cache")) })
-            .expect("bind");
+    cfg.socket = socket.clone();
+    cfg.cache_dir = Some(dir.join("cache"));
+    let server = Server::bind(cfg).expect("bind");
     std::thread::spawn(move || server.serve().expect("serve"));
     socket
 }
@@ -164,6 +168,150 @@ fn async_submit_status_wait_lifecycle() {
 
     shutdown(&socket);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_before_exit() {
+    let dir = scratch("drain");
+    let socket = start_with(
+        &dir,
+        "a",
+        ServerConfig {
+            drain_timeout: Some(std::time::Duration::from_secs(60)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(&socket).expect("connect");
+    let queued = client.request(&submit_request(&tiny_spec(), false)).expect("submit");
+    assert_ok(&queued);
+    // Shutdown lands while the background job is (most likely) still
+    // simulating; the drain must let it finish and commit to the cache.
+    shutdown(&socket);
+    for _ in 0..2000 {
+        if !socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(!socket.exists(), "the server exits after draining");
+    // A fresh server over the same cache dir proves nothing was lost:
+    // the drained job's two cells answer from disk, zero simulations.
+    let socket2 = start(&dir, "b");
+    let mut client = Client::connect(&socket2).expect("connect");
+    let warm = client.request_streaming(&submit_request(&tiny_spec(), true), |_| {}).expect("warm");
+    assert_ok(&warm);
+    assert_eq!(field_u64(&warm, "executed"), 0);
+    assert_eq!(field_u64(&warm, "hits"), 2);
+    shutdown(&socket2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disconnected_client_does_not_wedge_the_job() {
+    use sim_core::fault::FaultPlan;
+    let dir = scratch("disconnect");
+    let socket = start_with(
+        &dir,
+        "a",
+        ServerConfig {
+            faults: Some(FaultPlan::new(17).disconnect_client_nth(1).arm()),
+            ..ServerConfig::default()
+        },
+    );
+    // The armed server severs this client at its first progress event;
+    // the submit surfaces as an io error, never a completion.
+    let mut client = Client::connect(&socket).expect("connect");
+    let severed = client.request_streaming(&submit_request(&tiny_spec(), true), |_| {});
+    assert!(severed.is_err(), "the injected disconnect must surface to the client");
+    // The job keeps running server-side. A reconnecting client waits on
+    // it (the severed submit was job 1) and gets the full report.
+    let mut client = Client::connect(&socket).expect("reconnect");
+    let done = loop {
+        let r = client
+            .request(&Json::obj([("cmd", Json::str("wait")), ("job", Json::count(1))]))
+            .expect("wait");
+        if matches!(r.get("ok"), Some(Json::Bool(true))) {
+            break r;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    assert_eq!(field_u64(&done, "cells"), 2);
+    let report = done.get("report").expect("report").render();
+    // And a clean resubmit shares those exact results byte-for-byte.
+    let warm = client.request_streaming(&submit_request(&tiny_spec(), true), |_| {}).expect("warm");
+    assert_ok(&warm);
+    assert_eq!(field_u64(&warm, "executed"), 0);
+    assert_eq!(warm.get("report").expect("report").render(), report);
+    shutdown(&socket);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restarted_server_resumes_only_the_unfinished_remainder() {
+    use sim_core::fault::FaultPlan;
+    // Baseline: an uninterrupted run in its own cache dir.
+    let clean_dir = scratch("resume-clean");
+    let clean_socket = start(&clean_dir, "c");
+    let mut client = Client::connect(&clean_socket).expect("connect");
+    let clean =
+        client.request_streaming(&submit_request(&tiny_spec(), true), |_| {}).expect("clean");
+    assert_ok(&clean);
+    let clean_report = clean.get("report").expect("report").render();
+    shutdown(&clean_socket);
+
+    // Interrupted run: cell index 1 panics on every attempt, so the sweep
+    // ends with one journaled cell and no `end` record — the same durable
+    // state a kill -9 after cell 0 would leave.
+    let dir = scratch("resume");
+    let socket = start_with(
+        &dir,
+        "a",
+        ServerConfig {
+            faults: Some(FaultPlan::new(23).halt_jobs_from(1).arm()),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(&socket).expect("connect");
+    let hurt = client.request_streaming(&submit_request(&tiny_spec(), true), |_| {}).expect("hurt");
+    assert_ok(&hurt);
+    assert_eq!(field_u64(&hurt, "executed"), 2, "both cells were attempted");
+    let report = hurt.get("report").expect("report");
+    let failures = match report.get("failures") {
+        Some(Json::Arr(items)) => items.clone(),
+        other => panic!("expected a failures array, got {other:?}"),
+    };
+    assert_eq!(failures.len(), 1, "exactly the faulted cell is quarantined");
+    assert!(
+        matches!(failures[0].get("cell"), Some(Json::Str(s)) if s.contains("mcf_like")),
+        "quarantine carries the cell descriptor: {}",
+        failures[0].render()
+    );
+    shutdown(&socket);
+    for _ in 0..2000 {
+        if !socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Restart (fault-free) with resume: the journaled sweep comes back as
+    // job 1, re-executes only the unfinished cell, and the final report
+    // is byte-identical to the uninterrupted baseline.
+    let socket2 = start_with(&dir, "b", ServerConfig { resume: true, ..ServerConfig::default() });
+    let mut client = Client::connect(&socket2).expect("connect");
+    let resumed = client
+        .request(&Json::obj([("cmd", Json::str("wait")), ("job", Json::count(1))]))
+        .expect("wait resumed");
+    assert_ok(&resumed);
+    assert_eq!(field_u64(&resumed, "executed"), 1, "only the unfinished cell re-executes");
+    assert_eq!(field_u64(&resumed, "hits"), 1);
+    assert_eq!(field_u64(&resumed, "resumed"), 1);
+    assert_eq!(resumed.get("report").expect("report").render(), clean_report);
+    let stats = client.request(&Json::obj([("cmd", Json::str("stats"))])).expect("stats");
+    assert_eq!(field_u64(&stats, "resumed_sweeps"), 1);
+    shutdown(&socket2);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
 }
 
 #[test]

@@ -26,9 +26,12 @@
 //!   can be shared across sweep workers and server connections.
 
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::fault::{FaultAction, FaultSite, Injector};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -109,6 +112,9 @@ pub struct CacheStats {
     /// Corrupt entries detected, evicted from disk, and reported as
     /// misses (each also counts under `misses`).
     pub corrupt: u64,
+    /// IO errors on reads or writes (reads also count under `misses`;
+    /// writes surface as `Err` to the caller, who recomputes next time).
+    pub io_errors: u64,
 }
 
 /// The in-memory LRU front: a small map of the hottest entries so warm
@@ -165,6 +171,8 @@ pub struct DiskStore {
     misses: AtomicU64,
     evictions: AtomicU64,
     corrupt: AtomicU64,
+    io_errors: AtomicU64,
+    faults: OnceLock<Arc<Injector>>,
 }
 
 impl DiskStore {
@@ -192,6 +200,8 @@ impl DiskStore {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            faults: OnceLock::new(),
         })
     }
 
@@ -210,19 +220,57 @@ impl DiskStore {
         self.front.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Arms a fault [`Injector`] on this store's disk paths (chaos tests
+    /// only; a store can be armed once). Unarmed stores pay a single
+    /// `Option` branch per operation.
+    pub fn arm_faults(&self, injector: Arc<Injector>) {
+        let _ = self.faults.set(injector);
+    }
+
+    fn injected(&self, site: FaultSite) -> Option<FaultAction> {
+        self.faults.get().and_then(|f| f.check(site))
+    }
+
     /// Looks a key up: LRU front first, then disk. A corrupt disk entry
     /// (checksum or length mismatch) is evicted and reported as a miss —
-    /// never returned.
+    /// never returned. An unreadable entry (IO error) likewise degrades
+    /// to a miss, counted under `io_errors`, so the caller recomputes
+    /// instead of aborting.
     pub fn get(&self, key: &str) -> Option<String> {
         if let Some(payload) = self.lock_front().get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(payload);
         }
         let path = self.entry_path(key);
-        let Ok(text) = std::fs::read_to_string(&path) else {
+        let damage = self.injected(FaultSite::CacheRead);
+        if damage == Some(FaultAction::IoError) {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
+        }
+        let mut text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    self.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
         };
+        match damage {
+            Some(FaultAction::BitFlip) => {
+                text = self.faults.get().expect("damage implies armed").corrupt(&text);
+            }
+            Some(FaultAction::Truncate) => {
+                let mut keep = text.len() / 2;
+                while keep > 0 && !text.is_char_boundary(keep) {
+                    keep -= 1;
+                }
+                text.truncate(keep);
+            }
+            _ => {}
+        }
         match decode_entry(&text) {
             Some(payload) => {
                 let payload = payload.to_string();
@@ -250,24 +298,60 @@ impl DiskStore {
         self.corrupt.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Stores a payload under a key: temp file + rename, so concurrent
-    /// readers see either the old entry or the new one, never a torn
-    /// write. Last writer wins (all writers of one key hold the same
-    /// deterministic payload, so the race is benign).
+    /// Stores a payload under a key: temp file + fsync + rename, so
+    /// concurrent readers see either the old entry or the new one, never
+    /// a torn write, and a machine crash right after the rename cannot
+    /// commit a name pointing at unflushed data. Last writer wins (all
+    /// writers of one key hold the same deterministic payload, so the
+    /// race is benign). An `Err` is recoverable: the caller keeps its
+    /// computed result and simply recomputes on the next cold lookup.
     pub fn put(&self, key: &str, payload: &str) -> std::io::Result<()> {
+        match self.injected(FaultSite::CacheWrite) {
+            Some(FaultAction::IoError) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(std::io::Error::other("injected cache write error"));
+            }
+            Some(FaultAction::CrashBeforeRename) => {
+                // Model the crash window the fsync defends: the temp file
+                // is written (and flushed), but the rename never happens.
+                let path = self.entry_path(key);
+                let dir = path.parent().expect("entry paths always have a shard dir");
+                std::fs::create_dir_all(dir)?;
+                let tmp = self.tmp_path(dir, key);
+                let mut file = std::fs::File::create(&tmp)?;
+                file.write_all(encode_entry(payload).as_bytes())?;
+                file.sync_all()?;
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(std::io::Error::other("injected crash before rename"));
+            }
+            _ => {}
+        }
         let path = self.entry_path(key);
         let dir = path.parent().expect("entry paths always have a shard dir");
-        std::fs::create_dir_all(dir)?;
-        let tmp = dir.join(format!(
-            ".tmp-{}-{}-{key}",
-            std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, encode_entry(payload))?;
-        std::fs::rename(&tmp, &path)?;
+        let result = (|| {
+            std::fs::create_dir_all(dir)?;
+            let tmp = self.tmp_path(dir, key);
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(encode_entry(payload).as_bytes())?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, &path)
+        })();
+        if let Err(e) = result {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
         let evicted = self.lock_front().put(key, payload);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn tmp_path(&self, dir: &Path, key: &str) -> PathBuf {
+        dir.join(format!(
+            ".tmp-{}-{}-{key}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ))
     }
 
     /// Snapshot of the counters.
@@ -277,6 +361,7 @@ impl DiskStore {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -373,6 +458,63 @@ mod tests {
         assert_eq!(store.get("aa").as_deref(), Some("1"));
         assert_eq!(store.get("bb").as_deref(), Some("2"));
         assert_eq!(store.get("cc").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn injected_read_io_error_degrades_to_miss_and_recovers() {
+        use crate::fault::FaultPlan;
+        let store = DiskStore::with_front_capacity(scratch("read-io"), 0).unwrap();
+        store.put("k", "truth").unwrap();
+        store.arm_faults(FaultPlan::new(9).fail_cache_read_nth(0).arm());
+        assert_eq!(store.get("k"), None, "injected IO error reads as a miss");
+        assert_eq!(store.get("k").as_deref(), Some("truth"), "fault budget spent");
+        let s = store.stats();
+        assert_eq!((s.io_errors, s.misses, s.corrupt), (1, 1, 0));
+        assert!(store.entry_path("k").exists(), "IO error must not evict the entry");
+    }
+
+    #[test]
+    fn injected_write_io_error_is_reported_not_panicked() {
+        use crate::fault::FaultPlan;
+        let store = DiskStore::with_front_capacity(scratch("write-io"), 0).unwrap();
+        store.arm_faults(FaultPlan::new(9).fail_cache_write_nth(0).arm());
+        assert!(store.put("k", "truth").is_err());
+        assert_eq!(store.stats().io_errors, 1);
+        assert!(!store.entry_path("k").exists());
+        // The next put succeeds and the entry round-trips.
+        store.put("k", "truth").unwrap();
+        assert_eq!(store.get("k").as_deref(), Some("truth"));
+    }
+
+    #[test]
+    fn injected_bit_flip_and_truncation_evict_and_recompute() {
+        use crate::fault::FaultPlan;
+        let store = DiskStore::with_front_capacity(scratch("flip"), 0).unwrap();
+        store.put("k", "the-truth").unwrap();
+        store.arm_faults(FaultPlan::new(7).flip_cache_read_nth(0).truncate_cache_read_nth(1).arm());
+        assert_eq!(store.get("k"), None, "bit-flipped entry must not be served");
+        assert!(!store.entry_path("k").exists(), "corrupt entry evicted");
+        store.put("k", "the-truth").unwrap();
+        assert_eq!(store.get("k"), None, "truncated entry must not be served");
+        let s = store.stats();
+        assert_eq!((s.corrupt, s.io_errors), (2, 0));
+        store.put("k", "the-truth").unwrap();
+        assert_eq!(store.get("k").as_deref(), Some("the-truth"));
+    }
+
+    #[test]
+    fn crash_before_rename_leaves_no_entry_and_no_corruption() {
+        use crate::fault::FaultPlan;
+        let store = DiskStore::with_front_capacity(scratch("crash"), 0).unwrap();
+        store.arm_faults(FaultPlan::new(3).crash_cache_write_nth(0).arm());
+        assert!(store.put("k", "v1").is_err(), "the crashed write reports failure");
+        assert!(!store.entry_path("k").exists(), "nothing committed under the final name");
+        assert_eq!(store.get("k"), None);
+        // The orphaned temp file never aliases the entry: a later put
+        // commits cleanly and reads back intact.
+        store.put("k", "v1").unwrap();
+        assert_eq!(store.get("k").as_deref(), Some("v1"));
+        assert_eq!(store.stats().corrupt, 0);
     }
 
     #[test]

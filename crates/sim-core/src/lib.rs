@@ -9,6 +9,9 @@
 //! * [`time`] — the global clock domain (DDR5 memory-bus cycles) and unit
 //!   conversions,
 //! * [`config`] — the system configuration mirroring Table I of the paper,
+//! * [`fault`] — the deterministic fault-injection plane ([`FaultPlan`] /
+//!   [`Injector`]) the chaos suite arms into the cache, runner, pool, and
+//!   `campaignd` layers,
 //! * [`tracker`] — the [`RowHammerTracker`] trait
 //!   through which the memory controller consults a mitigation,
 //! * [`registry`] — the open, string-keyed
@@ -45,6 +48,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod events;
+pub mod fault;
 pub mod json;
 pub mod registry;
 pub mod req;
@@ -59,6 +63,7 @@ pub use addr::{DramAddr, Geometry, PhysAddr};
 pub use cache::{CacheStats, DiskStore};
 pub use config::{SystemConfig, Threads};
 pub use events::MemEvent;
+pub use fault::{FaultAction, FaultPlan, FaultRule, FaultSite, Injector, Trigger};
 pub use registry::{
     ParamSpec, ParamValue, RegistryError, TrackerParams, TrackerRegistry, TrackerSpec,
 };

@@ -46,7 +46,7 @@
 
 use crate::experiment::{Experiment, ExperimentResult};
 use crate::metrics::{RunStats, RunTelemetry};
-use crate::runner::try_run_parallel;
+use crate::runner::try_run_parallel_observed;
 use crate::spec::{SpecError, SweepReport, SweepSpec};
 use crate::system::Engine;
 use sim_core::cache::{content_key, CacheStats, DiskStore};
@@ -583,6 +583,11 @@ pub struct CacheRunSummary {
     pub uncacheable: usize,
     /// Freshly simulated cells persisted for next time.
     pub stored: usize,
+    /// Cells skipped because a [`SweepJournal`](crate::journal::SweepJournal)
+    /// already recorded them as
+    /// complete (each also counts under `hits` — the journal marks them,
+    /// the cache answers them).
+    pub resumed: usize,
 }
 
 impl std::fmt::Display for CacheRunSummary {
@@ -590,6 +595,9 @@ impl std::fmt::Display for CacheRunSummary {
         write!(f, "{} hits, {} misses ({} cells", self.hits, self.misses, self.cells)?;
         if self.uncacheable > 0 {
             write!(f, ", {} uncacheable", self.uncacheable)?;
+        }
+        if self.resumed > 0 {
+            write!(f, ", {} resumed", self.resumed)?;
         }
         write!(f, ")")
     }
@@ -606,8 +614,40 @@ impl SweepSpec {
         &self,
         cache: &RunCache,
     ) -> Result<(SweepReport, CacheRunSummary), SpecError> {
+        self.run_cached_with(cache, None, &crate::runner::RunnerConfig::default())
+    }
+
+    /// [`SweepSpec::run_cached`] with the full recovery toolkit: an
+    /// optional [`SweepJournal`](crate::journal::SweepJournal) for
+    /// checkpoint-resume (completed cells are journaled after they land
+    /// in the cache; an interrupted sweep resumed against the same
+    /// journal+cache re-executes only the remainder, and the resumed
+    /// report is byte-identical to an uninterrupted run) and an explicit
+    /// [`RunnerConfig`](crate::runner::RunnerConfig) (retry policy,
+    /// fault injection) for the cells that do simulate.
+    ///
+    /// Journal IO failures are swallowed like cache write failures: the
+    /// journal accelerates recovery, it must never fail the sweep.
+    pub fn run_cached_with(
+        &self,
+        cache: &RunCache,
+        journal: Option<&crate::journal::SweepJournal>,
+        runner: &crate::runner::RunnerConfig,
+    ) -> Result<(SweepReport, CacheRunSummary), SpecError> {
+        use crate::journal::SweepJournal;
         let experiments = self.expand()?;
         let mut summary = CacheRunSummary { cells: experiments.len(), ..Default::default() };
+        let sweep_hash = journal.map(|_| SweepJournal::sweep_hash(self));
+        let journaled = match (journal, &sweep_hash) {
+            (Some(j), Some(hash)) => {
+                let state = j.load().unwrap_or_default();
+                if state.progress(hash).is_none() {
+                    let _ = j.record_start(hash, self, experiments.len() as u64);
+                }
+                state.completed(hash)
+            }
+            _ => Default::default(),
+        };
         let mut slots: Vec<Option<Result<ExperimentResult, crate::runner::SweepError>>> =
             experiments.iter().map(|_| None).collect();
         let mut jobs = Vec::new();
@@ -619,6 +659,9 @@ impl SweepSpec {
                 Some(k) => {
                     if let Some(result) = cache.lookup(k) {
                         summary.hits += 1;
+                        if journaled.contains(&k.key) {
+                            summary.resumed += 1;
+                        }
                         slots[i] = Some(Ok(result));
                         continue;
                     }
@@ -630,16 +673,25 @@ impl SweepSpec {
             job_cells.push(i);
             job_keys.push(key);
         }
-        for (j, outcome) in try_run_parallel(jobs).into_iter().enumerate() {
+        // Checkpoint from the worker thread as each cell settles: cache
+        // save, then journal strictly after it (the journal never claims
+        // a cell the cache lacks). An interrupted process loses at most
+        // the cells still in flight, never the finished ones.
+        let stored = std::sync::atomic::AtomicUsize::new(0);
+        let on_done = |j: usize, outcome: &Result<ExperimentResult, crate::runner::SweepError>| {
+            if let (Ok(result), Some(key)) = (outcome, &job_keys[j]) {
+                cache.save(key, result);
+                stored.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if let (Some(jnl), Some(hash)) = (journal, &sweep_hash) {
+                    let _ = jnl.record_cell(hash, &key.key);
+                }
+            }
+        };
+        for (j, outcome) in try_run_parallel_observed(jobs, runner, on_done).into_iter().enumerate()
+        {
             let cell = job_cells[j];
             slots[cell] = Some(match outcome {
-                Ok(result) => {
-                    if let Some(key) = &job_keys[j] {
-                        cache.save(key, &result);
-                        summary.stored += 1;
-                    }
-                    Ok(result)
-                }
+                Ok(result) => Ok(result),
                 Err(mut err) => {
                     // Remap the worker-pool index to the expansion index,
                     // matching what an uncached run reports.
@@ -648,12 +700,18 @@ impl SweepSpec {
                 }
             });
         }
+        summary.stored = stored.into_inner();
         let mut results = Vec::new();
         let mut failures = Vec::new();
         for outcome in slots.into_iter().flatten() {
             match outcome {
                 Ok(r) => results.push(r),
                 Err(e) => failures.push(e),
+            }
+        }
+        if failures.is_empty() {
+            if let (Some(jnl), Some(hash)) = (journal, &sweep_hash) {
+                let _ = jnl.record_end(hash);
             }
         }
         Ok((

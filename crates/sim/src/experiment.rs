@@ -555,6 +555,11 @@ pub struct Experiment {
     /// canonicalizes it only when present so attacker-free keys are
     /// unchanged.
     pub attacker: Option<AttackerConfig>,
+    /// Armed fault injector (chaos tests only). An execution knob like
+    /// `cfg.threads`: recovery is bit-identical, so the run-cache cell
+    /// descriptor deliberately ignores it. Threaded into every built
+    /// [`System`]'s shard pool.
+    pub faults: Option<std::sync::Arc<sim_core::fault::Injector>>,
 }
 
 /// Outcome of [`Experiment::run`].
@@ -590,6 +595,7 @@ impl Experiment {
             isolate_tracker_overhead: false,
             engine: Engine::default(),
             attacker: None,
+            faults: None,
         }
     }
 
@@ -727,6 +733,14 @@ impl Experiment {
         self
     }
 
+    /// Arms a fault plan on every system this experiment builds (chaos
+    /// tests only). Recovery is bit-identical by construction, so results
+    /// — and the run-cache cell key — are unchanged by arming.
+    pub fn fault_plan(mut self, plan: sim_core::fault::FaultPlan) -> Self {
+        self.faults = Some(plan.arm());
+        self
+    }
+
     fn build_traces(
         &self,
         attack: Option<Attack>,
@@ -800,7 +814,11 @@ impl Experiment {
                 telemetry = telemetry.probe(MitigationLog::new());
             }
         }
-        System::new(cfg, traces, bypass, trackers, telemetry)
+        let mut sys = System::new(cfg, traces, bypass, trackers, telemetry);
+        if let Some(faults) = &self.faults {
+            sys.arm_faults(std::sync::Arc::clone(faults));
+        }
+        sys
     }
 
     /// The benign core indices for this experiment.

@@ -1,0 +1,331 @@
+//! Checkpoint journal for resumable sweeps.
+//!
+//! A [`SweepJournal`] is an append-only, checksummed, line-oriented log of
+//! sweep progress: a `start` record pinning the sweep's identity (the
+//! stable content hash of its canonical spec JSON — see
+//! [`SweepJournal::sweep_hash`]) plus the full spec so a restarted server
+//! can resurrect the sweep; one `cell` record per completed cell key;
+//! and an `end` record once every cell finished cleanly. Records are
+//! appended *after* the corresponding result is committed to the run
+//! cache and fsynced line-by-line, so the journal never claims more than
+//! the cache holds — a `kill -9` can at worst lose the final in-flight
+//! record, and a torn last line fails its checksum and is skipped on
+//! load instead of poisoning the whole journal.
+//!
+//! Resume is then a subtraction: completed cells answer from the cache
+//! (byte-identically — the cache's own invariant), and only the
+//! remainder re-executes. The resumed report is identical to an
+//! uninterrupted run because cell results are deterministic and the
+//! report is assembled in expansion order, not execution order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use sim_core::cache::{checksum64, content_key};
+
+use crate::spec::SweepSpec;
+
+/// Journal-format magic, bumped if the line envelope changes.
+const MAGIC: &str = "dapper-journal1";
+
+/// Progress of one sweep, reconstructed from the journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepProgress {
+    /// The sweep's declared name (from the `start` record).
+    pub name: String,
+    /// Total cells the sweep declared at start.
+    pub cells_declared: u64,
+    /// The canonical spec JSON, for resurrection after a restart.
+    pub spec_json: Option<String>,
+    /// Keys of cells whose results are committed to the run cache.
+    pub completed: BTreeSet<String>,
+    /// Whether the sweep recorded a clean `end`.
+    pub ended: bool,
+}
+
+impl SweepProgress {
+    /// Whether this sweep was interrupted: started, never ended.
+    pub fn unfinished(&self) -> bool {
+        !self.ended
+    }
+}
+
+/// Everything a journal file currently says, keyed by sweep hash.
+#[derive(Debug, Clone, Default)]
+pub struct JournalState {
+    sweeps: BTreeMap<String, SweepProgress>,
+    /// Lines that failed the checksum or shape checks (typically the torn
+    /// tail of a `kill -9`).
+    pub damaged_lines: u64,
+}
+
+impl JournalState {
+    /// Progress for one sweep hash, if the journal has seen it.
+    pub fn progress(&self, hash: &str) -> Option<&SweepProgress> {
+        self.sweeps.get(hash)
+    }
+
+    /// Completed cell keys for one sweep (empty set if unknown).
+    pub fn completed(&self, hash: &str) -> BTreeSet<String> {
+        self.sweeps.get(hash).map(|p| p.completed.clone()).unwrap_or_default()
+    }
+
+    /// Sweeps that started but never recorded an `end`, in hash order.
+    pub fn unfinished(&self) -> impl Iterator<Item = (&String, &SweepProgress)> {
+        self.sweeps.iter().filter(|(_, p)| p.unfinished())
+    }
+
+    /// All sweeps the journal knows about.
+    pub fn sweeps(&self) -> impl Iterator<Item = (&String, &SweepProgress)> {
+        self.sweeps.iter()
+    }
+}
+
+/// The append-only sweep checkpoint log (see the module docs).
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl SweepJournal {
+    /// Conventional journal filename inside a cache directory.
+    pub const FILE_NAME: &'static str = "journal.log";
+
+    /// Opens (creating if needed) the journal at `path` for appending.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<SweepJournal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        // Seal a torn tail (kill -9 mid-append): if the last line never
+        // got its newline, terminate it now so fresh records start on
+        // their own line. The sealed fragment then fails its checksum on
+        // load and is skipped — it can never swallow a good record.
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if !text.is_empty() && !text.ends_with('\n') {
+                file.write_all(b"\n")?;
+                file.sync_data()?;
+            }
+        }
+        Ok(SweepJournal { path, file: Mutex::new(file) })
+    }
+
+    /// Opens the conventional journal inside a cache directory.
+    pub fn in_cache_dir(cache_dir: impl AsRef<Path>) -> std::io::Result<SweepJournal> {
+        SweepJournal::open(cache_dir.as_ref().join(SweepJournal::FILE_NAME))
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The stable identity of a sweep: the content hash of its canonical
+    /// spec JSON. Two textually different spec files that canonicalize
+    /// identically share one journal identity (and one cache footprint).
+    pub fn sweep_hash(spec: &SweepSpec) -> String {
+        content_key(spec.to_json().render().as_bytes())
+    }
+
+    /// Records that a sweep began: its identity, size, and full spec.
+    pub fn record_start(&self, hash: &str, spec: &SweepSpec, cells: u64) -> std::io::Result<()> {
+        let spec_json = spec.to_json().render();
+        debug_assert!(!spec_json.contains('\n'), "compact JSON is single-line");
+        self.append(&format!("start {hash} {cells} {spec_json}"))
+    }
+
+    /// Records one completed cell (call only after the result is in the
+    /// run cache, so the journal never over-claims).
+    pub fn record_cell(&self, hash: &str, cell_key: &str) -> std::io::Result<()> {
+        self.append(&format!("cell {hash} {cell_key}"))
+    }
+
+    /// Records that every cell of a sweep finished cleanly.
+    pub fn record_end(&self, hash: &str) -> std::io::Result<()> {
+        self.append(&format!("end {hash}"))
+    }
+
+    fn append(&self, payload: &str) -> std::io::Result<()> {
+        let line = format!("{MAGIC} {:016x} {payload}\n", checksum64(payload.as_bytes()));
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        file.write_all(line.as_bytes())?;
+        // Per-record durability: a cell record must survive the very
+        // crash the journal exists to recover from. Cells cost far more
+        // to simulate than an fsync costs to issue.
+        file.sync_data()
+    }
+
+    /// Replays the journal from disk into a [`JournalState`], skipping
+    /// (and counting) damaged lines.
+    pub fn load(&self) -> std::io::Result<JournalState> {
+        let mut state = JournalState::default();
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(state),
+            Err(e) => return Err(e),
+        };
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let Some(payload) = decode_line(line) else {
+                state.damaged_lines += 1;
+                continue;
+            };
+            if !apply(&mut state, payload) {
+                state.damaged_lines += 1;
+            }
+        }
+        Ok(state)
+    }
+}
+
+/// Verifies one journal line's magic + checksum, returning the payload.
+fn decode_line(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix(MAGIC)?.strip_prefix(' ')?;
+    let (sum, payload) = rest.split_once(' ')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (checksum64(payload.as_bytes()) == sum).then_some(payload)
+}
+
+/// Applies one decoded payload to the state; `false` if malformed.
+fn apply(state: &mut JournalState, payload: &str) -> bool {
+    let mut parts = payload.splitn(2, ' ');
+    let (Some(kind), Some(rest)) = (parts.next(), parts.next()) else {
+        return false;
+    };
+    match kind {
+        "start" => {
+            let mut parts = rest.splitn(3, ' ');
+            let (Some(hash), Some(cells), Some(spec_json)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return false;
+            };
+            let Ok(cells) = cells.parse::<u64>() else {
+                return false;
+            };
+            let name = sim_core::json::Json::parse(spec_json)
+                .ok()
+                .and_then(|j| match j.get("name") {
+                    Some(sim_core::json::Json::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            let entry = state.sweeps.entry(hash.to_string()).or_default();
+            entry.name = name;
+            entry.cells_declared = cells;
+            entry.spec_json = Some(spec_json.to_string());
+            true
+        }
+        "cell" => {
+            let mut parts = rest.splitn(2, ' ');
+            let (Some(hash), Some(key)) = (parts.next(), parts.next()) else {
+                return false;
+            };
+            state.sweeps.entry(hash.to_string()).or_default().completed.insert(key.to_string());
+            true
+        }
+        "end" => {
+            state.sweeps.entry(rest.to_string()).or_default().ended = true;
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dapper-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join(SweepJournal::FILE_NAME)
+    }
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("journal-test");
+        spec.workloads = vec!["mcf_like".to_string()];
+        spec.trackers = vec!["none".to_string()];
+        spec.options.window_us = Some(20.0);
+        spec.options.seed = Some(7);
+        spec
+    }
+
+    #[test]
+    fn journal_round_trips_progress() {
+        let j = SweepJournal::open(scratch("roundtrip")).unwrap();
+        let spec = tiny_spec();
+        let hash = SweepJournal::sweep_hash(&spec);
+        j.record_start(&hash, &spec, 2).unwrap();
+        j.record_cell(&hash, "aaaa").unwrap();
+        j.record_cell(&hash, "bbbb").unwrap();
+        let state = j.load().unwrap();
+        let p = state.progress(&hash).unwrap();
+        assert_eq!(p.cells_declared, 2);
+        assert_eq!(p.name, "journal-test");
+        assert_eq!(p.completed.len(), 2);
+        assert!(p.unfinished(), "no end record yet");
+        assert_eq!(state.unfinished().count(), 1);
+        j.record_end(&hash).unwrap();
+        let state = j.load().unwrap();
+        assert!(!state.progress(&hash).unwrap().unfinished());
+        assert_eq!(state.damaged_lines, 0);
+        // The embedded spec resurrects the sweep identically.
+        let back =
+            SweepSpec::from_json_str(state.progress(&hash).unwrap().spec_json.as_ref().unwrap())
+                .unwrap();
+        assert_eq!(SweepJournal::sweep_hash(&back), hash);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_not_fatal() {
+        let path = scratch("torn");
+        let j = SweepJournal::open(&path).unwrap();
+        let spec = tiny_spec();
+        let hash = SweepJournal::sweep_hash(&spec);
+        j.record_start(&hash, &spec, 3).unwrap();
+        j.record_cell(&hash, "cccc").unwrap();
+        drop(j);
+        // Simulate kill -9 mid-append: a half-written record at the tail.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("dapper-journal1 0123456789abcdef cell ");
+        std::fs::write(&path, &text).unwrap();
+        let j = SweepJournal::open(&path).unwrap();
+        let state = j.load().unwrap();
+        assert_eq!(state.damaged_lines, 1, "the torn line is counted, not fatal");
+        let p = state.progress(&hash).unwrap();
+        assert_eq!(p.completed, BTreeSet::from(["cccc".to_string()]));
+        // And appending after the torn tail keeps working: the journal
+        // only ever appends whole lines, so a fresh record follows the
+        // damage and still parses.
+        j.record_cell(&hash, "dddd").unwrap();
+        assert_eq!(j.load().unwrap().progress(&hash).unwrap().completed.len(), 2);
+    }
+
+    #[test]
+    fn foreign_garbage_lines_are_counted_as_damage() {
+        let path = scratch("garbage");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "not a journal line\n").unwrap();
+        let j = SweepJournal::open(&path).unwrap();
+        let state = j.load().unwrap();
+        assert_eq!(state.damaged_lines, 1);
+        assert_eq!(state.sweeps().count(), 0);
+    }
+
+    #[test]
+    fn missing_journal_loads_empty() {
+        let j = SweepJournal::open(scratch("missing")).unwrap();
+        // open() creates the file; loading an empty file is empty state.
+        let state = j.load().unwrap();
+        assert_eq!(state.sweeps().count(), 0);
+        assert_eq!(state.damaged_lines, 0);
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod experiment;
+pub mod journal;
 pub mod metrics;
 mod pool;
 pub mod registry;
@@ -59,9 +60,13 @@ pub use experiment::{
     AttackChoice, AttackerConfig, AttackerKnowledge, CustomAttack, Experiment, ExperimentResult,
     TelemetrySpec, TrackerSel,
 };
+pub use journal::{JournalState, SweepJournal, SweepProgress};
 pub use metrics::{normalized_performance, RunStats, RunTelemetry, RECOVERY_THRESHOLD};
 pub use registry::{register_tracker, tracker_keys, with_registry};
-pub use runner::{parallel_map, run_parallel, try_run_parallel, SweepError};
+pub use runner::{
+    cell_label, parallel_map, run_parallel, try_run_parallel, try_run_parallel_cfg,
+    try_run_parallel_observed, RetryPolicy, RunnerConfig, SweepError,
+};
 pub use sim_core::config::Threads;
 pub use spec::{
     AttackerOptions, CacheOptions, ExperimentSpec, ProfileOptions, SpecError, SweepSpec,

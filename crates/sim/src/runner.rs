@@ -6,29 +6,135 @@
 //! [`SweepError`] for that slot instead of poisoning the queue and killing
 //! the entire sweep. [`run_parallel`] keeps the historical infallible
 //! signature for the figure harnesses; [`try_run_parallel`] exposes per-job
-//! results; [`parallel_map`] is the generic engine (attacklab's campaign
-//! and search fan out through it with a shared reference run).
+//! results; [`try_run_parallel_cfg`] adds a [`RetryPolicy`] (bounded
+//! retries, exponential backoff, per-attempt timeout) and the
+//! [`sim_core::fault`] hook; [`parallel_map`] is the generic engine
+//! (attacklab's campaign and search fan out through it with a shared
+//! reference run).
+//!
+//! Failed jobs are *quarantined*, never silently dropped: the
+//! [`SweepError`] carries the cell's human-readable descriptor and cache
+//! key prefix plus the attempt count, so a sweep report names exactly
+//! which cells died and why.
 
 use crate::experiment::{Experiment, ExperimentResult};
+use sim_core::fault::{FaultAction, FaultSite, Injector};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
-/// Failure of a single job inside a parallel sweep.
+/// Failure of a single job inside a parallel sweep — the quarantine
+/// record: which slot, which cell, what the panic said, how many attempts
+/// were made before giving up.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepError {
     /// Index of the failed job in the input order.
     pub index: usize,
-    /// The panic payload, stringified.
+    /// Human-readable cell attribution (`workload x tracker x attack
+    /// [key-prefix]`); empty when the generic engine had no experiment to
+    /// describe.
+    pub cell: String,
+    /// The panic payload, stringified (the last attempt's, if retried).
     pub message: String,
+    /// How many attempts were made (>= 1).
+    pub attempts: u32,
 }
 
 impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job {} panicked: {}", self.index, self.message)
+        if self.cell.is_empty() {
+            write!(f, "job {} panicked: {}", self.index, self.message)
+        } else {
+            write!(
+                f,
+                "job {} ({}) failed after {} attempt(s): {}",
+                self.index, self.cell, self.attempts, self.message
+            )
+        }
     }
 }
 
 impl std::error::Error for SweepError {}
+
+/// Bounded retries with exponential backoff and an optional per-attempt
+/// timeout. The default is the historical behavior: one attempt, no
+/// timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub backoff: Duration,
+    /// Multiplier applied to the delay after each retry.
+    pub backoff_factor: u32,
+    /// Ceiling on the delay between attempts.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per attempt. A timed-out attempt counts as a
+    /// failure and is retried like a panic; the runaway attempt thread is
+    /// abandoned (its result, if any ever arrives, is discarded).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no backoff, no timeout — the historical semantics.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            backoff_factor: 2,
+            max_backoff: Duration::ZERO,
+            timeout: None,
+        }
+    }
+
+    /// A sensible service-side default: 3 attempts, 10 ms doubling
+    /// backoff capped at 250 ms, no timeout.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+            backoff_factor: 2,
+            max_backoff: Duration::from_millis(250),
+            timeout: None,
+        }
+    }
+
+    /// Retry up to `attempts` total attempts (builder-style).
+    pub fn attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Set the per-attempt timeout (builder-style).
+    pub fn attempt_timeout(mut self, timeout: Duration) -> RetryPolicy {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Delay before retry number `retry` (1-based).
+    fn delay(&self, retry: u32) -> Duration {
+        let factor = self.backoff_factor.max(1).saturating_pow(retry.saturating_sub(1));
+        (self.backoff * factor).min(self.max_backoff.max(self.backoff))
+    }
+}
+
+/// Knobs for [`try_run_parallel_cfg`]: the retry policy plus an optional
+/// armed fault injector (chaos tests only — `None` costs one branch).
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Retry/backoff/timeout policy applied to every job.
+    pub retry: RetryPolicy,
+    /// Armed fault plan probed at [`FaultSite::JobRun`] with the job
+    /// index before each attempt.
+    pub faults: Option<Arc<Injector>>,
+}
 
 /// Locks a mutex, recovering the guard even if a previous holder panicked
 /// (our critical sections only move plain data, so the state stays valid).
@@ -104,8 +210,13 @@ where
                 let job = relock(&work).pop();
                 match job {
                     Some((i, item)) => {
-                        let outcome = catch_unwind(AssertUnwindSafe(|| f(item)))
-                            .map_err(|p| SweepError { index: i, message: panic_message(p) });
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| SweepError {
+                                index: i,
+                                cell: String::new(),
+                                message: panic_message(p),
+                                attempts: 1,
+                            });
                         relock(&results)[i] = Some(outcome);
                     }
                     None => break,
@@ -124,7 +235,143 @@ where
 /// Runs experiments in parallel, returning one `Result` per job in input
 /// order. A panicking experiment does not disturb its neighbours.
 pub fn try_run_parallel(jobs: Vec<Experiment>) -> Vec<Result<ExperimentResult, SweepError>> {
-    parallel_map(jobs, Experiment::run)
+    try_run_parallel_cfg(jobs, &RunnerConfig::default())
+}
+
+/// Human-readable cell attribution for quarantine records:
+/// `workload x tracker x attack [cache-key-prefix]`.
+pub fn cell_label(e: &Experiment) -> String {
+    let attack = match &e.custom_attack {
+        Some(custom) => custom.name().to_string(),
+        None => e
+            .attack
+            .resolve(&e.tracker)
+            .map_or_else(|| "benign".to_string(), |a| a.name().to_string()),
+    };
+    let key = crate::cache::cell_key(e)
+        .map_or_else(|| "uncacheable".to_string(), |k| k.key[..12].to_string());
+    format!("{} x {} x {} [{}]", e.workload, e.tracker.label(), attack, key)
+}
+
+/// Runs experiments in parallel under an explicit [`RunnerConfig`]:
+/// every job gets up to `retry.max_attempts` attempts (each under
+/// `catch_unwind`, each bounded by `retry.timeout` if set, with
+/// exponential backoff between attempts); a job that exhausts its
+/// attempts is quarantined as a [`SweepError`] carrying its cell
+/// descriptor and attempt count while the rest of the sweep completes.
+pub fn try_run_parallel_cfg(
+    jobs: Vec<Experiment>,
+    cfg: &RunnerConfig,
+) -> Vec<Result<ExperimentResult, SweepError>> {
+    try_run_parallel_observed(jobs, cfg, |_, _| {})
+}
+
+/// [`try_run_parallel_cfg`] with a completion observer: `on_done(i,
+/// outcome)` fires on the worker thread the moment job `i` settles
+/// (simulated, retried to success, or quarantined), before the sweep as
+/// a whole finishes. Callers use it to persist results incrementally —
+/// a checkpoint made per cell survives a crash that a
+/// save-everything-at-the-end design would lose wholesale. The observer
+/// runs concurrently from several workers and must synchronize
+/// internally; the returned `Vec` is still in input order.
+pub fn try_run_parallel_observed<F>(
+    jobs: Vec<Experiment>,
+    cfg: &RunnerConfig,
+    on_done: F,
+) -> Vec<Result<ExperimentResult, SweepError>>
+where
+    F: Fn(usize, &Result<ExperimentResult, SweepError>) + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    let work: Mutex<Vec<(usize, Experiment)>> =
+        Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<Result<ExperimentResult, SweepError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = relock(&work).pop();
+                match job {
+                    Some((i, e)) => {
+                        let outcome = run_one(i, e, cfg);
+                        on_done(i, &outcome);
+                        relock(&results)[i] = Some(outcome);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+/// One job's attempt loop: inject → run → retry with backoff → quarantine.
+fn run_one(
+    index: usize,
+    e: Experiment,
+    cfg: &RunnerConfig,
+) -> Result<ExperimentResult, SweepError> {
+    let cell = cell_label(&e);
+    let max_attempts = cfg.retry.max_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 1..=max_attempts {
+        let injected = cfg
+            .faults
+            .as_ref()
+            .and_then(|f| f.check_indexed(FaultSite::JobRun, index as u64))
+            .filter(|a| *a == FaultAction::Panic);
+        match run_attempt(e.clone(), injected, cfg.retry.timeout) {
+            Ok(result) => return Ok(result),
+            Err(message) => last = message,
+        }
+        if attempt < max_attempts {
+            std::thread::sleep(cfg.retry.delay(attempt));
+        }
+    }
+    Err(SweepError { index, cell, message: last, attempts: max_attempts })
+}
+
+/// One attempt: the job body under `catch_unwind`, optionally raced
+/// against a wall-clock deadline on a detached thread (a scoped thread
+/// cannot be abandoned, and a CPU-bound simulation cannot be interrupted
+/// cooperatively — abandonment is the only honest timeout).
+fn run_attempt(
+    e: Experiment,
+    injected: Option<FaultAction>,
+    timeout: Option<Duration>,
+) -> Result<ExperimentResult, String> {
+    let body = move || {
+        if injected.is_some() {
+            panic!("injected fault: job panic");
+        }
+        e.run()
+    };
+    match timeout {
+        None => catch_unwind(AssertUnwindSafe(body)).map_err(panic_message),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            std::thread::Builder::new()
+                .name("sweep-attempt".into())
+                .spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(body)).map_err(panic_message);
+                    let _ = tx.send(outcome);
+                })
+                .expect("spawn attempt thread");
+            match rx.recv_timeout(limit) {
+                Ok(outcome) => outcome,
+                Err(_) => Err(format!("attempt timed out after {limit:?}")),
+            }
+        }
+    }
 }
 
 /// Runs experiments across all available cores, preserving input order.
@@ -193,6 +440,124 @@ mod tests {
         for (i, r) in out.iter().enumerate() {
             assert_eq!(*r.as_ref().unwrap(), (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn observer_fires_once_per_job_with_the_final_outcome() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs = vec![
+            Experiment::quick("povray_like").tracker("none").window_us(100.0),
+            Experiment::quick("not_a_workload").window_us(100.0),
+            Experiment::quick("namd_like").tracker("none").window_us(100.0),
+        ];
+        let fired = [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
+        let oks = AtomicUsize::new(0);
+        let results = try_run_parallel_observed(jobs, &RunnerConfig::default(), |i, outcome| {
+            fired[i].fetch_add(1, Ordering::SeqCst);
+            if outcome.is_ok() {
+                oks.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        std::panic::set_hook(prev);
+        // Exactly one notification per job, settled outcomes matching the
+        // returned vector (index 1 is the quarantined bad workload).
+        for f in &fired {
+            assert_eq!(f.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(oks.load(Ordering::SeqCst), 2);
+        assert!(results[0].is_ok() && results[1].is_err() && results[2].is_ok());
+    }
+
+    #[test]
+    fn quarantine_carries_cell_attribution() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs = vec![
+            Experiment::quick("povray_like").tracker("none").window_us(100.0),
+            Experiment::quick("not_a_workload").window_us(100.0),
+        ];
+        let results = try_run_parallel(jobs);
+        std::panic::set_hook(prev);
+        let err = results[1].as_ref().expect_err("bad workload fails");
+        assert_eq!(err.attempts, 1);
+        assert!(err.cell.contains("not_a_workload"), "{}", err.cell);
+        let rendered = err.to_string();
+        assert!(rendered.contains("not_a_workload") && rendered.contains("attempt"), "{rendered}");
+    }
+
+    #[test]
+    fn injected_transient_panic_is_absorbed_by_a_retry() {
+        use sim_core::fault::FaultPlan;
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs = vec![
+            Experiment::quick("povray_like").tracker("none").window_us(100.0),
+            Experiment::quick("namd_like").tracker("none").window_us(100.0),
+        ];
+        let clean: Vec<_> =
+            try_run_parallel(jobs.clone()).into_iter().map(|r| r.expect("clean run")).collect();
+        let cfg = RunnerConfig {
+            retry: RetryPolicy::standard(),
+            faults: Some(FaultPlan::new(11).panic_job_once(1).arm()),
+        };
+        let faulted = try_run_parallel_cfg(jobs, &cfg);
+        std::panic::set_hook(prev);
+        let rendered = |rs: &[ExperimentResult]| -> Vec<String> {
+            rs.iter().map(|r| crate::spec::result_to_json(r).render()).collect()
+        };
+        let recovered: Vec<_> =
+            faulted.into_iter().map(|r| r.expect("retry absorbs the fault")).collect();
+        assert_eq!(
+            rendered(&recovered),
+            rendered(&clean),
+            "retried sweep is bit-identical to the clean one"
+        );
+    }
+
+    #[test]
+    fn permanent_panic_is_quarantined_with_attempt_count() {
+        use sim_core::fault::FaultPlan;
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let jobs = vec![
+            Experiment::quick("povray_like").tracker("none").window_us(100.0),
+            Experiment::quick("namd_like").tracker("none").window_us(100.0),
+        ];
+        let cfg = RunnerConfig {
+            retry: RetryPolicy::standard(),
+            faults: Some(FaultPlan::new(11).panic_job_always(0).arm()),
+        };
+        let out = try_run_parallel_cfg(jobs, &cfg);
+        std::panic::set_hook(prev);
+        let err = out[0].as_ref().expect_err("permanently faulted job is quarantined");
+        assert_eq!(err.attempts, 3);
+        assert!(err.cell.contains("povray_like"), "{}", err.cell);
+        assert!(err.message.contains("injected fault"), "{}", err.message);
+        assert!(out[1].is_ok(), "the healthy neighbour completes");
+    }
+
+    #[test]
+    fn per_attempt_timeout_quarantines_runaway_jobs() {
+        let cfg = RunnerConfig {
+            retry: RetryPolicy::none().attempt_timeout(std::time::Duration::from_millis(5)),
+            faults: None,
+        };
+        // A real workload at a long horizon takes far more than 5 ms.
+        let jobs = vec![Experiment::quick("mcf_like").tracker("hydra").window_us(10_000.0)];
+        let out = try_run_parallel_cfg(jobs, &cfg);
+        let err = out[0].as_ref().expect_err("timeout fires");
+        assert!(err.message.contains("timed out"), "{}", err.message);
+        assert_eq!(err.attempts, 1);
+    }
+
+    #[test]
+    fn retry_backoff_grows_and_caps() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.delay(1), std::time::Duration::from_millis(10));
+        assert_eq!(p.delay(2), std::time::Duration::from_millis(20));
+        assert_eq!(p.delay(6), std::time::Duration::from_millis(250), "capped");
     }
 
     #[test]

@@ -1432,7 +1432,9 @@ impl SweepReport {
                         .map(|f| {
                             Json::obj([
                                 ("index", Json::count(f.index as u64)),
+                                ("cell", Json::str(&f.cell)),
                                 ("message", Json::str(&f.message)),
+                                ("attempts", Json::count(u64::from(f.attempts))),
                             ])
                         })
                         .collect(),

@@ -52,7 +52,7 @@ use sim_core::time::Cycle;
 use sim_core::tracker::RowHammerTracker;
 
 use crate::metrics::RunStats;
-use crate::pool::ShardPool;
+use crate::pool::{ShardOutcome, ShardPool};
 
 /// Which simulation loop drives the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -306,6 +306,9 @@ pub struct System {
     /// to more than one lane. `None` means every memory phase runs inline
     /// on the coordinator (sequential execution — same results either way).
     pool: Option<ShardPool>,
+    /// Armed fault injector handed to the pool at creation (chaos tests
+    /// only; `None` in production).
+    faults: Option<std::sync::Arc<sim_core::fault::Injector>>,
     /// Scratch: channel indices with work this cycle (reused across the
     /// memory phases of a pooled run).
     active_shards: Vec<usize>,
@@ -432,6 +435,7 @@ impl System {
             hierarchy: Hierarchy { cfg, llc, shards, bypass_llc, next_req: 1, now: 0 },
             ratio: ClockRatio::core_over_bus(),
             pool: None,
+            faults: None,
             active_shards: Vec::new(),
             probes: Vec::new(),
             event_probes: Vec::new(),
@@ -468,6 +472,23 @@ impl System {
     /// Current bus cycle.
     pub fn cycle(&self) -> Cycle {
         self.hierarchy.now
+    }
+
+    /// Arms a fault [`sim_core::fault::Injector`] on this system's shard
+    /// pool (chaos tests only). Must be called before the run starts so
+    /// the lazily-created pool picks it up. Injected worker deaths are
+    /// recovered bit-identically: the dying worker hands its shard back
+    /// untouched, the coordinator advances it inline, and the lane is
+    /// respawned.
+    pub fn arm_faults(&mut self, injector: std::sync::Arc<sim_core::fault::Injector>) {
+        assert!(self.pool.is_none(), "arm faults before the pool exists");
+        self.faults = Some(injector);
+    }
+
+    /// How many shard-pool worker lanes have been respawned after
+    /// (injected) deaths. Zero in production runs.
+    pub fn worker_respawns(&self) -> u64 {
+        self.pool.as_ref().map_or(0, ShardPool::respawns)
     }
 
     /// Switches every channel controller between the indexed production
@@ -564,7 +585,7 @@ impl System {
             }
             return;
         }
-        let pool = self.pool.as_ref().expect("checked above");
+        let pool = self.pool.as_mut().expect("checked above");
         let shards = &mut self.hierarchy.shards;
         let active = &mut self.active_shards;
         active.clear();
@@ -596,10 +617,20 @@ impl System {
         }
         shards[mine].as_deref_mut().expect("classified above").advance_to(now);
         for _ in 0..dispatched {
-            let (ch, outcome) = pool.collect();
+            let (lane, ch, outcome) = pool.collect();
             match outcome {
-                Ok(shard) => shards[ch] = Some(shard),
-                Err(message) => panic!("channel {ch} shard worker panicked: {message}"),
+                ShardOutcome::Advanced(shard) => shards[ch] = Some(shard),
+                ShardOutcome::Died(mut shard) => {
+                    // The worker died before touching the shard: advance
+                    // it inline (same cycle, same result) and replace the
+                    // lane. Recovery is invisible to simulation state.
+                    shard.advance_to(now);
+                    shards[ch] = Some(shard);
+                    pool.respawn(lane);
+                }
+                ShardOutcome::Panicked(message) => {
+                    panic!("channel {ch} shard worker panicked: {message}")
+                }
             }
         }
     }
@@ -742,7 +773,7 @@ impl System {
         if lanes >= 2 && self.pool.is_none() {
             // The coordinator is a lane of its own; it advances its share
             // of the active shards while the workers run theirs.
-            self.pool = Some(ShardPool::new(lanes - 1));
+            self.pool = Some(ShardPool::new(lanes - 1, self.faults.clone()));
         }
         let window = self.hierarchy.cfg.window_cycles;
         let max_inst = self.hierarchy.cfg.max_instructions;

@@ -110,6 +110,62 @@ fn corrupt_entries_are_evicted_and_recomputed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn injected_io_errors_recover_across_engines_and_thread_counts() {
+    use sim_core::fault::FaultPlan;
+    // The recovery path (injected read IO error → miss → recompute →
+    // re-store) must behave identically however the cell executes: both
+    // engines are bit-identical by contract and lane count is an
+    // execution knob, so all four combinations share one result payload
+    // and the sequential/sharded pair shares one cell key per engine.
+    let combos = [
+        ("dense-seq", sim::Engine::Dense, sim::Threads::Seq),
+        ("dense-n2", sim::Engine::Dense, sim::Threads::N(2)),
+        ("event-seq", sim::Engine::EventDriven, sim::Threads::Seq),
+        ("event-n2", sim::Engine::EventDriven, sim::Threads::N(2)),
+    ];
+    let mut renders = Vec::new();
+    for (label, engine, threads) in combos {
+        let dir =
+            std::env::temp_dir().join(format!("cache-io-golden-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let e = Experiment::quick("mcf_like")
+            .tracker("para")
+            .window_us(50.0)
+            .engine(engine)
+            .threads(threads);
+        let key = cell_key(&e).expect("cacheable");
+        let cache = RunCache::open(&dir).expect("open cache");
+        let cold = e.clone().run();
+        cache.save(&key, &cold);
+
+        // Arm the read fault: the warm lookup errors, degrades to a
+        // miss, and the recomputed result matches the cold one exactly.
+        let cache = RunCache::open(&dir).expect("reopen");
+        cache.store().arm_faults(FaultPlan::new(71).fail_cache_read_nth(0).arm());
+        assert!(cache.lookup(&key).is_none(), "{label}: injected IO error reads as a miss");
+        assert_eq!(cache.stats().io_errors, 1, "{label}: the error is counted");
+        let recomputed = e.clone().run();
+        cache.save(&key, &recomputed);
+        let back = cache.lookup(&key).expect("re-stored entry reads back");
+        let render = sim::spec::result_to_json(&back).render();
+        assert_eq!(
+            render,
+            sim::spec::result_to_json(&cold).render(),
+            "{label}: recovery reproduces the cold result byte-for-byte"
+        );
+        renders.push((label, key.key.clone(), render));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Engines and lane counts are bit-identical: one payload for all four.
+    for (label, _, render) in &renders[1..] {
+        assert_eq!(render, &renders[0].2, "{label}: bit-identical across engines and lanes");
+    }
+    // Lane count never perturbs the key; the engine is allowed to.
+    assert_eq!(renders[0].1, renders[1].1, "dense: Seq and N(2) share a key");
+    assert_eq!(renders[2].1, renders[3].1, "event-driven: Seq and N(2) share a key");
+}
+
 fn walk_entries(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
